@@ -1,0 +1,109 @@
+package hear
+
+import (
+	"fmt"
+
+	"hear/internal/core"
+	"hear/internal/mpi"
+)
+
+// allreduce is the common encrypted data path: advance k_c, encrypt,
+// reduce ciphertexts (host collectives, pipelined collectives, or the INC
+// tree), decrypt. plain is the wire representation of n elements and is
+// overwritten with the result.
+func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) error {
+	if comm != nil && (comm.Rank() != c.rank || comm.Size() != c.size) {
+		return fmt.Errorf("hear: context for rank %d/%d used with communicator rank %d/%d",
+			c.rank, c.size, comm.Rank(), comm.Size())
+	}
+	if n <= 0 {
+		return fmt.Errorf("hear: non-positive element count %d", n)
+	}
+	if len(plain) < n*s.PlainSize() {
+		return fmt.Errorf("hear: buffer %d B < %d elements × %d B", len(plain), n, s.PlainSize())
+	}
+	c.st.Advance()
+
+	if c.opts.PipelineBlockBytes > 0 && comm != nil && c.opts.INC == nil {
+		blockElems := c.opts.PipelineBlockBytes / s.CipherSize()
+		if blockElems >= 1 && n > blockElems {
+			return c.allreducePipelined(comm, s, plain, n, blockElems)
+		}
+	}
+
+	cipher := make([]byte, n*s.CipherSize())
+	if err := s.Encrypt(c.st, plain, cipher, n); err != nil {
+		return err
+	}
+	if c.opts.INC != nil {
+		if err := c.opts.INC.Allreduce(c.rank, cipher); err != nil {
+			return fmt.Errorf("hear: INC reduction: %w", err)
+		}
+	} else {
+		op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+		ct := mpi.CipherType(s.CipherSize())
+		if err := comm.AllreduceAlgo(c.opts.Algorithm, cipher, cipher, n, ct, op); err != nil {
+			return fmt.Errorf("hear: reduction: %w", err)
+		}
+	}
+	return s.Decrypt(c.st, cipher, plain, n)
+}
+
+// allreducePipelined is the §6 network-pipelining data path (Figure 6):
+// the buffer is split into ciphertext blocks; while block i is being
+// reduced by a non-blocking Iallreduce, block i+1 is encrypted and block
+// i−1 decrypted, overlapping crypto with communication. Blocks come from
+// the context's memory pool, so the steady state allocates nothing.
+func (c *Context) allreducePipelined(comm *mpi.Comm, s core.Scheme, plain []byte, n, blockElems int) error {
+	ps, cs := s.PlainSize(), s.CipherSize()
+	op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+
+	type inflight struct {
+		req   *mpi.Request
+		buf   []byte // pool block; [:elems*cs] holds the ciphertext
+		off   int    // element offset into plain
+		elems int
+	}
+	var prev *inflight
+	finish := func(f *inflight) error {
+		if err := f.req.Wait(); err != nil {
+			return fmt.Errorf("hear: pipelined reduction: %w", err)
+		}
+		if err := s.DecryptAt(c.st, f.buf[:f.elems*cs], plain[f.off*ps:], f.elems, f.off); err != nil {
+			return err
+		}
+		return c.pool.Put(f.buf[:cap(f.buf)])
+	}
+
+	for off := 0; off < n; off += blockElems {
+		elems := blockElems
+		if off+elems > n {
+			elems = n - off
+		}
+		block, err := c.pool.Get()
+		if err != nil {
+			return fmt.Errorf("hear: pipeline pool: %w", err)
+		}
+		if len(block) < elems*cs {
+			return fmt.Errorf("hear: pool block %d B < ciphertext block %d B", len(block), elems*cs)
+		}
+		// EncryptAt keeps stream indices global across blocks: element j of
+		// this block uses noise index off+j, so no index is ever reused
+		// within one collective call (local safety holds across blocks).
+		if err := s.EncryptAt(c.st, plain[off*ps:], block[:elems*cs], elems, off); err != nil {
+			return err
+		}
+		req, err := comm.Iallreduce(block[:elems*cs], block[:elems*cs], elems, mpi.CipherType(cs), op)
+		if err != nil {
+			return fmt.Errorf("hear: pipelined reduction start: %w", err)
+		}
+		cur := &inflight{req: req, buf: block, off: off, elems: elems}
+		if prev != nil {
+			if err := finish(prev); err != nil {
+				return err
+			}
+		}
+		prev = cur
+	}
+	return finish(prev)
+}

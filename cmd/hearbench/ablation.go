@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hear/internal/core"
+	"hear/internal/prf"
+)
+
+// ablation measures the design choices DESIGN.md calls out:
+//
+//  1. the canceling technique (§5.1.4): Θ(1) decryption vs the naive
+//     Figure-1 scheme's Θ(P);
+//  2. the PRF backend choice (§6): AES vs SHA1 vs ChaCha20 vs the
+//     insecure xorshift lower bound, on the integer SUM data path;
+//  3. the modular-exponentiation cost of the PROD scheme vs SUM (why the
+//     paper calls out the O(log d) term).
+func ablation() error {
+	const n = 8192
+	reps := iters(2000)
+	if reps > 500 {
+		reps = 500
+	}
+
+	// --- 1. canceling vs naive decryption scaling ---
+	fmt.Println("Ablation 1 — decryption cost vs communicator size (§5.1.4)")
+	fmt.Printf("%-22s %-14s %-14s %s\n", "scheme", "P=4", "P=16", "P=64")
+	for _, naive := range []bool{false, true} {
+		name := "canceling Θ(1)"
+		if naive {
+			name = "naive Θ(P) (Fig. 1)"
+		}
+		fmt.Printf("%-22s", name)
+		for _, p := range []int{4, 16, 64} {
+			states, err := benchStates(prf.BackendAESFast, p)
+			if err != nil {
+				return err
+			}
+			var s core.Scheme
+			if naive {
+				starting := make([]uint64, p)
+				for i, st := range states {
+					starting[i] = st.SelfKey
+				}
+				s, err = core.NewNaiveIntSum(64, starting)
+			} else {
+				s, err = core.NewIntSum(64)
+			}
+			if err != nil {
+				return err
+			}
+			plain := make([]byte, n*8)
+			cipher := make([]byte, n*8)
+			states[0].Advance()
+			if err := s.Encrypt(states[0], plain, cipher, n); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := s.Decrypt(states[0], cipher, plain, n); err != nil {
+					return err
+				}
+			}
+			rate := float64(n*8*reps) / time.Since(t0).Seconds()
+			fmt.Printf(" %-13s", gbs(rate))
+		}
+		fmt.Println()
+	}
+	fmt.Println("(canceling stays flat; naive decays linearly in P — the reason the")
+	fmt.Println("production scheme pays a second PRF stream at encryption time)")
+
+	// --- 2. PRF backend on the int-sum data path ---
+	fmt.Println("\nAblation 2 — PRF backend on the integer SUM data path")
+	fmt.Printf("%-20s %-14s %s\n", "backend", "encrypt", "decrypt")
+	for _, backend := range []string{prf.BackendAESFast, prf.BackendAESScalar, prf.BackendChaCha20, prf.BackendSHA1, prf.BackendXorshift} {
+		states, err := benchStates(backend, 2)
+		if err != nil {
+			return err
+		}
+		s, err := core.NewIntSum(64)
+		if err != nil {
+			return err
+		}
+		enc, dec, err := cryptoRates(s, states[0], n, reps/4+1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-14s %s\n", backend, gbs(enc), gbs(dec))
+	}
+
+	// --- 3. SUM vs PROD vs XOR per-element cost ---
+	fmt.Println("\nAblation 3 — scheme operation complexity (R3)")
+	fmt.Printf("%-14s %-16s %s\n", "scheme", "encrypt ns/elem", "note")
+	type mk struct {
+		name string
+		s    func() (core.Scheme, error)
+		note string
+	}
+	for _, m := range []mk{
+		{"int64-sum", func() (core.Scheme, error) { return core.NewIntSum(64) }, "add + 2 PRF words"},
+		{"int64-xor", func() (core.Scheme, error) { return core.NewIntXor(64) }, "xor + 2 PRF words"},
+		{"int64-prod", func() (core.Scheme, error) { return core.NewIntProd(64) }, "O(log d) modexp (2^4-ary)"},
+	} {
+		states, err := benchStates(prf.BackendAESFast, 2)
+		if err != nil {
+			return err
+		}
+		s, err := m.s()
+		if err != nil {
+			return err
+		}
+		plain := make([]byte, n*8)
+		cipher := make([]byte, n*8)
+		states[0].Advance()
+		if err := s.Encrypt(states[0], plain, cipher, n); err != nil {
+			return err
+		}
+		r := reps / 4
+		if r < 1 {
+			r = 1
+		}
+		t0 := time.Now()
+		for i := 0; i < r; i++ {
+			if err := s.Encrypt(states[0], plain, cipher, n); err != nil {
+				return err
+			}
+		}
+		perElem := time.Since(t0).Seconds() / float64(r*n) * 1e9
+		fmt.Printf("%-14s %-16.1f %s\n", m.name, perElem, m.note)
+	}
+	fmt.Println("(PROD pays the exponentiation the paper's §5.1.4 predicts; SUM and XOR")
+	fmt.Println("run at keystream speed)")
+	return nil
+}

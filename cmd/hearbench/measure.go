@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hear/internal/core"
+	"hear/internal/hfp"
+	"hear/internal/keys"
+	"hear/internal/prf"
+)
+
+// seqReader makes benchmark key material deterministic so repeated runs
+// measure the same key schedule.
+type seqReader struct{ next byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.next*197 + 31
+		r.next++
+	}
+	return len(p), nil
+}
+
+// benchStates returns a deterministic two-rank key state for single-node
+// crypto measurements.
+func benchStates(backend string, size int) ([]*keys.RankState, error) {
+	return keys.Generate(size, keys.Config{Backend: backend, Rand: &seqReader{next: 5}})
+}
+
+// cryptoRates measures one rank's encryption and decryption throughput in
+// bytes/s for a scheme over a buffer of n elements, averaged over iters
+// runs — the quantity Figure 5 plots and the scaling model consumes.
+func cryptoRates(s core.Scheme, st *keys.RankState, n, iters int) (encRate, decRate float64, err error) {
+	plain := make([]byte, n*s.PlainSize())
+	for i := range plain {
+		plain[i] = byte(i*31 + 7)
+	}
+	cipher := make([]byte, n*s.CipherSize())
+	st.Advance()
+
+	// Warmup.
+	if err := s.Encrypt(st, plain, cipher, n); err != nil {
+		return 0, 0, err
+	}
+	if err := s.Decrypt(st, cipher, plain, n); err != nil {
+		return 0, 0, err
+	}
+
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := s.Encrypt(st, plain, cipher, n); err != nil {
+			return 0, 0, err
+		}
+	}
+	encT := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := s.Decrypt(st, cipher, plain, n); err != nil {
+			return 0, 0, err
+		}
+	}
+	decT := time.Since(t0)
+
+	plainBytes := float64(n*s.PlainSize()) * float64(iters)
+	return plainBytes / encT.Seconds(), plainBytes / decT.Seconds(), nil
+}
+
+// perCallLatency measures the fixed cost of encrypting + decrypting one
+// 16-byte message (key progression included) — Figure 4/8's quantity.
+func perCallLatency(s core.Scheme, st *keys.RankState, iters int) (time.Duration, error) {
+	n := 16 / s.PlainSize()
+	if n < 1 {
+		n = 1
+	}
+	plain := make([]byte, n*s.PlainSize())
+	cipher := make([]byte, n*s.CipherSize())
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		st.Advance()
+		if err := s.Encrypt(st, plain, cipher, n); err != nil {
+			return 0, err
+		}
+		if err := s.Decrypt(st, cipher, plain, n); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0) / time.Duration(iters), nil
+}
+
+// measuredCosts bundles the rates the scaling figures inject into netsim.
+type measuredCosts struct {
+	intEnc, intDec     float64
+	floatEnc, floatDec float64
+	perCall            time.Duration
+}
+
+// measureHEARCosts runs the quick crypto microbenchmarks on this build.
+func measureHEARCosts(iters int) (measuredCosts, error) {
+	var mc measuredCosts
+	states, err := benchStates(prf.BackendAESFast, 2)
+	if err != nil {
+		return mc, err
+	}
+	intScheme, err := core.NewIntSum(64)
+	if err != nil {
+		return mc, err
+	}
+	mc.intEnc, mc.intDec, err = cryptoRates(intScheme, states[0], 1<<17, iters)
+	if err != nil {
+		return mc, err
+	}
+	floatScheme, err := core.NewFloatSum(hfp.FP32, 0)
+	if err != nil {
+		return mc, err
+	}
+	mc.floatEnc, mc.floatDec, err = cryptoRates(floatScheme, states[0], 1<<15, iters)
+	if err != nil {
+		return mc, err
+	}
+	mc.perCall, err = perCallLatency(intScheme, states[0], iters*10)
+	if err != nil {
+		return mc, err
+	}
+	return mc, nil
+}
+
+func gbs(bytesPerSec float64) string {
+	return fmt.Sprintf("%7.3f GB/s", bytesPerSec/1e9)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hear/internal/baseline"
+	"hear/internal/core"
+	"hear/internal/prf"
+)
+
+// table1 regenerates the requirement matrix of Table 1 with *measured*
+// values: ciphertext inflation for a 64-bit payload (R1), a bounded-vs-
+// unbounded operation count (R2), per-element operation latency (R3), and
+// the supported operation types (R4).
+func table1() error {
+	primeBits := 512
+	if *quick {
+		primeBits = 256
+	}
+	paillier, err := baseline.NewPaillier(primeBits)
+	if err != nil {
+		return err
+	}
+	rsa, err := baseline.NewRSA(primeBits)
+	if err != nil {
+		return err
+	}
+	elgamal, err := baseline.NewElGamal(2 * primeBits)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		name      string
+		inflation float64
+		encTime   time.Duration
+		opTime    time.Duration
+		unbounded string
+		ops       string
+	}
+	var rows []row
+
+	n := iters(2000)
+	for _, s := range []baseline.PHE{paillier, rsa, elgamal} {
+		var cts []baseline.Ciphertext
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			c, err := s.Encrypt(uint64(i + 1))
+			if err != nil {
+				return err
+			}
+			if len(cts) < 2 {
+				cts = append(cts, c)
+			}
+		}
+		encT := time.Since(t0) / time.Duration(n)
+		t0 = time.Now()
+		acc := cts[0]
+		for i := 0; i < n; i++ {
+			acc = s.Combine(acc, cts[1])
+		}
+		opT := time.Since(t0) / time.Duration(n)
+		unbounded := "no (message space bound)"
+		rows = append(rows, row{s.Name(), s.InflationFor(64), encT, opT, unbounded, s.OpName()})
+	}
+
+	// HEAR integer SUM on the same machine.
+	states, err := benchStates(prf.BackendAESFast, 2)
+	if err != nil {
+		return err
+	}
+	intSum, err := core.NewIntSum(64)
+	if err != nil {
+		return err
+	}
+	const elems = 4096
+	plain := make([]byte, elems*8)
+	cipher := make([]byte, elems*8)
+	states[0].Advance()
+	t0 := time.Now()
+	reps := iters(2000)
+	for i := 0; i < reps; i++ {
+		if err := intSum.Encrypt(states[0], plain, cipher, elems); err != nil {
+			return err
+		}
+	}
+	hearEnc := time.Since(t0) / time.Duration(reps*elems)
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		intSum.Reduce(cipher, cipher, elems)
+	}
+	hearOp := time.Since(t0) / time.Duration(reps*elems)
+	rows = append(rows, row{"HEAR int-sum", 1.0, hearEnc, hearOp, "yes (modular ring)", "add/mul/xor (6 schemes)"})
+
+	fmt.Println("Table 1 — measured requirement matrix (64-bit payloads)")
+	fmt.Printf("%-14s %-16s %-14s %-14s %-24s %s\n", "scheme", "R1 inflation", "R3 enc/elem", "R3 op/elem", "R2 unbounded ops", "R4 op types")
+	for _, r := range rows {
+		verdict := "FAIL"
+		if r.inflation <= 2.0 {
+			verdict = "ok"
+		}
+		fmt.Printf("%-14s %6.1fx (%s)   %-14v %-14v %-24s %s\n",
+			r.name, r.inflation, verdict, r.encTime, r.opTime, r.unbounded, r.ops)
+	}
+	fmt.Println("\nR1 budget is 2x (INC halves traffic; more inflation erases the gain).")
+	fmt.Println("Every classical PHE scheme measured here violates R1 by an order of")
+	fmt.Println("magnitude and costs µs–ms per element (R3); HEAR sits at 1.0x and ns/element.")
+	return nil
+}

@@ -1,0 +1,148 @@
+// hearsim explores the Aries-calibrated scaling model behind Figures 7/8
+// beyond the paper's fixed configurations: sweep ranks, nodes, message
+// sizes, and HEAR cost assumptions from the command line.
+//
+//	hearsim -ranks 4096 -nodes 128 -msg 16Mi
+//	hearsim -sweep ppn -nodes 2 -msg 16Mi
+//	hearsim -sweep nodes -ppn 36 -msg 16Mi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hear/internal/dnn"
+	"hear/internal/netsim"
+)
+
+var (
+	ranksFlag = flag.Int("ranks", 1152, "total MPI ranks")
+	nodesFlag = flag.Int("nodes", 32, "nodes")
+	ppnFlag   = flag.Int("ppn", 36, "processes per node (for -sweep nodes)")
+	msgFlag   = flag.String("msg", "16Mi", "message size (e.g. 16, 4Ki, 16Mi)")
+	sweep     = flag.String("sweep", "", "sweep axis: '', 'ppn', or 'nodes'")
+	dnnTrace  = flag.String("dnn", "", "path to a DNN workload trace (JSON); simulates it instead of the scaling sweep")
+	encRate   = flag.Float64("enc", 9e9, "HEAR encryption rate B/s per core")
+	decRate   = flag.Float64("dec", 18e9, "HEAR decryption rate B/s per core")
+	pipeEff   = flag.Float64("pipe", 0.85, "pipeline efficiency (Figure 6 best point)")
+	perCall   = flag.Float64("call", 0.4e-6, "per-call crypto latency in seconds")
+	inflation = flag.Float64("inflation", 1.0, "ciphertext inflation factor")
+)
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "Gi"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "Gi")
+	case strings.HasSuffix(s, "Mi"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "Mi")
+	case strings.HasSuffix(s, "Ki"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "Ki")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	flag.Parse()
+	if *dnnTrace != "" {
+		if err := runDNNTrace(*dnnTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	msg, err := parseSize(*msgFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := netsim.AriesDefaults()
+	h := &netsim.HEARCosts{
+		EncRate:            *encRate,
+		DecRate:            *decRate,
+		PerCallLatency:     *perCall,
+		Inflation:          *inflation,
+		PipelineEfficiency: *pipeEff,
+	}
+	if err := h.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var points []netsim.Point
+	switch *sweep {
+	case "":
+		points = []netsim.Point{{Ranks: *ranksFlag, Nodes: *nodesFlag}}
+	case "ppn":
+		for _, ppn := range []int{1, 2, 4, 8, 16, 32, 36} {
+			points = append(points, netsim.Point{Ranks: ppn * *nodesFlag, Nodes: *nodesFlag})
+		}
+	case "nodes":
+		for n := 2; n <= 128; n *= 2 {
+			points = append(points, netsim.Point{Ranks: *ppnFlag * n, Nodes: n})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+
+	fmt.Printf("message = %d B; HEAR enc %.1f dec %.1f GB/s, pipe %.0f%%, inflation %.2fx\n\n",
+		msg, *encRate/1e9, *decRate/1e9, *pipeEff*100, *inflation)
+	fmt.Printf("%-8s %-7s %-7s %-14s %-14s %-10s %-22s %-22s\n",
+		"ranks", "nodes", "PPN", "native GB/s/n", "HEAR GB/s/n", "ratio", "native lat (µs)", "HEAR lat (µs)")
+	for _, pt := range points {
+		native, hearTP, err := p.ThroughputPerNode(h, pt.Ranks, pt.Nodes, msg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		nl, hl, err := p.Latency(h, pt.Ranks, pt.Nodes, 16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8d %-7d %-7d %-14.2f %-14.2f %6.1f%%   %6.2f/%6.2f/%6.2f  %6.2f/%6.2f/%6.2f\n",
+			pt.Ranks, pt.Nodes, pt.Ranks/pt.Nodes, native/1e9, hearTP/1e9, 100*hearTP/native,
+			nl.Min*1e6, nl.Mean*1e6, nl.Max*1e6, hl.Min*1e6, hl.Mean*1e6, hl.Max*1e6)
+	}
+}
+
+// runDNNTrace replays a user-provided workload trace against the model.
+func runDNNTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	models, err := dnn.LoadTrace(f)
+	if err != nil {
+		return err
+	}
+	h := &netsim.HEARCosts{
+		EncRate:            *encRate,
+		DecRate:            *decRate,
+		PerCallLatency:     *perCall,
+		Inflation:          *inflation,
+		PipelineEfficiency: *pipeEff,
+	}
+	params := netsim.AriesDefaults()
+	fmt.Printf("%-16s %-7s %-7s %-14s %-14s %-14s %s\n",
+		"model", "ranks", "nodes", "gradient MB", "AR native ms", "AR HEAR ms", "relative time")
+	for _, m := range models {
+		r, err := dnn.Simulate(m, params, h)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-7d %-7d %-14.1f %-14.2f %-14.2f %6.1f%%\n",
+			m.Name, m.Ranks, m.Nodes, float64(m.AllreduceBytes())/1e6,
+			r.AllreduceNative*1e3, r.AllreduceHEAR*1e3, 100*r.RelativeExecTime)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// dnn_training demonstrates the paper's motivating workload: distributed
+// SGD where each iteration averages gradients with an Allreduce over
+// MPI_FLOAT data (§7.2). The gradients stay confidential end to end —
+// encrypted with the v1 float addition scheme — while the collective still
+// produces the exact average every data-parallel replica needs.
+//
+// The "model" is a small linear regression trained on synthetic data so
+// the run finishes in milliseconds; the communication pattern (per-
+// iteration float-gradient Allreduce, pipelined for larger models) is the
+// real one.
+//
+//	go run ./examples/dnn_training
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hear"
+	"hear/internal/mpi"
+)
+
+const (
+	ranks     = 4
+	features  = 64
+	samples   = 256 // per rank
+	iters     = 120
+	learnRate = 0.3
+)
+
+// trueWeights is the ground truth the distributed ranks should recover.
+func trueWeights() []float32 {
+	w := make([]float32, features)
+	for i := range w {
+		w[i] = float32(i%5) - 2 // -2..2
+	}
+	return w
+}
+
+func main() {
+	world := mpi.NewWorld(ranks)
+	ctxs, err := hear.Init(world, hear.Options{
+		Gamma:              2,    // full FP32 mantissa precision for the gradients
+		PipelineBlockBytes: 4096, // overlap encrypt/reduce/decrypt for big models
+	})
+	if err != nil {
+		log.Fatalf("hear init: %v", err)
+	}
+
+	err = world.Run(0, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 7))
+
+		// Per-rank private shard of the dataset.
+		wTrue := trueWeights()
+		xs := make([][]float32, samples)
+		ys := make([]float32, samples)
+		for s := range xs {
+			xs[s] = make([]float32, features)
+			var y float32
+			for f := range xs[s] {
+				xs[s][f] = rng.Float32()*2 - 1
+				y += xs[s][f] * wTrue[f]
+			}
+			ys[s] = y + (rng.Float32()-0.5)*0.01 // label noise
+		}
+
+		weights := make([]float32, features)
+		grad := make([]float32, features)
+		avg := make([]float32, features)
+
+		for it := 0; it < iters; it++ {
+			// Local gradient of squared loss on this rank's shard.
+			for f := range grad {
+				grad[f] = 0
+			}
+			for s := range xs {
+				var pred float32
+				for f := range xs[s] {
+					pred += weights[f] * xs[s][f]
+				}
+				err := pred - ys[s]
+				for f := range xs[s] {
+					grad[f] += 2 * err * xs[s][f] / samples
+				}
+			}
+
+			// The confidential gradient averaging: this is the Allreduce
+			// that HEAR encrypts. The network only ever folds ciphertexts.
+			if err := ctx.AllreduceFloat32Sum(c, grad, avg); err != nil {
+				return err
+			}
+			for f := range weights {
+				weights[f] -= learnRate * avg[f] / ranks
+			}
+		}
+
+		// Report the recovered weights' error on rank 0.
+		if c.Rank() == 0 {
+			var maxErr float32
+			for f := range weights {
+				d := weights[f] - wTrue[f]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxErr {
+					maxErr = d
+				}
+			}
+			fmt.Printf("distributed SGD over %d ranks, %d iterations\n", ranks, iters)
+			fmt.Printf("max |w - w_true| = %.4f (converged: %v)\n", maxErr, maxErr < 0.1)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

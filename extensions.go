@@ -1,0 +1,241 @@
+package hear
+
+// §8 "HEAR Extensions": beyond Allreduce, HEAR extends to the other
+// collectives ("these would work similarly to Allreduce, however, without
+// any INC") and to one-to-one communication "using a matrix of keys rather
+// than a constant number of keys", at Θ(N) key space per rank instead of
+// the Θ(1) of the Allreduce schemes.
+//
+// This file implements those extensions:
+//
+//   - SendEncrypted / RecvEncrypted: point-to-point messages encrypted
+//     with a pairwise key from the matrix. A per-message sequence number
+//     travels in a small header so out-of-order receivers stay in sync.
+//   - BcastEncrypted: the root encrypts with the collective key stream;
+//     every rank can decrypt (all ranks hold k_c).
+//   - GatherEncrypted / AlltoallEncrypted: per-pair streams keyed by the
+//     matrix, so only the two endpoints of each block can read it.
+//
+// These are transport encryption (no homomorphism needed — nothing is
+// reduced), so unlike the Allreduce schemes they have no INC path.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hear/internal/mpi"
+)
+
+// Domain separators keep the p2p, broadcast, gather, and alltoall streams
+// of one pair disjoint even when sequence numbers coincide.
+const (
+	domainP2P      uint64 = 0x50325000_00000000
+	domainBcast    uint64 = 0x42435354_00000000
+	domainGather   uint64 = 0x47415452_00000000
+	domainAlltoall uint64 = 0x41324100_00000000
+)
+
+// p2pHeaderBytes is the sequence-number header prepended to encrypted
+// point-to-point payloads.
+const p2pHeaderBytes = 8
+
+// pairNonce returns the symmetric pairwise stream identifier for this
+// rank and peer under a domain. The key matrix is symmetric (k_{i,j} =
+// k_{j,i}), so both endpoints derive the same stream.
+func (c *Context) pairNonce(peer int, domain uint64) (uint64, error) {
+	if c.pairKeys == nil {
+		return 0, fmt.Errorf("hear: pairwise keys not enabled (set Options.EnableP2P)")
+	}
+	if peer < 0 || peer >= c.size {
+		return 0, fmt.Errorf("hear: peer %d outside communicator of size %d", peer, c.size)
+	}
+	return c.pairKeys[peer] + domain, nil
+}
+
+// xorStream XORs dst in place with the keystream of (nonce, seq): the
+// stream offset is seq · 2^32 bytes, giving every message of a pair a
+// disjoint 4 GiB span.
+func (c *Context) xorStream(dst []byte, nonce, seq uint64) {
+	ks := make([]byte, len(dst))
+	c.st.Enc.Keystream(ks, nonce, seq<<32)
+	for i := range dst {
+		dst[i] ^= ks[i]
+	}
+}
+
+// dirSeq disambiguates the two directions of a symmetric pair stream:
+// without it, message seq of i→j and of j→i would reuse one keystream —
+// a classic two-time pad. The low bit encodes the direction.
+func dirSeq(seq uint64, sender, receiver int) uint64 {
+	d := uint64(0)
+	if sender > receiver {
+		d = 1
+	}
+	return seq<<1 | d
+}
+
+// SendEncrypted sends data to rank `to` under tag, encrypted with the
+// pairwise key stream. The wire message carries an 8-byte sequence header
+// so receivers tolerate interleaved tags.
+func (c *Context) SendEncrypted(comm *mpi.Comm, to, tag int, data []byte) error {
+	nonce, err := c.pairNonce(to, domainP2P)
+	if err != nil {
+		return err
+	}
+	seq := c.sendSeq[to]
+	c.sendSeq[to]++
+	msg := make([]byte, p2pHeaderBytes+len(data))
+	binary.LittleEndian.PutUint64(msg, seq)
+	copy(msg[p2pHeaderBytes:], data)
+	c.xorStream(msg[p2pHeaderBytes:], nonce, dirSeq(seq, c.rank, to))
+	return comm.Send(to, tag, msg)
+}
+
+// RecvEncrypted receives a message from `from` under tag into buf and
+// returns the payload length.
+func (c *Context) RecvEncrypted(comm *mpi.Comm, from, tag int, buf []byte) (int, error) {
+	nonce, err := c.pairNonce(from, domainP2P)
+	if err != nil {
+		return 0, err
+	}
+	msg := make([]byte, p2pHeaderBytes+len(buf))
+	n, src, err := comm.Recv(from, tag, msg)
+	if err != nil {
+		return 0, err
+	}
+	if n < p2pHeaderBytes {
+		return 0, fmt.Errorf("hear: encrypted message shorter than its header (%d B)", n)
+	}
+	if from == mpi.AnySource {
+		if nonce, err = c.pairNonce(src, domainP2P); err != nil {
+			return 0, err
+		}
+	}
+	seq := binary.LittleEndian.Uint64(msg)
+	payload := msg[p2pHeaderBytes:n]
+	c.xorStream(payload, nonce, dirSeq(seq, src, c.rank))
+	copy(buf, payload)
+	return n - p2pHeaderBytes, nil
+}
+
+// BcastEncrypted broadcasts buf from root to every rank, encrypted on the
+// wire with the collective key stream (all ranks hold k_c, only they can
+// read it). Collective: every rank must call it.
+func (c *Context) BcastEncrypted(comm *mpi.Comm, root int, buf []byte) error {
+	if err := c.checkComm(comm); err != nil {
+		return err
+	}
+	c.st.Advance() // temporal safety for the broadcast stream
+	nonce := c.st.CollectiveNonce() + domainBcast
+	wire := make([]byte, len(buf))
+	copy(wire, buf)
+	if comm.Rank() == root {
+		c.xorStream(wire, nonce, 0)
+	}
+	if err := comm.Bcast(root, wire); err != nil {
+		return err
+	}
+	if comm.Rank() != root {
+		c.xorStream(wire, nonce, 0)
+		copy(buf, wire)
+	}
+	return nil
+}
+
+// GatherEncrypted gathers each rank's block into root's recvBuf; block i
+// travels under the (i, root) pairwise stream, so intermediate network
+// elements learn nothing and non-root ranks cannot read each other's
+// blocks. recvBuf may be nil on non-root ranks.
+func (c *Context) GatherEncrypted(comm *mpi.Comm, root int, send []byte, recvBuf []byte) error {
+	if err := c.checkComm(comm); err != nil {
+		return err
+	}
+	if c.pairKeys == nil {
+		// Fail before any communication: erroring after a collective has
+		// started would strand the other members.
+		return fmt.Errorf("hear: pairwise keys not enabled (set Options.EnableP2P)")
+	}
+	c.st.Advance()
+	c.gatherSeq++ // all ranks advance in lockstep (collective call order)
+	seq := c.gatherSeq
+	nb := len(send)
+	wire := make([]byte, nb)
+	copy(wire, send)
+	if comm.Rank() != root {
+		nonce, err := c.pairNonce(root, domainGather)
+		if err != nil {
+			return err
+		}
+		c.xorStream(wire, nonce, seq)
+	}
+	if err := comm.Gather(root, wire, recvBuf, nb, mpi.Byte); err != nil {
+		return err
+	}
+	if comm.Rank() == root {
+		for i := 0; i < c.size; i++ {
+			if i == root {
+				continue
+			}
+			nonce, err := c.pairNonce(i, domainGather)
+			if err != nil {
+				return err
+			}
+			c.xorStream(recvBuf[i*nb:(i+1)*nb], nonce, seq)
+		}
+	}
+	return nil
+}
+
+// AlltoallEncrypted exchanges per-destination blocks, each encrypted under
+// its endpoint pair's stream. send and recv hold size × blockBytes bytes.
+func (c *Context) AlltoallEncrypted(comm *mpi.Comm, send, recv []byte, blockBytes int) error {
+	if err := c.checkComm(comm); err != nil {
+		return err
+	}
+	if blockBytes <= 0 || len(send) < c.size*blockBytes || len(recv) < c.size*blockBytes {
+		return fmt.Errorf("hear: alltoall buffers too small for %d × %d B", c.size, blockBytes)
+	}
+	if c.pairKeys == nil {
+		return fmt.Errorf("hear: pairwise keys not enabled (set Options.EnableP2P)")
+	}
+	c.st.Advance()
+	c.a2aSeq++
+	seq := c.a2aSeq
+	wire := make([]byte, c.size*blockBytes)
+	copy(wire, send)
+	for j := 0; j < c.size; j++ {
+		if j == c.rank {
+			continue
+		}
+		nonce, err := c.pairNonce(j, domainAlltoall)
+		if err != nil {
+			return err
+		}
+		c.xorStream(wire[j*blockBytes:(j+1)*blockBytes], nonce, dirSeq(seq, c.rank, j))
+	}
+	if err := comm.Alltoall(wire, recv, blockBytes, mpi.Byte); err != nil {
+		return err
+	}
+	for j := 0; j < c.size; j++ {
+		if j == c.rank {
+			continue
+		}
+		nonce, err := c.pairNonce(j, domainAlltoall)
+		if err != nil {
+			return err
+		}
+		c.xorStream(recv[j*blockBytes:(j+1)*blockBytes], nonce, dirSeq(seq, j, c.rank))
+	}
+	return nil
+}
+
+func (c *Context) checkComm(comm *mpi.Comm) error {
+	if comm == nil {
+		return fmt.Errorf("hear: nil communicator")
+	}
+	if comm.Rank() != c.rank || comm.Size() != c.size {
+		return fmt.Errorf("hear: context for rank %d/%d used with communicator rank %d/%d",
+			c.rank, c.size, comm.Rank(), comm.Size())
+	}
+	return nil
+}

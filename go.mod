@@ -1,0 +1,3 @@
+module hear
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package hear is the public API of this HEAR reproduction — the analogue
+// of libhear (§6): a middleware layer that adds homomorphic encryption and
+// decryption around Allreduce without changing application code structure.
+// Where libhear interposes on PMPI and is enabled with an LD_PRELOAD, this
+// package wraps the bundled message-passing runtime (internal/mpi) behind
+// per-rank Contexts created at communicator initialization.
+//
+// Usage mirrors an MPI program:
+//
+//	w := mpi.NewWorld(8)
+//	ctxs, _ := hear.Init(w, hear.Options{})
+//	w.Run(0, func(c *mpi.Comm) error {
+//	    ctx := ctxs[c.Rank()]
+//	    data := []int64{...}
+//	    return ctx.AllreduceInt64Sum(c, data, data)
+//	})
+//
+// Every Allreduce call advances the collective key (temporal safety),
+// encrypts element-wise with the scheme selected by datatype and
+// operation, reduces ciphertexts — on the hosts or through an in-network
+// aggregation tree — and decrypts the aggregate with a single PRF stream.
+package hear
+
+import (
+	"fmt"
+	"io"
+
+	"hear/internal/core"
+	"hear/internal/fixedpoint"
+	"hear/internal/hfp"
+	"hear/internal/inc"
+	"hear/internal/keys"
+	"hear/internal/mempool"
+	"hear/internal/mpi"
+	"hear/internal/prf"
+	"hear/internal/ring"
+)
+
+// Options configures a HEAR communicator.
+type Options struct {
+	// PRFBackend selects the noise PRF (default prf.BackendAESFast, the
+	// hardware-AES counter mode libhear settled on).
+	PRFBackend string
+	// Gamma is the float ciphertext inflation parameter γ (§5.3.1):
+	// 0 keeps ciphertexts plaintext-sized, 2 restores full mantissa
+	// precision for the addition scheme.
+	Gamma uint
+	// FixedPoint configures the fixed point codec (§5.2); zero value means
+	// 64-bit words with 20 fractional bits.
+	FixedPointFrac uint
+	// PipelineBlockBytes enables the non-blocking pipelined data path for
+	// buffers larger than one block (§6 "Communication"): ciphertext
+	// blocks of this size overlap encryption, reduction, and decryption.
+	// 0 disables pipelining.
+	PipelineBlockBytes int
+	// INC, when non-nil, routes ciphertext reduction through the
+	// in-network aggregation tree instead of host-based collectives.
+	INC *inc.Tree
+	// INCTags, when non-nil alongside INC, is a second aggregation tree
+	// whose fold adds mod the HoMAC prime; verified Allreduce then reduces
+	// the (c, σ) pair fully in-network, as §5.5 describes INC doing.
+	INCTags *inc.Tree
+	// Algorithm selects the host-based Allreduce algorithm (AlgoAuto
+	// default); ignored when INC is set.
+	Algorithm mpi.Algorithm
+	// EnableP2P generates the §8 pairwise key matrix at initialization,
+	// enabling SendEncrypted/RecvEncrypted and the encrypted non-reducing
+	// collectives. Costs Θ(N) key space per rank instead of Θ(1).
+	EnableP2P bool
+	// Rand overrides the key-generation entropy source (tests only).
+	Rand io.Reader
+}
+
+func (o *Options) fill() {
+	if o.PRFBackend == "" {
+		o.PRFBackend = prf.BackendAESFast
+	}
+	if o.FixedPointFrac == 0 {
+		o.FixedPointFrac = 20
+	}
+}
+
+// Context is one rank's HEAR state: its key material and scheme instances.
+// A Context belongs to one rank goroutine and is not safe for concurrent
+// use — exactly like an MPI process's library state.
+type Context struct {
+	rank    int
+	size    int
+	st      *keys.RankState
+	opts    Options
+	schemes map[string]core.Scheme
+	pool    *mempool.Pool
+
+	// faultInjector, when set, corrupts the reduced ciphertext before
+	// HoMAC verification (testing/demo hook; see SetFaultInjector).
+	faultInjector func([]byte)
+
+	// §8 extension state (nil/zero unless Options.EnableP2P).
+	pairKeys  []uint64 // this rank's row of the symmetric pairwise key matrix
+	sendSeq   []uint64 // per-peer point-to-point message counters
+	gatherSeq uint64   // collective-call counters for the encrypted
+	a2aSeq    uint64   // non-reducing collectives (lockstep across ranks)
+}
+
+// Init performs HEAR's initialization for every rank of a world: key
+// generation and the secure exchange of §5 ("Key Generation"). It returns
+// one Context per rank. In a deployment each context would live inside
+// that rank's secure environment; here the slice models the completed
+// exchange.
+func Init(w *mpi.World, opts Options) ([]*Context, error) {
+	opts.fill()
+	if opts.PipelineBlockBytes < 0 {
+		return nil, fmt.Errorf("hear: negative pipeline block size %d", opts.PipelineBlockBytes)
+	}
+	states, err := keys.Generate(w.Size(), keys.Config{Backend: opts.PRFBackend, Rand: opts.Rand})
+	if err != nil {
+		return nil, fmt.Errorf("hear: init: %w", err)
+	}
+	// §8 pairwise key matrix: symmetric, drawn once, distributed by row.
+	var matrix [][]uint64
+	if opts.EnableP2P {
+		n := w.Size()
+		matrix = make([][]uint64, n)
+		for i := range matrix {
+			matrix[i] = make([]uint64, n)
+		}
+		var b [8]byte
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if _, err := io.ReadFull(opts.Rand, b[:]); err != nil {
+					return nil, fmt.Errorf("hear: drawing pairwise key: %w", err)
+				}
+				k := binaryLittleUint64(b[:])
+				matrix[i][j] = k
+				matrix[j][i] = k
+			}
+		}
+	}
+
+	ctxs := make([]*Context, w.Size())
+	for i := range ctxs {
+		var pool *mempool.Pool
+		if opts.PipelineBlockBytes > 0 {
+			// Three blocks cover the encrypt/reduce/decrypt pipeline depth.
+			pool, err = mempool.New(opts.PipelineBlockBytes, 3, 0)
+			if err != nil {
+				return nil, fmt.Errorf("hear: init pool: %w", err)
+			}
+		}
+		ctx := &Context{
+			rank:    i,
+			size:    w.Size(),
+			st:      states[i],
+			opts:    opts,
+			schemes: make(map[string]core.Scheme),
+			pool:    pool,
+		}
+		if matrix != nil {
+			ctx.pairKeys = matrix[i]
+			ctx.sendSeq = make([]uint64, w.Size())
+		}
+		ctxs[i] = ctx
+	}
+	return ctxs, nil
+}
+
+// binaryLittleUint64 decodes 8 little-endian bytes (avoids importing
+// encoding/binary twice across files for one call site).
+func binaryLittleUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Rank returns the context's rank.
+func (c *Context) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Context) Size() int { return c.size }
+
+// scheme returns (creating on first use) the named scheme instance.
+func (c *Context) scheme(key string, mk func() (core.Scheme, error)) (core.Scheme, error) {
+	if s, ok := c.schemes[key]; ok {
+		return s, nil
+	}
+	s, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	c.schemes[key] = s
+	return s, nil
+}
+
+func (c *Context) intSum(width int) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("int%d-sum", width), func() (core.Scheme, error) { return core.NewIntSum(width) })
+}
+
+func (c *Context) intProd(width int) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("int%d-prod", width), func() (core.Scheme, error) { return core.NewIntProd(width) })
+}
+
+func (c *Context) intXor(width int) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("int%d-xor", width), func() (core.Scheme, error) { return core.NewIntXor(width) })
+}
+
+func (c *Context) floatSum(base hfp.Format) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("float%d-sum-g%d", base.Lm, c.opts.Gamma), func() (core.Scheme, error) {
+		return core.NewFloatSum(base, c.opts.Gamma)
+	})
+}
+
+func (c *Context) floatProd(base hfp.Format) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("float%d-prod-g%d", base.Lm, c.opts.Gamma), func() (core.Scheme, error) {
+		return core.NewFloatProd(base, c.opts.Gamma)
+	})
+}
+
+func (c *Context) floatSumV2(base hfp.Format) (core.Scheme, error) {
+	return c.scheme(fmt.Sprintf("float%d-sumv2-g%d", base.Lm, c.opts.Gamma), func() (core.Scheme, error) {
+		return core.NewFloatSumV2(base, c.opts.Gamma)
+	})
+}
+
+func (c *Context) fixedSum() (core.Scheme, error) {
+	return c.scheme("fixed-sum", func() (core.Scheme, error) {
+		codec, err := fixedpoint.NewCodec(64, c.opts.FixedPointFrac)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFixedSum(codec)
+	})
+}
+
+func (c *Context) fixedProd() (core.Scheme, error) {
+	return c.scheme("fixed-prod", func() (core.Scheme, error) {
+		codec, err := fixedpoint.NewCodec(64, c.opts.FixedPointFrac)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFixedProd(codec)
+	})
+}
+
+// HoMACPrime is the modulus of the result-verification field (§5.5).
+const HoMACPrime = ring.MersennePrime61

@@ -1,0 +1,148 @@
+package hear
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hear/internal/keys"
+	"hear/internal/mempool"
+	"hear/internal/mpi"
+	"hear/internal/prf"
+
+	corepkg "hear/internal/core"
+)
+
+// InitOverComm performs HEAR's per-communicator initialization *over the
+// communicator itself*, the way libhear hooks communicator creation
+// (MPI_Init, MPI_Comm_create): every member draws its starting key k_s_i
+// and ships it to its ring predecessor, rank 0 draws and broadcasts the
+// collective secrets (k_c, k_e, k_p) and its own k_s_0. §5 stresses that
+// "the initialization is per communicator, even if some processes are
+// already initialized in a different communicator" — a rank may therefore
+// hold one Context per communicator it belongs to (e.g. after Split).
+//
+// The exchange messages stand in for the secure-environment channel the
+// paper assumes; a deployment would run them through attested TLS between
+// TEEs. It is a collective call: every member of comm must enter it, and
+// entropy is drawn per rank (rng nil means crypto/rand).
+func InitOverComm(comm *mpi.Comm, opts Options, rng io.Reader) (*Context, error) {
+	if comm == nil {
+		return nil, fmt.Errorf("hear: nil communicator")
+	}
+	opts.fill()
+	if opts.PipelineBlockBytes < 0 {
+		return nil, fmt.Errorf("hear: negative pipeline block size %d", opts.PipelineBlockBytes)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	p, r := comm.Size(), comm.Rank()
+
+	// Draw this rank's starting key and exchange with the ring neighbours:
+	// rank i needs k_s_{(i+1) mod P} for the canceling noise term.
+	var kb [8]byte
+	if _, err := io.ReadFull(rng, kb[:]); err != nil {
+		return nil, fmt.Errorf("hear: drawing k_s: %w", err)
+	}
+	selfKey := binary.LittleEndian.Uint64(kb[:])
+
+	const keyTag = 101
+	nextKey := selfKey
+	if p > 1 {
+		if err := comm.Send((r-1+p)%p, keyTag, kb[:]); err != nil {
+			return nil, fmt.Errorf("hear: key exchange send: %w", err)
+		}
+		var nb [8]byte
+		if _, _, err := comm.Recv((r+1)%p, keyTag, nb[:]); err != nil {
+			return nil, fmt.Errorf("hear: key exchange recv: %w", err)
+		}
+		nextKey = binary.LittleEndian.Uint64(nb[:])
+	}
+
+	// Rank 0 broadcasts (k_c, k_e, k_p, k_s_0) inside the secure channel.
+	secrets := make([]byte, 8+keys.KeyBytes+keys.KeyBytes+8)
+	if r == 0 {
+		if _, err := io.ReadFull(rng, secrets[:8+2*keys.KeyBytes]); err != nil {
+			return nil, fmt.Errorf("hear: drawing collective secrets: %w", err)
+		}
+		binary.LittleEndian.PutUint64(secrets[8+2*keys.KeyBytes:], selfKey)
+	}
+	if err := comm.Bcast(0, secrets); err != nil {
+		return nil, fmt.Errorf("hear: secret broadcast: %w", err)
+	}
+	kc := binary.LittleEndian.Uint64(secrets)
+	ke := secrets[8 : 8+keys.KeyBytes]
+	kp := secrets[8+keys.KeyBytes : 8+2*keys.KeyBytes]
+	rootKey := binary.LittleEndian.Uint64(secrets[8+2*keys.KeyBytes:])
+	if r == 0 {
+		rootKey = selfKey
+	}
+
+	enc, err := prf.New(opts.PRFBackend, ke)
+	if err != nil {
+		return nil, fmt.Errorf("hear: constructing F_{k_e}: %w", err)
+	}
+	prog, err := prf.New(opts.PRFBackend, kp)
+	if err != nil {
+		return nil, fmt.Errorf("hear: constructing F_{k_p}: %w", err)
+	}
+	st := keys.NewManual(r, p, selfKey, nextKey, rootKey, kc, enc, prog)
+
+	ctx := &Context{
+		rank:    r,
+		size:    p,
+		st:      st,
+		opts:    opts,
+		schemes: make(map[string]corepkg.Scheme),
+	}
+	if opts.PipelineBlockBytes > 0 {
+		pool, err := mempool.New(opts.PipelineBlockBytes, 3, 0)
+		if err != nil {
+			return nil, fmt.Errorf("hear: init pool: %w", err)
+		}
+		ctx.pool = pool
+	}
+	if opts.EnableP2P {
+		// Rank 0 draws the symmetric pair matrix and distributes rows over
+		// the secure channel (Θ(N) keys per rank, §8).
+		n := p
+		if r == 0 {
+			matrix := make([]byte, n*n*8)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					var pk [8]byte
+					if _, err := io.ReadFull(rng, pk[:]); err != nil {
+						return nil, fmt.Errorf("hear: drawing pair key: %w", err)
+					}
+					copy(matrix[(i*n+j)*8:], pk[:])
+					copy(matrix[(j*n+i)*8:], pk[:])
+				}
+			}
+			row := make([]byte, n*8)
+			const rowTag = 102
+			for i := 1; i < n; i++ {
+				copy(row, matrix[i*n*8:(i+1)*n*8])
+				if err := comm.Send(i, rowTag, row); err != nil {
+					return nil, fmt.Errorf("hear: distributing pair keys: %w", err)
+				}
+			}
+			ctx.pairKeys = make([]uint64, n)
+			for j := 0; j < n; j++ {
+				ctx.pairKeys[j] = binary.LittleEndian.Uint64(matrix[j*8:])
+			}
+		} else {
+			row := make([]byte, n*8)
+			if _, _, err := comm.Recv(0, 102, row); err != nil {
+				return nil, fmt.Errorf("hear: receiving pair keys: %w", err)
+			}
+			ctx.pairKeys = make([]uint64, n)
+			for j := 0; j < n; j++ {
+				ctx.pairKeys[j] = binary.LittleEndian.Uint64(row[j*8:])
+			}
+		}
+		ctx.sendSeq = make([]uint64, n)
+	}
+	return ctx, nil
+}

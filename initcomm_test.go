@@ -1,0 +1,275 @@
+package hear
+
+import (
+	"fmt"
+	"testing"
+
+	"hear/internal/mpi"
+)
+
+// rankSeqReader derives per-rank deterministic entropy: every rank needs a
+// DIFFERENT stream (keys must differ across ranks).
+type rankSeqReader struct {
+	next byte
+}
+
+func newRankReader(rank int) *rankSeqReader { return &rankSeqReader{next: byte(rank*53 + 1)} }
+
+func (r *rankSeqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.next*167 + 29
+		r.next++
+	}
+	return len(p), nil
+}
+
+func TestInitOverCommAllreduce(t *testing.T) {
+	const p = 5
+	w := mpi.NewWorld(p)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx, err := InitOverComm(c, Options{}, newRankReader(c.Rank()))
+		if err != nil {
+			return err
+		}
+		data := []int64{int64(c.Rank() + 1), 100}
+		out := make([]int64, 2)
+		if err := ctx.AllreduceInt64Sum(c, data, out); err != nil {
+			return err
+		}
+		if out[0] != p*(p+1)/2 || out[1] != 100*p {
+			return fmt.Errorf("rank %d: %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitOverCommSingleRank(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx, err := InitOverComm(c, Options{}, newRankReader(0))
+		if err != nil {
+			return err
+		}
+		out := make([]int64, 1)
+		if err := ctx.AllreduceInt64Sum(c, []int64{7}, out); err != nil {
+			return err
+		}
+		if out[0] != 7 {
+			return fmt.Errorf("got %d", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitOverCommP2P(t *testing.T) {
+	const p = 3
+	w := mpi.NewWorld(p)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx, err := InitOverComm(c, Options{EnableP2P: true}, newRankReader(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return ctx.SendEncrypted(c, 2, 9, []byte("via runtime keys"))
+		}
+		if c.Rank() == 2 {
+			buf := make([]byte, 32)
+			n, err := ctx.RecvEncrypted(c, 0, 9, buf)
+			if err != nil {
+				return err
+			}
+			if string(buf[:n]) != "via runtime keys" {
+				return fmt.Errorf("got %q", buf[:n])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §5 property this whole file exists for: a rank already initialized
+// in one communicator re-initializes independently in a sub-communicator,
+// and encrypted collectives work in both with different keys.
+func TestSplitWithPerCommunicatorKeys(t *testing.T) {
+	const p = 6
+	w := mpi.NewWorld(p)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		worldCtx, err := InitOverComm(c, Options{}, newRankReader(c.Rank()))
+		if err != nil {
+			return err
+		}
+		// Split into even/odd sub-communicators.
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		subCtx, err := InitOverComm(sub, Options{}, newRankReader(c.Rank()+100))
+		if err != nil {
+			return err
+		}
+
+		// World-wide encrypted sum.
+		wout := make([]int64, 1)
+		if err := worldCtx.AllreduceInt64Sum(c, []int64{1}, wout); err != nil {
+			return err
+		}
+		if wout[0] != p {
+			return fmt.Errorf("world sum = %d", wout[0])
+		}
+		// Sub-communicator encrypted sum: each half has p/2 members.
+		sout := make([]int64, 1)
+		if err := subCtx.AllreduceInt64Sum(sub, []int64{10}, sout); err != nil {
+			return err
+		}
+		if sout[0] != 10*p/2 {
+			return fmt.Errorf("sub sum = %d", sout[0])
+		}
+		// Interleave: another world-wide call after the sub-communicator
+		// traffic, exercising tag-namespace separation.
+		if err := worldCtx.AllreduceInt64Sum(c, []int64{2}, wout); err != nil {
+			return err
+		}
+		if wout[0] != 2*p {
+			return fmt.Errorf("world sum 2 = %d", wout[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitExcluded(t *testing.T) {
+	const p = 4
+	w := mpi.NewWorld(p)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = mpi.ColorExcluded
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("excluded rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// The remaining three ranks can run collectives.
+		buf := []byte{byte(sub.Rank())}
+		all := make([]byte, 3)
+		return sub.Allgather(buf, all, 1, mpi.Byte)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	const p = 4
+	w := mpi.NewWorld(p)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		// All ranks same color, keys reverse the order.
+		sub, err := c.Split(7, p-c.Rank())
+		if err != nil {
+			return err
+		}
+		wantLocal := p - 1 - c.Rank()
+		if sub.Rank() != wantLocal {
+			return fmt.Errorf("world rank %d got local rank %d, want %d", c.Rank(), sub.Rank(), wantLocal)
+		}
+		g := sub.Group()
+		for i := 0; i < p; i++ {
+			if g[i] != p-1-i {
+				return fmt.Errorf("group = %v", g)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceEncrypted(t *testing.T) {
+	const p = 4
+	w, ctxs := initWorld(t, p, Options{})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		send := []int64{int64(c.Rank() + 1), -5}
+		var recv []int64
+		if c.Rank() == 2 {
+			recv = make([]int64, 2)
+		}
+		if err := ctx.ReduceInt64Sum(c, 2, send, recv); err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if recv[0] != 10 || recv[1] != -20 {
+				return fmt.Errorf("reduce = %v", recv)
+			}
+		}
+		// Floats to a different root.
+		fsend := []float32{1.5}
+		var frecv []float32
+		if c.Rank() == 0 {
+			frecv = make([]float32, 1)
+		}
+		if err := ctx.ReduceFloat32Sum(c, 0, fsend, frecv); err != nil {
+			return err
+		}
+		if c.Rank() == 0 && (frecv[0] < 5.99 || frecv[0] > 6.01) {
+			return fmt.Errorf("float reduce = %v", frecv)
+		}
+		// Products.
+		psend := []uint64{2}
+		var precv []uint64
+		if c.Rank() == 1 {
+			precv = make([]uint64, 1)
+		}
+		if err := ctx.ReduceUint64Prod(c, 1, psend, precv); err != nil {
+			return err
+		}
+		if c.Rank() == 1 && precv[0] != 16 {
+			return fmt.Errorf("prod reduce = %v", precv)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	w, ctxs := initWorld(t, 2, Options{})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		if err := ctx.ReduceInt64Sum(c, 9, []int64{1}, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		if c.Rank() == 0 {
+			if err := ctx.ReduceInt64Sum(c, 0, []int64{1, 2}, make([]int64, 1)); err == nil {
+				return fmt.Errorf("short root recv accepted")
+			}
+		}
+		return nil
+	})
+	// rank 1 may hang waiting if rank 0 errored before the collective —
+	// both error paths return before communicating, so Run completes.
+	if err != nil {
+		t.Fatal(err)
+	}
+}

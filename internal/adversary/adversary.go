@@ -1,0 +1,175 @@
+// Package adversary implements the paper's security evaluations: the
+// maximum-a-posteriori (MAP) plaintext estimator of §5.3.1 that quantifies
+// the statistical edge an adversary gains from HFP's non-uniform mantissa
+// ciphertexts, χ²/monobit uniformity tests applied to ciphertext captures
+// from the INC tap, and the §5.3.5 demonstration that *capping* (instead
+// of ring-wrapping) the exponent leaks plaintext information.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"hear/internal/hfp"
+)
+
+// MAPResult summarizes the MAP attack on the mantissa channel.
+type MAPResult struct {
+	MantissaBits uint
+	// Uniform is the success probability of blind guessing, 1/2^Lm.
+	Uniform float64
+	// Avg, Max, Min are the MAP adversary's success probabilities averaged
+	// (resp. maximized/minimized) over plaintext mantissas.
+	Avg, Max, Min float64
+	// Advantage is Avg/Uniform — the paper's FP32 numbers give ≈ 3.0
+	// (3.57e-7 vs 1.19e-7).
+	Advantage float64
+}
+
+// MAPAttack exhaustively evaluates the MAP estimator for a multiplication
+// format with mantissaBits fraction bits: for every plaintext mantissa x
+// and every noise mantissa f it computes the ciphertext mantissa through
+// the real HFP ⊗, builds the likelihood table, and scores the optimal
+// guesser. Work and memory are Θ(4^mantissaBits); widths beyond ~12 bits
+// are rejected (FP32's 23 bits are obtained by the scale-invariance of the
+// advantage — see ExtrapolateAdvantage and the accompanying test).
+func MAPAttack(mantissaBits uint) (MAPResult, error) {
+	if mantissaBits < 4 || mantissaBits > 12 {
+		return MAPResult{}, fmt.Errorf("adversary: mantissa width %d outside [4, 12] (exhaustive attack)", mantissaBits)
+	}
+	f := hfp.Format{Le: 5, Lm: mantissaBits}.ForMul(0)
+	w := f.FracBits() // == mantissaBits for γ=0 multiplication
+	n := 1 << w
+
+	// counts[c][x]: how many noise mantissas map plaintext x to ciphertext c.
+	counts := make([][]uint32, n)
+	for c := range counts {
+		counts[c] = make([]uint32, n)
+	}
+	for x := 0; x < n; x++ {
+		a := hfp.Value{Frac: uint64(x), W: uint8(w)}
+		for nf := 0; nf < n; nf++ {
+			b := hfp.Value{Frac: uint64(nf), W: uint8(w)}
+			c := f.Mul(a, b)
+			counts[c.Frac][x]++
+		}
+	}
+
+	// MAP guesser: for each ciphertext pick argmax_x counts[c][x]; the
+	// success probability for plaintext x is Σ_{c: guess(c)=x} counts[c][x]/n.
+	successes := make([]float64, n)
+	for c := 0; c < n; c++ {
+		best, bestX := uint32(0), 0
+		for x := 0; x < n; x++ {
+			if counts[c][x] > best {
+				best, bestX = counts[c][x], x
+			}
+		}
+		successes[bestX] += float64(counts[c][bestX]) / float64(n)
+	}
+	res := MAPResult{
+		MantissaBits: mantissaBits,
+		Uniform:      1 / float64(n),
+		Min:          math.Inf(1),
+	}
+	sum := 0.0
+	for _, s := range successes {
+		sum += s
+		if s > res.Max {
+			res.Max = s
+		}
+		if s < res.Min {
+			res.Min = s
+		}
+	}
+	res.Avg = sum / float64(n)
+	res.Advantage = res.Avg / res.Uniform
+	return res, nil
+}
+
+// ExtrapolateAdvantage predicts the MAP success probability for a wide
+// mantissa (e.g. FP32's 23 bits) from the width-invariant advantage ratio:
+// success ≈ advantage / 2^bits. The paper's 3.57e-7 for FP32 corresponds
+// to advantage ≈ 3.0.
+func ExtrapolateAdvantage(advantage float64, mantissaBits uint) float64 {
+	return advantage / math.Ldexp(1, int(mantissaBits))
+}
+
+// ChiSquareBytes returns the χ² statistic of the byte histogram of data
+// against the uniform distribution (255 degrees of freedom). Values beyond
+// ~255 + 6·√510 indicate structure an eavesdropper could exploit.
+func ChiSquareBytes(data []byte) (float64, error) {
+	if len(data) < 256*16 {
+		return 0, fmt.Errorf("adversary: need >= %d bytes for a stable χ², got %d", 256*16, len(data))
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	expected := float64(len(data)) / 256
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, nil
+}
+
+// ChiSquareThreshold is the 6σ acceptance bound for ChiSquareBytes.
+func ChiSquareThreshold() float64 { return 255 + 6*math.Sqrt(2*255) }
+
+// MonobitFraction returns the fraction of one-bits in data (≈ 0.5 for a
+// ciphertext stream with no bias).
+func MonobitFraction(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, b := range data {
+		for x := b; x != 0; x &= x - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(data)*8)
+}
+
+// ExponentLeakage quantifies §5.3.5's point that the exponent must wrap
+// like a ring: it computes the total-variation distance between the
+// ciphertext-exponent distributions of two distinct plaintext exponents,
+// under ring arithmetic and under capping. With the ring the distance is
+// exactly 0 (uniform either way); with a cap the pile-up at the maximum
+// leaks which plaintext was encrypted — the rainbow-table attack surface.
+func ExponentLeakage(ebits uint, e1, e2 int64, capped bool) (float64, error) {
+	if ebits < 2 || ebits > 16 {
+		return 0, fmt.Errorf("adversary: exponent width %d outside [2, 16]", ebits)
+	}
+	n := int64(1) << ebits
+	mask := uint64(n - 1)
+	if e1 == e2 {
+		return 0, fmt.Errorf("adversary: plaintext exponents must differ")
+	}
+	if e1 < 0 || e1 >= n || e2 < 0 || e2 >= n {
+		return 0, fmt.Errorf("adversary: exponents must lie in [0, 2^%d)", ebits)
+	}
+	dist := func(e int64) []float64 {
+		hist := make([]float64, n)
+		for r := int64(0); r < n; r++ { // uniform noise exponent
+			c := uint64(e+r) & mask
+			if capped {
+				if e+r >= n-1 { // saturate instead of wrapping
+					c = uint64(n - 1)
+				} else {
+					c = uint64(e + r)
+				}
+			}
+			hist[c] += 1 / float64(n)
+		}
+		return hist
+	}
+	h1, h2 := dist(e1), dist(e2)
+	tv := 0.0
+	for i := range h1 {
+		tv += math.Abs(h1[i] - h2[i])
+	}
+	return tv / 2, nil
+}

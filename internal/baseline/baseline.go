@@ -1,0 +1,284 @@
+// Package baseline implements the textbook partially-homomorphic schemes
+// HEAR is compared against in Table 1: Paillier (additive), RSA
+// (multiplicative), and ElGamal (multiplicative), all over math/big. They
+// exist so the table's requirement matrix — R1 ciphertext inflation, R3
+// operation complexity — is *measured* on the same machine as HEAR rather
+// than cited. None of these schemes is deployment-hardened (textbook RSA
+// in particular is not even IND-CPA); they are comparators, not products.
+package baseline
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// PHE is a partially homomorphic scheme over uint64 plaintexts.
+type PHE interface {
+	// Name identifies the scheme.
+	Name() string
+	// OpName is the homomorphic operation: "add" or "mul".
+	OpName() string
+	// Encrypt maps a plaintext into a ciphertext.
+	Encrypt(m uint64) (Ciphertext, error)
+	// Decrypt recovers the (aggregated) plaintext. The aggregate must fit
+	// the scheme's message space or the result is reduced mod n — the
+	// bounded-operations weakness R2 penalizes.
+	Decrypt(c Ciphertext) (uint64, bool, error)
+	// Combine applies the homomorphic operation to two ciphertexts.
+	Combine(a, b Ciphertext) Ciphertext
+	// CiphertextBytes is the wire size of one ciphertext.
+	CiphertextBytes() int
+	// InflationFor returns ciphertext bytes per plaintext byte for a
+	// plaintextBits-wide message (Table 1's R1 measure).
+	InflationFor(plaintextBits int) float64
+}
+
+// Ciphertext is an opaque list of group elements.
+type Ciphertext struct {
+	parts []*big.Int
+}
+
+// Bytes returns the serialized size.
+func (c Ciphertext) Bytes(modBytes int) int { return len(c.parts) * modBytes }
+
+// clone deep-copies a ciphertext so Combine never aliases its inputs.
+func clone(x *big.Int) *big.Int { return new(big.Int).Set(x) }
+
+// --- Paillier ---
+
+// Paillier is the additively homomorphic cryptosystem of [72]: ciphertexts
+// live in Z*_{n²}, so even in the best case the ciphertext is 2x the
+// modulus — for 64-bit HPC payloads the inflation is 2·|n|/64, violating
+// R1 by an order of magnitude.
+type Paillier struct {
+	n, n2, g *big.Int
+	lambda   *big.Int
+	mu       *big.Int
+	modBytes int
+}
+
+// NewPaillier generates a key pair with a modulus of 2·primeBits bits.
+func NewPaillier(primeBits int) (*Paillier, error) {
+	if primeBits < 128 || primeBits > 2048 {
+		return nil, fmt.Errorf("baseline: paillier prime size %d outside [128, 2048]", primeBits)
+	}
+	p, err := rand.Prime(rand.Reader, primeBits)
+	if err != nil {
+		return nil, err
+	}
+	q, err := rand.Prime(rand.Reader, primeBits)
+	if err != nil {
+		return nil, err
+	}
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), new(big.Int).GCD(nil, nil, pm1, qm1))
+	g := new(big.Int).Add(n, one) // standard choice g = n+1
+	// mu = (L(g^lambda mod n²))⁻¹ mod n with L(x) = (x−1)/n.
+	glambda := new(big.Int).Exp(g, lambda, n2)
+	l := new(big.Int).Div(new(big.Int).Sub(glambda, one), n)
+	mu := new(big.Int).ModInverse(l, n)
+	if mu == nil {
+		return nil, fmt.Errorf("baseline: paillier key generation failed (non-invertible L)")
+	}
+	return &Paillier{n: n, n2: n2, g: g, lambda: lambda, mu: mu, modBytes: (n2.BitLen() + 7) / 8}, nil
+}
+
+func (p *Paillier) Name() string   { return "paillier" }
+func (p *Paillier) OpName() string { return "add" }
+
+func (p *Paillier) Encrypt(m uint64) (Ciphertext, error) {
+	r, err := rand.Int(rand.Reader, p.n)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	r.Add(r, big.NewInt(1)) // avoid 0
+	// c = g^m · r^n mod n²
+	gm := new(big.Int).Exp(p.g, new(big.Int).SetUint64(m), p.n2)
+	rn := new(big.Int).Exp(r, p.n, p.n2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, p.n2)
+	return Ciphertext{parts: []*big.Int{c}}, nil
+}
+
+func (p *Paillier) Decrypt(c Ciphertext) (uint64, bool, error) {
+	if len(c.parts) != 1 {
+		return 0, false, fmt.Errorf("baseline: malformed paillier ciphertext")
+	}
+	x := new(big.Int).Exp(c.parts[0], p.lambda, p.n2)
+	l := new(big.Int).Div(new(big.Int).Sub(x, big.NewInt(1)), p.n)
+	m := l.Mul(l, p.mu)
+	m.Mod(m, p.n)
+	return m.Uint64(), m.IsUint64(), nil
+}
+
+func (p *Paillier) Combine(a, b Ciphertext) Ciphertext {
+	c := clone(a.parts[0])
+	c.Mul(c, b.parts[0])
+	c.Mod(c, p.n2)
+	return Ciphertext{parts: []*big.Int{c}}
+}
+
+func (p *Paillier) CiphertextBytes() int { return p.modBytes }
+
+func (p *Paillier) InflationFor(plaintextBits int) float64 {
+	return float64(p.modBytes*8) / float64(plaintextBits)
+}
+
+// --- RSA (textbook, multiplicative) ---
+
+// RSA is the multiplicatively homomorphic textbook scheme of [78]:
+// c = m^e mod n, c₁c₂ = (m₁m₂)^e. Deterministic, hence not IND-CPA —
+// listed in Table 1 precisely to show what the requirements exclude.
+type RSA struct {
+	n, e, d  *big.Int
+	modBytes int
+}
+
+// NewRSA generates a key with a modulus of 2·primeBits bits and e = 65537.
+func NewRSA(primeBits int) (*RSA, error) {
+	if primeBits < 128 || primeBits > 2048 {
+		return nil, fmt.Errorf("baseline: rsa prime size %d outside [128, 2048]", primeBits)
+	}
+	e := big.NewInt(65537)
+	for {
+		p, err := rand.Prime(rand.Reader, primeBits)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rand.Reader, primeBits)
+		if err != nil {
+			return nil, err
+		}
+		n := new(big.Int).Mul(p, q)
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, big.NewInt(1)), new(big.Int).Sub(q, big.NewInt(1)))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e not coprime to phi; rare, redraw
+		}
+		return &RSA{n: n, e: e, d: d, modBytes: (n.BitLen() + 7) / 8}, nil
+	}
+}
+
+func (r *RSA) Name() string   { return "rsa" }
+func (r *RSA) OpName() string { return "mul" }
+
+func (r *RSA) Encrypt(m uint64) (Ciphertext, error) {
+	if m == 0 {
+		return Ciphertext{}, fmt.Errorf("baseline: rsa cannot encrypt 0 usefully")
+	}
+	c := new(big.Int).Exp(new(big.Int).SetUint64(m), r.e, r.n)
+	return Ciphertext{parts: []*big.Int{c}}, nil
+}
+
+func (r *RSA) Decrypt(c Ciphertext) (uint64, bool, error) {
+	if len(c.parts) != 1 {
+		return 0, false, fmt.Errorf("baseline: malformed rsa ciphertext")
+	}
+	m := new(big.Int).Exp(c.parts[0], r.d, r.n)
+	return m.Uint64(), m.IsUint64(), nil
+}
+
+func (r *RSA) Combine(a, b Ciphertext) Ciphertext {
+	c := clone(a.parts[0])
+	c.Mul(c, b.parts[0])
+	c.Mod(c, r.n)
+	return Ciphertext{parts: []*big.Int{c}}
+}
+
+func (r *RSA) CiphertextBytes() int { return r.modBytes }
+
+func (r *RSA) InflationFor(plaintextBits int) float64 {
+	return float64(r.modBytes*8) / float64(plaintextBits)
+}
+
+// --- ElGamal (multiplicative) ---
+
+// ElGamal is the multiplicatively homomorphic scheme of [33] over a
+// safe-prime group: c = (g^r, m·h^r). Two group elements per ciphertext —
+// at least 2x inflation on the modulus alone.
+type ElGamal struct {
+	p, g, h, x *big.Int // public p, g, h = g^x; secret x
+	modBytes   int
+}
+
+// NewElGamal generates a key over a bits-wide safe-prime group.
+func NewElGamal(bits int) (*ElGamal, error) {
+	if bits < 256 || bits > 4096 {
+		return nil, fmt.Errorf("baseline: elgamal size %d outside [256, 4096]", bits)
+	}
+	// Safe prime generation is slow for large sizes; acceptable for a
+	// comparator that is constructed once per benchmark run.
+	var p *big.Int
+	for {
+		q, err := rand.Prime(rand.Reader, bits-1)
+		if err != nil {
+			return nil, err
+		}
+		p = new(big.Int).Add(new(big.Int).Lsh(q, 1), big.NewInt(1)) // p = 2q+1
+		if p.ProbablyPrime(20) {
+			break
+		}
+	}
+	g := big.NewInt(4) // quadratic residue, generates the order-q subgroup
+	x, err := rand.Int(rand.Reader, new(big.Int).Sub(p, big.NewInt(2)))
+	if err != nil {
+		return nil, err
+	}
+	x.Add(x, big.NewInt(1))
+	h := new(big.Int).Exp(g, x, p)
+	return &ElGamal{p: p, g: g, h: h, x: x, modBytes: (p.BitLen() + 7) / 8}, nil
+}
+
+func (e *ElGamal) Name() string   { return "elgamal" }
+func (e *ElGamal) OpName() string { return "mul" }
+
+func (e *ElGamal) Encrypt(m uint64) (Ciphertext, error) {
+	if m == 0 {
+		return Ciphertext{}, fmt.Errorf("baseline: elgamal cannot encrypt 0")
+	}
+	r, err := rand.Int(rand.Reader, new(big.Int).Sub(e.p, big.NewInt(2)))
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	r.Add(r, big.NewInt(1))
+	c1 := new(big.Int).Exp(e.g, r, e.p)
+	c2 := new(big.Int).Exp(e.h, r, e.p)
+	c2.Mul(c2, new(big.Int).SetUint64(m))
+	c2.Mod(c2, e.p)
+	return Ciphertext{parts: []*big.Int{c1, c2}}, nil
+}
+
+func (e *ElGamal) Decrypt(c Ciphertext) (uint64, bool, error) {
+	if len(c.parts) != 2 {
+		return 0, false, fmt.Errorf("baseline: malformed elgamal ciphertext")
+	}
+	s := new(big.Int).Exp(c.parts[0], e.x, e.p)
+	sInv := new(big.Int).ModInverse(s, e.p)
+	if sInv == nil {
+		return 0, false, fmt.Errorf("baseline: elgamal shared secret not invertible")
+	}
+	m := sInv.Mul(sInv, c.parts[1])
+	m.Mod(m, e.p)
+	return m.Uint64(), m.IsUint64(), nil
+}
+
+func (e *ElGamal) Combine(a, b Ciphertext) Ciphertext {
+	c1 := clone(a.parts[0])
+	c1.Mul(c1, b.parts[0])
+	c1.Mod(c1, e.p)
+	c2 := clone(a.parts[1])
+	c2.Mul(c2, b.parts[1])
+	c2.Mod(c2, e.p)
+	return Ciphertext{parts: []*big.Int{c1, c2}}
+}
+
+func (e *ElGamal) CiphertextBytes() int { return 2 * e.modBytes }
+
+func (e *ElGamal) InflationFor(plaintextBits int) float64 {
+	return float64(2*e.modBytes*8) / float64(plaintextBits)
+}

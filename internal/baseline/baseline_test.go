@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"testing"
+)
+
+// Small key sizes keep the suite fast; correctness is size-independent.
+const testPrimeBits = 256
+
+func TestPaillierRoundTrip(t *testing.T) {
+	p, err := NewPaillier(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []uint64{0, 1, 42, 1 << 40, ^uint64(0)} {
+		c, err := p.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := p.Decrypt(c)
+		if err != nil || !ok || got != m {
+			t.Fatalf("round trip %d -> %d (%v, %v)", m, got, ok, err)
+		}
+	}
+}
+
+func TestPaillierHomomorphicAdd(t *testing.T) {
+	p, err := NewPaillier(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{7, 100, 9999, 1 << 30}
+	var agg Ciphertext
+	var want uint64
+	for i, m := range vals {
+		c, err := p.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += m
+		if i == 0 {
+			agg = c
+		} else {
+			agg = p.Combine(agg, c)
+		}
+	}
+	got, ok, err := p.Decrypt(agg)
+	if err != nil || !ok || got != want {
+		t.Fatalf("homomorphic sum = %d, want %d", got, want)
+	}
+}
+
+func TestPaillierProbabilistic(t *testing.T) {
+	p, err := NewPaillier(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Encrypt(5)
+	b, _ := p.Encrypt(5)
+	if a.parts[0].Cmp(b.parts[0]) == 0 {
+		t.Error("identical ciphertexts for equal plaintexts: not semantically secure")
+	}
+}
+
+func TestRSARoundTripAndHomomorphicMul(t *testing.T) {
+	r, err := NewRSA(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Encrypt(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Encrypt(4567)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.Decrypt(r.Combine(a, b))
+	if err != nil || !ok || got != 123*4567 {
+		t.Fatalf("homomorphic product = %d, want %d", got, 123*4567)
+	}
+	if _, err := r.Encrypt(0); err == nil {
+		t.Error("RSA accepted 0")
+	}
+}
+
+func TestRSADeterminismDocumented(t *testing.T) {
+	// Textbook RSA is deterministic — the property that fails IND-CPA and
+	// keeps it out of Table 1's acceptable schemes.
+	r, err := NewRSA(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Encrypt(99)
+	b, _ := r.Encrypt(99)
+	if a.parts[0].Cmp(b.parts[0]) != 0 {
+		t.Error("textbook RSA should be deterministic")
+	}
+}
+
+func TestElGamalRoundTripAndHomomorphicMul(t *testing.T) {
+	e, err := NewElGamal(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Encrypt(321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Encrypt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := e.Decrypt(e.Combine(a, b))
+	if err != nil || !ok || got != 321000 {
+		t.Fatalf("homomorphic product = %d (%v, %v), want 321000", got, ok, err)
+	}
+	if _, err := e.Encrypt(0); err == nil {
+		t.Error("ElGamal accepted 0")
+	}
+}
+
+// Table 1's R1: every baseline violates the 2x inflation budget for 64-bit
+// payloads, while HEAR's integer schemes sit at exactly 1x.
+func TestInflationViolatesR1(t *testing.T) {
+	p, err := NewPaillier(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRSA(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewElGamal(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []PHE{p, r, e} {
+		if infl := s.InflationFor(64); infl <= 2 {
+			t.Errorf("%s: inflation %.1fx unexpectedly satisfies R1 at toy key sizes", s.Name(), infl)
+		}
+	}
+}
+
+func TestKeySizeValidation(t *testing.T) {
+	if _, err := NewPaillier(16); err == nil {
+		t.Error("tiny paillier key accepted")
+	}
+	if _, err := NewRSA(10000); err == nil {
+		t.Error("huge rsa key accepted")
+	}
+	if _, err := NewElGamal(64); err == nil {
+		t.Error("tiny elgamal group accepted")
+	}
+}
+
+func TestMalformedCiphertexts(t *testing.T) {
+	p, err := NewPaillier(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Decrypt(Ciphertext{}); err == nil {
+		t.Error("empty paillier ciphertext accepted")
+	}
+	r, err := NewRSA(testPrimeBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Decrypt(Ciphertext{}); err == nil {
+		t.Error("empty rsa ciphertext accepted")
+	}
+	e, err := NewElGamal(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Decrypt(Ciphertext{}); err == nil {
+		t.Error("empty elgamal ciphertext accepted")
+	}
+}
+
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	p, err := NewPaillier(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Encrypt(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSAEncrypt(b *testing.B) {
+	r, err := NewRSA(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Encrypt(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElGamalEncrypt(b *testing.B) {
+	e, err := NewElGamal(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Encrypt(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,827 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hear/internal/fixedpoint"
+	"hear/internal/hfp"
+	"hear/internal/keys"
+)
+
+// seqReader gives deterministic key material.
+type seqReader struct{ next byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.next * 37
+		r.next++
+	}
+	return len(p), nil
+}
+
+func genStates(t testing.TB, p int) []*keys.RankState {
+	t.Helper()
+	states, err := keys.Generate(p, keys.Config{Rand: &seqReader{next: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// runAllreduce simulates the full HEAR pipeline: every rank advances k_c,
+// encrypts its plaintext, the network reduces ciphertexts in rank order,
+// and every rank decrypts the aggregate. It returns each rank's decrypted
+// plaintext buffer.
+func runAllreduce(t testing.TB, states []*keys.RankState, schemes []Scheme, plains [][]byte, n int) [][]byte {
+	t.Helper()
+	p := len(states)
+	cs := schemes[0].CipherSize()
+	ciphers := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		ciphers[i] = make([]byte, n*cs)
+		if err := schemes[i].Encrypt(states[i], plains[i], ciphers[i], n); err != nil {
+			t.Fatalf("rank %d encrypt: %v", i, err)
+		}
+	}
+	agg := make([]byte, n*cs)
+	copy(agg, ciphers[0])
+	for i := 1; i < p; i++ {
+		schemes[0].Reduce(agg, ciphers[i], n)
+	}
+	outs := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		outs[i] = make([]byte, n*schemes[i].PlainSize())
+		if err := schemes[i].Decrypt(states[i], agg, outs[i], n); err != nil {
+			t.Fatalf("rank %d decrypt: %v", i, err)
+		}
+	}
+	return outs
+}
+
+func loadWord(buf []byte, j, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(buf[j*size+i]) << (8 * uint(i))
+	}
+	return v
+}
+
+func storeWord(buf []byte, j, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		buf[j*size+i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+func u32buf(vals []uint32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], v)
+	}
+	return b
+}
+
+func u64buf(vals []uint64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+func f32buf(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}
+
+func f64buf(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+func TestIntSumRoundTripExact(t *testing.T) {
+	for _, width := range []int{8, 16, 32, 64} {
+		for _, p := range []int{1, 2, 3, 8, 17} {
+			states := genStates(t, p)
+			schemes := make([]Scheme, p)
+			for i := range schemes {
+				s, err := NewIntSum(width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				schemes[i] = s
+			}
+			const n = 100
+			rng := rand.New(rand.NewSource(int64(width*100 + p)))
+			plains := make([][]byte, p)
+			want := make([]uint64, n)
+			for i := 0; i < p; i++ {
+				vals := make([]uint64, n)
+				plains[i] = make([]byte, n*width/8)
+				for j := range vals {
+					vals[j] = rng.Uint64()
+					want[j] += vals[j] // wrapping, as the lossless scheme requires
+					storeWord(plains[i], j, width/8, vals[j])
+				}
+			}
+			outs := runAllreduce(t, states, schemes, plains, n)
+			mask := ^uint64(0)
+			if width < 64 {
+				mask = (uint64(1) << width) - 1
+			}
+			for i := 0; i < p; i++ {
+				for j := 0; j < n; j++ {
+					got := loadWord(outs[i], j, width/8)
+					if got != want[j]&mask {
+						t.Fatalf("w%d p%d rank %d elem %d: got %d, want %d", width, p, i, j, got, want[j]&mask)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntProdRoundTripExact(t *testing.T) {
+	for _, width := range []int{32, 64} {
+		for _, p := range []int{1, 2, 5, 9} {
+			states := genStates(t, p)
+			schemes := make([]Scheme, p)
+			for i := range schemes {
+				s, err := NewIntProd(width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				schemes[i] = s
+			}
+			const n = 64
+			rng := rand.New(rand.NewSource(int64(width + p)))
+			plains := make([][]byte, p)
+			want := make([]uint64, n)
+			for j := range want {
+				want[j] = 1
+			}
+			for i := 0; i < p; i++ {
+				vals := make([]uint64, n)
+				for j := range vals {
+					vals[j] = rng.Uint64()
+					if j%3 == 0 {
+						vals[j] |= 1 // mix odd and even plaintexts
+					}
+					want[j] *= vals[j]
+				}
+				if width == 32 {
+					v32 := make([]uint32, n)
+					for j := range vals {
+						v32[j] = uint32(vals[j])
+					}
+					plains[i] = u32buf(v32)
+				} else {
+					plains[i] = u64buf(vals)
+				}
+			}
+			outs := runAllreduce(t, states, schemes, plains, n)
+			for j := 0; j < n; j++ {
+				var got uint64
+				if width == 32 {
+					got = uint64(binary.LittleEndian.Uint32(outs[0][j*4:]))
+					if got != uint64(uint32(want[j])) {
+						t.Fatalf("w%d p%d elem %d: got %d, want %d", width, p, j, got, uint32(want[j]))
+					}
+				} else {
+					got = binary.LittleEndian.Uint64(outs[0][j*8:])
+					if got != want[j] {
+						t.Fatalf("w%d p%d elem %d: got %d, want %d", width, p, j, got, want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntXorRoundTripExact(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 11} {
+		states := genStates(t, p)
+		schemes := make([]Scheme, p)
+		for i := range schemes {
+			s, err := NewIntXor(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schemes[i] = s
+		}
+		const n = 50
+		rng := rand.New(rand.NewSource(int64(p)))
+		plains := make([][]byte, p)
+		want := make([]uint64, n)
+		for i := 0; i < p; i++ {
+			vals := make([]uint64, n)
+			for j := range vals {
+				vals[j] = rng.Uint64()
+				want[j] ^= vals[j]
+			}
+			plains[i] = u64buf(vals)
+		}
+		outs := runAllreduce(t, states, schemes, plains, n)
+		for j := 0; j < n; j++ {
+			if got := binary.LittleEndian.Uint64(outs[p-1][j*8:]); got != want[j] {
+				t.Fatalf("p%d elem %d: got %#x, want %#x", p, j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestNaiveIntSumMatchesCanceling(t *testing.T) {
+	const p, n = 5, 40
+	states := genStates(t, p)
+	starting := make([]uint64, p)
+	for i, s := range states {
+		starting[i] = s.SelfKey
+	}
+	naive := make([]Scheme, p)
+	for i := range naive {
+		s, err := NewNaiveIntSum(64, starting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive[i] = s
+	}
+	rng := rand.New(rand.NewSource(9))
+	plains := make([][]byte, p)
+	want := make([]uint64, n)
+	for i := 0; i < p; i++ {
+		vals := make([]uint64, n)
+		for j := range vals {
+			vals[j] = rng.Uint64()
+			want[j] += vals[j]
+		}
+		plains[i] = u64buf(vals)
+	}
+	outs := runAllreduce(t, states, naive, plains, n)
+	for j := 0; j < n; j++ {
+		if got := binary.LittleEndian.Uint64(outs[2][j*8:]); got != want[j] {
+			t.Fatalf("elem %d: got %d, want %d", j, got, want[j])
+		}
+	}
+}
+
+func TestFloatSumV1Accuracy(t *testing.T) {
+	for _, base := range []hfp.Format{hfp.FP32, hfp.FP64} {
+		for gamma := uint(0); gamma <= 2; gamma++ {
+			p := 8
+			states := genStates(t, p)
+			schemes := make([]Scheme, p)
+			for i := range schemes {
+				s, err := NewFloatSum(base, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				schemes[i] = s
+			}
+			const n = 32
+			rng := rand.New(rand.NewSource(int64(gamma)))
+			plains := make([][]byte, p)
+			want := make([]float64, n)
+			for i := 0; i < p; i++ {
+				vals := make([]float64, n)
+				for j := range vals {
+					vals[j] = (rng.Float64() + 0.1) * math.Ldexp(1, rng.Intn(8)-4)
+					want[j] += vals[j]
+				}
+				if base.Lm > 23 {
+					plains[i] = f64buf(vals)
+				} else {
+					v32 := make([]float32, n)
+					for j := range vals {
+						v32[j] = float32(vals[j])
+					}
+					plains[i] = f32buf(v32)
+					// recompute want in float32 input precision
+				}
+			}
+			if base.Lm <= 23 {
+				for j := range want {
+					want[j] = 0
+					for i := 0; i < p; i++ {
+						want[j] += float64(math.Float32frombits(binary.LittleEndian.Uint32(plains[i][j*4:])))
+					}
+				}
+			}
+			outs := runAllreduce(t, states, schemes, plains, n)
+			f := schemes[0].(*FloatSum).Format()
+			tol := float64(4*p) * math.Ldexp(1, -int(f.FracBits()))
+			for j := 0; j < n; j++ {
+				var got float64
+				if base.Lm > 23 {
+					got = math.Float64frombits(binary.LittleEndian.Uint64(outs[0][j*8:]))
+				} else {
+					got = float64(math.Float32frombits(binary.LittleEndian.Uint32(outs[0][j*4:])))
+				}
+				if math.Abs(got-want[j])/math.Abs(want[j]) > tol {
+					t.Fatalf("%v γ=%d elem %d: got %g, want %g", base, gamma, j, got, want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestFloatProdAccuracy(t *testing.T) {
+	for _, base := range []hfp.Format{hfp.FP32, hfp.FP64} {
+		p := 6
+		states := genStates(t, p)
+		schemes := make([]Scheme, p)
+		for i := range schemes {
+			s, err := NewFloatProd(base, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schemes[i] = s
+		}
+		const n = 32
+		rng := rand.New(rand.NewSource(5))
+		plains := make([][]byte, p)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = 1
+		}
+		for i := 0; i < p; i++ {
+			vals := make([]float64, n)
+			for j := range vals {
+				vals[j] = rng.Float64() + 0.5
+				if rng.Intn(2) == 0 {
+					vals[j] = -vals[j]
+				}
+			}
+			if base.Lm > 23 {
+				plains[i] = f64buf(vals)
+				for j := range vals {
+					want[j] *= vals[j]
+				}
+			} else {
+				v32 := make([]float32, n)
+				for j := range vals {
+					v32[j] = float32(vals[j])
+					want[j] *= float64(v32[j])
+				}
+				plains[i] = f32buf(v32)
+			}
+		}
+		outs := runAllreduce(t, states, schemes, plains, n)
+		f := schemes[0].(*FloatProd).Format()
+		tol := float64(8*p) * math.Ldexp(1, -int(f.FracBits()))
+		for j := 0; j < n; j++ {
+			var got float64
+			if base.Lm > 23 {
+				got = math.Float64frombits(binary.LittleEndian.Uint64(outs[1][j*8:]))
+			} else {
+				got = float64(math.Float32frombits(binary.LittleEndian.Uint32(outs[1][j*4:])))
+			}
+			if math.Abs(got-want[j])/math.Abs(want[j]) > tol {
+				t.Fatalf("%v elem %d: got %g, want %g", base, j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestFloatSumV2Accuracy(t *testing.T) {
+	p := 8
+	states := genStates(t, p)
+	schemes := make([]Scheme, p)
+	for i := range schemes {
+		s, err := NewFloatSumV2(hfp.FP64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	const n = 16
+	rng := rand.New(rand.NewSource(6))
+	plains := make([][]byte, p)
+	want := make([]float64, n)
+	for i := 0; i < p; i++ {
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = rng.Float64()*2 - 1 // normalized-weight-like range
+			want[j] += vals[j]
+		}
+		plains[i] = f64buf(vals)
+	}
+	outs := runAllreduce(t, states, schemes, plains, n)
+	// The log decode turns relative error into absolute error ("medium").
+	tol := float64(16*p) * math.Ldexp(1, -52)
+	for j := 0; j < n; j++ {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(outs[0][j*8:]))
+		if math.Abs(got-want[j]) > tol {
+			t.Fatalf("elem %d: got %g, want %g (abs err %g)", j, got, want[j], math.Abs(got-want[j]))
+		}
+	}
+}
+
+func TestFloatSumV2RejectsOutOfRange(t *testing.T) {
+	s, err := NewFloatSumV2(hfp.FP64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxSum() < 700 || s.MaxSum() > 720 {
+		t.Errorf("FP64 MaxSum = %g, want ~709", s.MaxSum())
+	}
+	states := genStates(t, 2)
+	plain := f64buf([]float64{800}) // e^800 overflows float64
+	cipher := make([]byte, s.CipherSize())
+	if err := s.Encrypt(states[0], plain, cipher, 1); err == nil {
+		t.Error("e^800 accepted")
+	}
+}
+
+func TestFixedSumRoundTrip(t *testing.T) {
+	codec, err := fixedpoint.NewCodec(64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 5
+	states := genStates(t, p)
+	schemes := make([]Scheme, p)
+	for i := range schemes {
+		s, err := NewFixedSum(codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	const n = 20
+	rng := rand.New(rand.NewSource(8))
+	plains := make([][]byte, p)
+	want := make([]float64, n)
+	for i := 0; i < p; i++ {
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = math.RoundToEven(rng.Float64()*1000*codec.Scale()) / codec.Scale() // on-grid
+			want[j] += vals[j]
+		}
+		plains[i] = f64buf(vals)
+	}
+	outs := runAllreduce(t, states, schemes, plains, n)
+	for j := 0; j < n; j++ {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(outs[0][j*8:]))
+		if got != want[j] {
+			t.Fatalf("elem %d: got %g, want %g", j, got, want[j])
+		}
+	}
+}
+
+func TestFixedProdRescalesByP(t *testing.T) {
+	codec, err := fixedpoint.NewCodec(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 3
+	states := genStates(t, p)
+	schemes := make([]Scheme, p)
+	for i := range schemes {
+		s, err := NewFixedProd(codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	// 2.5 × 4 × 1.5 = 15, all exactly on the 2^-8 grid.
+	plains := [][]byte{f64buf([]float64{2.5}), f64buf([]float64{4}), f64buf([]float64{1.5})}
+	outs := runAllreduce(t, states, schemes, plains, 1)
+	got := math.Float64frombits(binary.LittleEndian.Uint64(outs[0]))
+	if got != 15 {
+		t.Fatalf("fixed prod = %g, want 15", got)
+	}
+}
+
+func TestParitySum(t *testing.T) {
+	p := 4
+	states := genStates(t, p)
+	schemes := make([]Scheme, p)
+	for i := range schemes {
+		s, err := NewParitySum(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	// ranks contribute 10, 3, 7, 1 → 10 − 3 + 7 − 1 = 13
+	plains := [][]byte{
+		u64buf([]uint64{10}), u64buf([]uint64{3}), u64buf([]uint64{7}), u64buf([]uint64{1}),
+	}
+	outs := runAllreduce(t, states, schemes, plains, 1)
+	if got := binary.LittleEndian.Uint64(outs[0]); got != 13 {
+		t.Fatalf("parity sum = %d, want 13", got)
+	}
+}
+
+func TestBoolCodecOrAnd(t *testing.T) {
+	p := 5
+	states := genStates(t, p)
+	schemes := make([]Scheme, p)
+	for i := range schemes {
+		s, err := NewIntSum(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = s
+	}
+	bc := BoolCodec{P: p}
+	// element 0: all true; element 1: all false; element 2: mixed.
+	inputs := [][]bool{
+		{true, false, true},
+		{true, false, false},
+		{true, false, true},
+		{true, false, false},
+		{true, false, false},
+	}
+	plains := make([][]byte, p)
+	for i := range plains {
+		plains[i] = make([]byte, 4*3)
+		if err := bc.EncodeBools(inputs[i], plains[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs := runAllreduce(t, states, schemes, plains, 3)
+	or := make([]bool, 3)
+	and := make([]bool, 3)
+	if err := bc.DecodeOr(outs[0], or); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.DecodeAnd(outs[0], and); err != nil {
+		t.Fatal(err)
+	}
+	if !or[0] || or[1] || !or[2] {
+		t.Errorf("OR = %v, want [true false true]", or)
+	}
+	if !and[0] || and[1] || and[2] {
+		t.Errorf("AND = %v, want [true false false]", and)
+	}
+	if bc.CounterBits() != 3 {
+		t.Errorf("CounterBits(P=5) = %d, want 3", bc.CounterBits())
+	}
+}
+
+// Temporal safety: the same plaintext encrypts differently across
+// consecutive Allreduce calls because k_c advances.
+func TestTemporalSafety(t *testing.T) {
+	states := genStates(t, 2)
+	s, err := NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := u64buf([]uint64{42, 42, 42})
+	c1 := make([]byte, len(plain))
+	c2 := make([]byte, len(plain))
+	states[0].Advance()
+	if err := s.Encrypt(states[0], plain, c1, 3); err != nil {
+		t.Fatal(err)
+	}
+	states[0].Advance()
+	if err := s.Encrypt(states[0], plain, c2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1, c2) {
+		t.Error("identical ciphertexts across calls: no temporal safety")
+	}
+}
+
+// Local safety: equal plaintexts at different vector positions encrypt
+// differently within one call.
+func TestLocalSafety(t *testing.T) {
+	states := genStates(t, 2)
+	for _, mk := range []func() (Scheme, error){
+		func() (Scheme, error) { return NewIntSum(64) },
+		func() (Scheme, error) { return NewIntXor(64) },
+		func() (Scheme, error) { return NewFloatSum(hfp.FP32, 0) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain []byte
+		if strings.Contains(s.Name(), "float") {
+			plain = f32buf([]float32{1.5, 1.5})
+		} else {
+			plain = u64buf([]uint64{7, 7})
+		}
+		cipher := make([]byte, 2*s.CipherSize())
+		states[0].Advance()
+		if err := s.Encrypt(states[0], plain, cipher, 2); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(cipher[:s.CipherSize()], cipher[s.CipherSize():]) {
+			t.Errorf("%s: equal ciphertexts at different positions: no local safety", s.Name())
+		}
+	}
+}
+
+// Global safety: equal plaintexts on different ranks encrypt differently
+// for the per-rank-noise schemes — and identically (!) for the v1 float
+// addition scheme, which §5.3.3 documents as lacking global safety.
+func TestGlobalSafetyByScheme(t *testing.T) {
+	states := genStates(t, 3)
+	sum0, _ := NewIntSum(64)
+	sum1, _ := NewIntSum(64)
+	plain := u64buf([]uint64{1234})
+	ca := make([]byte, 8)
+	cb := make([]byte, 8)
+	states[0].Advance()
+	states[1].Advance()
+	if err := sum0.Encrypt(states[0], plain, ca, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum1.Encrypt(states[1], plain, cb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, cb) {
+		t.Error("int-sum: equal ciphertexts across ranks: no global safety")
+	}
+
+	// v1 float addition: SAME noise on all ranks → identical ciphertexts.
+	fs0, _ := NewFloatSum(hfp.FP32, 0)
+	fs1, _ := NewFloatSum(hfp.FP32, 0)
+	fplain := f32buf([]float32{2.75})
+	fa := make([]byte, fs0.CipherSize())
+	fb := make([]byte, fs1.CipherSize())
+	if err := fs0.Encrypt(states[0], fplain, fa, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Encrypt(states[1], fplain, fb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) {
+		t.Error("float-sum-v1 ciphertexts differ across ranks; expected identical (documented lack of global safety)")
+	}
+
+	// v2 float addition restores global safety via per-rank noise.
+	v20, _ := NewFloatSumV2(hfp.FP32, 0)
+	v21, _ := NewFloatSumV2(hfp.FP32, 0)
+	va := make([]byte, v20.CipherSize())
+	vb := make([]byte, v21.CipherSize())
+	if err := v20.Encrypt(states[0], f32buf([]float32{0.5}), va, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v21.Encrypt(states[1], f32buf([]float32{0.5}), vb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(va, vb) {
+		t.Error("float-sum-v2: equal ciphertexts across ranks: no global safety")
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	states := genStates(t, 2)
+	s, _ := NewIntSum(64)
+	plain := u64buf([]uint64{0xDEADBEEF, 0, ^uint64(0)})
+	cipher := make([]byte, len(plain))
+	states[0].Advance()
+	if err := s.Encrypt(states[0], plain, cipher, 3); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain, cipher) {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestSchemeErrorPaths(t *testing.T) {
+	states := genStates(t, 2)
+	s, _ := NewIntSum(32)
+	small := make([]byte, 4)
+	if err := s.Encrypt(states[0], small, small, 2); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := s.Encrypt(states[0], small, small, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	fs, _ := NewFloatSum(hfp.FP32, 0)
+	nan := f32buf([]float32{float32(math.NaN())})
+	cipher := make([]byte, fs.CipherSize())
+	if err := fs.Encrypt(states[0], nan, cipher, 1); err == nil {
+		t.Error("NaN accepted by float scheme")
+	}
+	if _, err := NewIntSum(12); err == nil {
+		t.Error("width 12 accepted")
+	}
+	if _, err := NewIntProd(7); err == nil {
+		t.Error("width 7 accepted")
+	}
+	if _, err := NewIntXor(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewNaiveIntSum(64, nil); err == nil {
+		t.Error("naive scheme with no keys accepted")
+	}
+}
+
+// Zero ciphertext inflation for integer schemes (requirement R1).
+func TestIntegerSchemesHaveZeroInflation(t *testing.T) {
+	for _, mk := range []func() (Scheme, error){
+		func() (Scheme, error) { return NewIntSum(32) },
+		func() (Scheme, error) { return NewIntSum(64) },
+		func() (Scheme, error) { return NewIntProd(64) },
+		func() (Scheme, error) { return NewIntXor(32) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CipherSize() != s.PlainSize() {
+			t.Errorf("%s: inflation %d -> %d bytes", s.Name(), s.PlainSize(), s.CipherSize())
+		}
+	}
+}
+
+// Float inflation is exactly γ bits (§5.3.1).
+func TestFloatInflationIsGammaBits(t *testing.T) {
+	for gamma := uint(0); gamma <= 3; gamma++ {
+		s, err := NewFloatSum(hfp.FP32, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := s.Format()
+		if f.CipherBits() != 32+gamma {
+			t.Errorf("γ=%d: cipher bits %d, want %d", gamma, f.CipherBits(), 32+gamma)
+		}
+	}
+}
+
+// Table 3's integer worked examples, verified against the scheme equations
+// on the 4-bit ring the paper uses (the byte-oriented schemes cover 32/64
+// bits; this test pins the published example arithmetic itself).
+func TestTable3IntegerExamples(t *testing.T) {
+	const mod = 16
+	// MPI_SUM: x1=[1,5], x2=[3,8]; noise r1=[2,1], r2=[1,7].
+	x1, x2 := []uint64{1, 5}, []uint64{3, 8}
+	r1, r2 := []uint64{2, 1}, []uint64{1, 7}
+	c1 := []uint64{(x1[0] + r1[0] - r2[0]) % mod, (x1[1] + r1[1] - r2[1] + mod) % mod}
+	c2 := []uint64{(x2[0] + r2[0]) % mod, (x2[1] + r2[1]) % mod}
+	if c1[0] != 2 || c1[1] != 15 {
+		t.Errorf("SUM rank1 encrypted = %v, want [2 15]", c1)
+	}
+	if c2[0] != 4 || c2[1] != 15 {
+		t.Errorf("SUM rank2 encrypted = %v, want [4 15]", c2)
+	}
+	red := []uint64{(c1[0] + c2[0]) % mod, (c1[1] + c2[1]) % mod}
+	if red[0] != 6 || red[1] != 14 {
+		t.Errorf("SUM reduced = %v, want [6 14]", red)
+	}
+	dec := []uint64{(red[0] - r1[0] + mod) % mod, (red[1] - r1[1] + mod) % mod}
+	if dec[0] != 4 || dec[1] != 13 {
+		t.Errorf("SUM decrypted = %v, want [4 13]", dec)
+	}
+
+	// MPI_PROD: x1=[2,4], x2=[7,2]; noise exponents e1=[1,2], e2=[1,0]; g=3.
+	pow := func(e uint64) uint64 {
+		v := uint64(1)
+		for i := uint64(0); i < e; i++ {
+			v = v * 3 % mod
+		}
+		return v
+	}
+	inv := map[uint64]uint64{1: 1, 3: 11, 9: 9, 11: 3} // inverses mod 16 in <3>
+	p1 := []uint64{2 * pow(1) % mod * inv[pow(1)] % mod, 4 * pow(2) % mod * inv[pow(0)] % mod}
+	p2 := []uint64{7 * pow(1) % mod, 2 * pow(0) % mod}
+	if p1[0] != 2 || p1[1] != 4 {
+		t.Errorf("PROD rank1 encrypted = %v, want [2 4]", p1)
+	}
+	if p2[0] != 5 || p2[1] != 2 {
+		t.Errorf("PROD rank2 encrypted = %v, want [5 2]", p2)
+	}
+	pred := []uint64{p1[0] * p2[0] % mod, p1[1] * p2[1] % mod}
+	if pred[0] != 10 || pred[1] != 8 {
+		t.Errorf("PROD reduced = %v, want [10 8]", pred)
+	}
+	pdec := []uint64{pred[0] * inv[pow(1)] % mod, pred[1] * inv[pow(2)] % mod}
+	if pdec[0] != 14 || pdec[1] != 8 {
+		t.Errorf("PROD decrypted = %v, want [14 8]", pdec)
+	}
+
+	// MPI_BXOR: x1=0011, x2=0010; noise n1=0101, n2=1001.
+	bx1, bx2 := uint64(0b0011), uint64(0b0010)
+	bn1, bn2 := uint64(0b0101), uint64(0b1001)
+	bc1 := bx1 ^ bn1 ^ bn2
+	bc2 := bx2 ^ bn2
+	if bc1 != 0b1111 {
+		t.Errorf("XOR rank1 encrypted = %04b, want 1111", bc1)
+	}
+	if bc2 != 0b1011 {
+		t.Errorf("XOR rank2 encrypted = %04b, want 1011", bc2)
+	}
+	bred := bc1 ^ bc2
+	if bred != 0b0100 {
+		t.Errorf("XOR reduced = %04b, want 0100", bred)
+	}
+	if bdec := bred ^ bn1; bdec != 0b0001 {
+		t.Errorf("XOR decrypted = %04b, want 0001", bdec)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hear/internal/keys"
+)
+
+// This file implements the derived operations of §5.4: logical OR/AND via
+// counting (with the documented O(log₂P) ciphertext growth), and the
+// rank-parity add/subtract mix the paper gives as an example of combining
+// supported operation modes. Min/max and arbitrary user functions are
+// deliberately absent — §5.4 explains they are insecure in the network.
+
+// ErrNotBool is returned when a logical input is not 0 or 1.
+var ErrNotBool = errors.New("core: logical inputs must be 0 or 1")
+
+// BoolCodec maps logical vectors onto the integer SUM scheme: OR and AND
+// have no inverse, so they cannot be encrypted directly (§5.4); instead
+// each rank contributes 0/1 and the decrypted count c ∈ [0, P] decodes as
+//
+//	c == 0 → OR = false, AND = false
+//	c == P → OR = true,  AND = true
+//	else   → OR = true,  AND = false
+//
+// The counter needs ⌈log₂(P+1)⌉ bits per element instead of 1 — the
+// bandwidth growth the paper quantifies as O(log₂ P).
+type BoolCodec struct{ P int }
+
+// EncodeBools writes one uint32 word (0 or 1) per logical into dst.
+func (b BoolCodec) EncodeBools(vals []bool, dst []byte) error {
+	if len(dst) < 4*len(vals) {
+		return fmt.Errorf("core: bool encode: buffer %d B < %d", len(dst), 4*len(vals))
+	}
+	w := intWire{size: 4}
+	for j, v := range vals {
+		var x uint64
+		if v {
+			x = 1
+		}
+		w.store(dst, j, x)
+	}
+	return nil
+}
+
+// DecodeOr decodes the aggregated counts into ORs.
+func (b BoolCodec) DecodeOr(counts []byte, out []bool) error {
+	w := intWire{size: 4}
+	for j := range out {
+		c := w.load(counts, j)
+		if c > uint64(b.P) {
+			return fmt.Errorf("core: bool decode: count %d > P=%d", c, b.P)
+		}
+		out[j] = c > 0
+	}
+	return nil
+}
+
+// DecodeAnd decodes the aggregated counts into ANDs.
+func (b BoolCodec) DecodeAnd(counts []byte, out []bool) error {
+	w := intWire{size: 4}
+	for j := range out {
+		c := w.load(counts, j)
+		if c > uint64(b.P) {
+			return fmt.Errorf("core: bool decode: count %d > P=%d", c, b.P)
+		}
+		out[j] = c == uint64(b.P)
+	}
+	return nil
+}
+
+// CounterBits returns the per-element ciphertext growth in bits relative
+// to a 1-bit logical: ⌈log₂(P+1)⌉.
+func (b BoolCodec) CounterBits() int {
+	bits := 0
+	for c := b.P; c > 0; c >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// ParitySum wraps the integer SUM scheme so that even ranks add their data
+// and odd ranks subtract it — §5.4's example of a user-specified function
+// built from one operation type. The negation happens inside the secure
+// environment before encryption; the network still only ever executes the
+// additive reduce.
+type ParitySum struct {
+	inner   *IntSum
+	scratch []byte
+}
+
+// NewParitySum builds the scheme for 32- or 64-bit integers.
+func NewParitySum(widthBits int) (*ParitySum, error) {
+	inner, err := NewIntSum(widthBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: parity-sum: %w", err)
+	}
+	return &ParitySum{inner: inner}, nil
+}
+
+func (s *ParitySum) Name() string    { return "parity-" + s.inner.Name() }
+func (s *ParitySum) PlainSize() int  { return s.inner.PlainSize() }
+func (s *ParitySum) CipherSize() int { return s.inner.CipherSize() }
+
+func (s *ParitySum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *ParitySum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if st.Rank%2 == 0 {
+		return s.inner.EncryptAt(st, plain, cipher, n, off)
+	}
+	// Odd rank: negate (two's complement) before encrypting.
+	s.scratch = grow(s.scratch, n*s.inner.width)
+	w := intWire{size: s.inner.width}
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		w.store(s.scratch, j, -w.load(plain, j))
+	}
+	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+}
+
+func (s *ParitySum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.inner.Decrypt(st, cipher, plain, n)
+}
+
+func (s *ParitySum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	return s.inner.DecryptAt(st, cipher, plain, n, off)
+}
+
+func (s *ParitySum) Reduce(dst, src []byte, n int) { s.inner.Reduce(dst, src, n) }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"hear/internal/fixedpoint"
+	"hear/internal/keys"
+)
+
+// FixedSum implements fixed point addition (§5.2): float64 wire values are
+// quantized to a shared integer grid (the implicit scaling factor agreed
+// before computation) and ride the lossless integer SUM scheme. Lossiness
+// is exactly the quantization of the codec; the encryption itself is
+// lossless and IND-CPA like the integer scheme it wraps.
+type FixedSum struct {
+	codec   fixedpoint.Codec
+	inner   *IntSum
+	scratch []byte
+}
+
+// NewFixedSum builds the scheme with the given codec. The codec's width
+// selects the underlying integer scheme width (32 or 64 bits).
+func NewFixedSum(codec fixedpoint.Codec) (*FixedSum, error) {
+	inner, err := NewIntSum(int(codec.Width))
+	if err != nil {
+		return nil, fmt.Errorf("core: fixed-sum: %w", err)
+	}
+	return &FixedSum{codec: codec, inner: inner}, nil
+}
+
+func (s *FixedSum) Name() string            { return fmt.Sprintf("fixed%d.%d-sum", s.codec.Width, s.codec.Frac) }
+func (s *FixedSum) PlainSize() int          { return 8 }
+func (s *FixedSum) CipherSize() int         { return s.inner.CipherSize() }
+func (s *FixedSum) Codec() fixedpoint.Codec { return s.codec }
+
+func (s *FixedSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *FixedSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	w := floatWire{size: 8}
+	iw := intWire{size: s.inner.width}
+	s.scratch = grow(s.scratch, n*s.inner.width)
+	for j := 0; j < n; j++ {
+		word, err := s.codec.Encode(w.load(plain, j))
+		if err != nil {
+			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+		}
+		iw.store(s.scratch, j, word)
+	}
+	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+}
+
+func (s *FixedSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.DecryptAt(st, cipher, plain, n, 0)
+}
+
+func (s *FixedSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	s.scratch = grow(s.scratch, n*s.inner.width)
+	if err := s.inner.DecryptAt(st, cipher, s.scratch, n, off); err != nil {
+		return err
+	}
+	w := floatWire{size: 8}
+	iw := intWire{size: s.inner.width}
+	for j := 0; j < n; j++ {
+		w.store(plain, j, s.codec.DecodeSum(iw.load(s.scratch, j)))
+	}
+	return nil
+}
+
+func (s *FixedSum) Reduce(dst, src []byte, n int) { s.inner.Reduce(dst, src, n) }
+
+// FixedProd implements fixed point multiplication (§5.2). The aggregated
+// product of P factors carries scale 2^(P·Frac); Decrypt uses the
+// communicator size to rescale, exactly as the paper prescribes ("the
+// number of involved processes can be used to obtain the correct output
+// scaling factor").
+type FixedProd struct {
+	codec   fixedpoint.Codec
+	inner   *IntProd
+	scratch []byte
+}
+
+// NewFixedProd builds the multiplicative fixed point scheme.
+func NewFixedProd(codec fixedpoint.Codec) (*FixedProd, error) {
+	inner, err := NewIntProd(int(codec.Width))
+	if err != nil {
+		return nil, fmt.Errorf("core: fixed-prod: %w", err)
+	}
+	return &FixedProd{codec: codec, inner: inner}, nil
+}
+
+func (s *FixedProd) Name() string    { return fmt.Sprintf("fixed%d.%d-prod", s.codec.Width, s.codec.Frac) }
+func (s *FixedProd) PlainSize() int  { return 8 }
+func (s *FixedProd) CipherSize() int { return s.inner.CipherSize() }
+
+func (s *FixedProd) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *FixedProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	w := floatWire{size: 8}
+	iw := intWire{size: s.inner.width}
+	s.scratch = grow(s.scratch, n*s.inner.width)
+	for j := 0; j < n; j++ {
+		word, err := s.codec.Encode(w.load(plain, j))
+		if err != nil {
+			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+		}
+		iw.store(s.scratch, j, word)
+	}
+	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+}
+
+func (s *FixedProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.DecryptAt(st, cipher, plain, n, 0)
+}
+
+func (s *FixedProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	s.scratch = grow(s.scratch, n*s.inner.width)
+	if err := s.inner.DecryptAt(st, cipher, s.scratch, n, off); err != nil {
+		return err
+	}
+	w := floatWire{size: 8}
+	iw := intWire{size: s.inner.width}
+	for j := 0; j < n; j++ {
+		w.store(plain, j, s.codec.DecodeProd(iw.load(s.scratch, j), st.Size))
+	}
+	return nil
+}
+
+func (s *FixedProd) Reduce(dst, src []byte, n int) { s.inner.Reduce(dst, src, n) }
+
+// intWire reads/writes little-endian integer words of 1, 2, 4, or 8 bytes.
+type intWire struct{ size int }
+
+func (w intWire) load(buf []byte, j int) uint64 {
+	o := j * w.size
+	var v uint64
+	for i := 0; i < w.size; i++ {
+		v |= uint64(buf[o+i]) << (8 * uint(i))
+	}
+	return v
+}
+
+func (w intWire) store(buf []byte, j int, v uint64) {
+	for i := 0; i < w.size; i++ {
+		buf[j*w.size+i] = byte(v >> (8 * uint(i)))
+	}
+}

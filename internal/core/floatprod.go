@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"hear/internal/hfp"
+	"hear/internal/keys"
+)
+
+// FloatProd implements the floating point multiplication scheme of §5.3.2
+// (eq. 6) with noise canceling between neighbouring ranks and no exponent
+// inflation (δ = 0):
+//
+//	c_i[j] = x_i[j] ⊗ F(k_s_i+k_c+j) ⊘ F(k_s_{i+1}+k_c+j)   i < P−1
+//	c_i[j] = x_i[j] ⊗ F(k_s_i+k_c+j)                         i = P−1
+//
+// The factors telescope under ⊗, leaving Πx ⊗ F(k_s_0+k_c+j); decryption
+// divides by that factor. Per-rank noises give the scheme global safety in
+// addition to temporal and local (§5.3.2); it is COA-secure under both
+// adversary models. Division by encrypted values rides the scheme by
+// multiplying with reciprocals prepared in the secure environment.
+type FloatProd struct {
+	f        hfp.Format
+	wire     floatWire
+	ks1, ks2 []byte // bulk noise keystream scratch
+}
+
+// NewFloatProd builds the multiplication scheme over base with inflation
+// parameter gamma (the paper's most performant choice is γ = 0: ciphertext
+// width equals plaintext width exactly).
+func NewFloatProd(base hfp.Format, gamma uint) (*FloatProd, error) {
+	f := base.ForMul(gamma)
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("core: float-prod: %w", err)
+	}
+	return &FloatProd{f: f, wire: wireFor(base)}, nil
+}
+
+// Format exposes the underlying HFP format.
+func (s *FloatProd) Format() hfp.Format { return s.f }
+
+func (s *FloatProd) Name() string {
+	return fmt.Sprintf("float%d-prod/γ=%d", 1+s.f.Le+s.f.Lm, s.f.Gamma)
+}
+
+func (s *FloatProd) PlainSize() int  { return s.wire.size }
+func (s *FloatProd) CipherSize() int { return s.f.ByteSize() }
+
+func (s *FloatProd) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *FloatProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	cs := s.CipherSize()
+	last := st.IsLast()
+	byteOff := uint64(off) * hfp.NoiseBytes
+	s.ks1 = grow(s.ks1, n*hfp.NoiseBytes)
+	st.Enc.Keystream(s.ks1, st.SelfNonce(), byteOff)
+	if !last {
+		s.ks2 = grow(s.ks2, n*hfp.NoiseBytes)
+		st.Enc.Keystream(s.ks2, st.NextNonce(), byteOff)
+	}
+	for j := 0; j < n; j++ {
+		v, err := s.f.Encode(s.wire.load(plain, j))
+		if err != nil {
+			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+		}
+		noise := s.f.NoiseFromBytes(s.ks1[j*hfp.NoiseBytes:])
+		if !last {
+			noise = s.f.Div(noise, s.f.NoiseFromBytes(s.ks2[j*hfp.NoiseBytes:]))
+		}
+		s.f.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+	}
+	return nil
+}
+
+func (s *FloatProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.DecryptAt(st, cipher, plain, n, 0)
+}
+
+func (s *FloatProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	cs := s.CipherSize()
+	s.ks1 = grow(s.ks1, n*hfp.NoiseBytes)
+	st.Enc.Keystream(s.ks1, st.RootNonce(), uint64(off)*hfp.NoiseBytes)
+	for j := 0; j < n; j++ {
+		c := s.f.Unpack(cipher[j*cs:])
+		noise := s.f.NoiseFromBytes(s.ks1[j*hfp.NoiseBytes:])
+		s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
+	}
+	return nil
+}
+
+func (s *FloatProd) Reduce(dst, src []byte, n int) {
+	cs := s.CipherSize()
+	for j := 0; j < n; j++ {
+		a := s.f.Unpack(dst[j*cs:])
+		b := s.f.Unpack(src[j*cs:])
+		s.f.Pack(s.f.Mul(a, b), dst[j*cs:])
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hear/internal/hfp"
+	"hear/internal/keys"
+)
+
+// floatWire reads/writes plaintext floats on the wire. FP64-family schemes
+// use 8-byte float64 elements; FP32- and FP16-family schemes use 4-byte
+// float32 elements (Go has no native half type; FP16 precision is enforced
+// by the HFP mantissa width, not the wire type).
+type floatWire struct{ size int }
+
+func wireFor(base hfp.Format) floatWire {
+	if base.Lm > 23 {
+		return floatWire{size: 8}
+	}
+	return floatWire{size: 4}
+}
+
+func (w floatWire) load(buf []byte, j int) float64 {
+	if w.size == 8 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+	}
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:])))
+}
+
+func (w floatWire) store(buf []byte, j int, x float64) {
+	if w.size == 8 {
+		binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(x))
+		return
+	}
+	binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(float32(x)))
+}
+
+// FloatSum implements the v1 floating point addition scheme of §5.3.3
+// (eq. 7): every rank encrypts element j with the SAME noise factor,
+//
+//	c_i[j] = x_i[j] ⊗ F_{k_e}(k_c + j)
+//
+// so ciphertexts add on the HFP ring-exponent FPU and decryption divides
+// the common factor out. Because the noise depends only on the collective
+// key, the scheme provides temporal and local safety but NOT global safety
+// (§5.3.3); it is COA-secure and robust against the single-process
+// adversary. γ trades ciphertext inflation for precision (Figure 3).
+type FloatSum struct {
+	f    hfp.Format
+	wire floatWire
+	ks   []byte // bulk noise keystream scratch
+}
+
+// NewFloatSum builds the v1 addition scheme over base (hfp.FP16/FP32/FP64)
+// with inflation parameter gamma.
+func NewFloatSum(base hfp.Format, gamma uint) (*FloatSum, error) {
+	f := base.ForAdd(gamma)
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("core: float-sum: %w", err)
+	}
+	return &FloatSum{f: f, wire: wireFor(base)}, nil
+}
+
+// Format exposes the underlying HFP format (used by precision experiments).
+func (s *FloatSum) Format() hfp.Format { return s.f }
+
+func (s *FloatSum) Name() string {
+	return fmt.Sprintf("float%d-sum-v1/γ=%d", 1+s.f.Le+s.f.Lm, s.f.Gamma)
+}
+
+func (s *FloatSum) PlainSize() int  { return s.wire.size }
+func (s *FloatSum) CipherSize() int { return s.f.ByteSize() }
+
+func (s *FloatSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *FloatSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	cs := s.CipherSize()
+	s.ks = grow(s.ks, n*hfp.NoiseBytes)
+	st.Enc.Keystream(s.ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
+	for j := 0; j < n; j++ {
+		v, err := s.f.Encode(s.wire.load(plain, j))
+		if err != nil {
+			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+		}
+		noise := s.f.NoiseFromBytes(s.ks[j*hfp.NoiseBytes:])
+		s.f.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+	}
+	return nil
+}
+
+func (s *FloatSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.DecryptAt(st, cipher, plain, n, 0)
+}
+
+func (s *FloatSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	cs := s.CipherSize()
+	s.ks = grow(s.ks, n*hfp.NoiseBytes)
+	st.Enc.Keystream(s.ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
+	for j := 0; j < n; j++ {
+		c := s.f.Unpack(cipher[j*cs:])
+		noise := s.f.NoiseFromBytes(s.ks[j*hfp.NoiseBytes:])
+		s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
+	}
+	return nil
+}
+
+func (s *FloatSum) Reduce(dst, src []byte, n int) {
+	cs := s.CipherSize()
+	for j := 0; j < n; j++ {
+		a := s.f.Unpack(dst[j*cs:])
+		b := s.f.Unpack(src[j*cs:])
+		s.f.Pack(s.f.Add(a, b), dst[j*cs:])
+	}
+}

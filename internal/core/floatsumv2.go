@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hear/internal/hfp"
+	"hear/internal/keys"
+)
+
+// FloatSumV2 implements the alternative addition scheme of §5.3.4, which
+// buys global safety at the cost of precision and dynamic range: values
+// are encoded as exponentials a_i = e^{x_i}, shipped through the
+// multiplicative scheme (per-rank noises, hence global safety), reduced
+// multiplicatively so the product is e^{Σx}, and decoded with a logarithm.
+//
+// Exponentiation compresses the dynamic range: |Σ x_i| must stay below
+// (2^(le−1))·ln 2 or the exponent of e^{Σx} leaves the plaintext range
+// (≈ 709 for the FP64 base, ≈ 88 for FP32, ≈ 11 for FP16). The relative
+// error of the product becomes an *absolute* error of the sum after the
+// logarithm — the "medium" lossiness of Table 2. The paper motivates the
+// scheme for values known to be in a small range, e.g. normalized ML
+// weights.
+type FloatSumV2 struct {
+	prod *FloatProd
+	wire floatWire
+}
+
+// NewFloatSumV2 builds the alternative addition scheme over base with
+// inflation parameter gamma.
+func NewFloatSumV2(base hfp.Format, gamma uint) (*FloatSumV2, error) {
+	p, err := NewFloatProd(base, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("core: float-sum-v2: %w", err)
+	}
+	return &FloatSumV2{prod: p, wire: p.wire}, nil
+}
+
+// Format exposes the underlying HFP format.
+func (s *FloatSumV2) Format() hfp.Format { return s.prod.f }
+
+func (s *FloatSumV2) Name() string {
+	return fmt.Sprintf("float%d-sum-v2/γ=%d", 1+s.prod.f.Le+s.prod.f.Lm, s.prod.f.Gamma)
+}
+
+func (s *FloatSumV2) PlainSize() int  { return s.wire.size }
+func (s *FloatSumV2) CipherSize() int { return s.prod.CipherSize() }
+
+// MaxSum returns the largest |Σx| the scheme can decode for its base
+// format.
+func (s *FloatSumV2) MaxSum() float64 {
+	return float64(int64(1)<<(s.prod.f.Le-1)) * math.Ln2
+}
+
+func (s *FloatSumV2) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error {
+	return s.EncryptAt(st, plain, cipher, n, 0)
+}
+
+func (s *FloatSumV2) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	// Encode x -> e^x into a scratch plaintext buffer, then run the
+	// multiplicative scheme over it.
+	scratch := make([]byte, n*s.PlainSize())
+	for j := 0; j < n; j++ {
+		x := s.wire.load(plain, j)
+		a := math.Exp(x)
+		if a == 0 || math.IsInf(a, 0) {
+			return fmt.Errorf("%s: element %d: e^%g outside dynamic range", s.Name(), j, x)
+		}
+		s.wire.store(scratch, j, a)
+	}
+	return s.prod.EncryptAt(st, scratch, cipher, n, off)
+}
+
+func (s *FloatSumV2) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
+	return s.DecryptAt(st, cipher, plain, n, 0)
+}
+
+func (s *FloatSumV2) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
+	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+		return err
+	}
+	if err := s.prod.DecryptAt(st, cipher, plain, n, off); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		s.wire.store(plain, j, math.Log(s.wire.load(plain, j)))
+	}
+	return nil
+}
+
+func (s *FloatSumV2) Reduce(dst, src []byte, n int) { s.prod.Reduce(dst, src, n) }

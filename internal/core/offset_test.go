@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hear/internal/fixedpoint"
+	"hear/internal/hfp"
+)
+
+// allSchemes builds one instance of every scheme for offset testing.
+func allSchemes(t *testing.T, p int, starting []uint64) []Scheme {
+	t.Helper()
+	codec, err := fixedpoint.NewCodec(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := []func() (Scheme, error){
+		func() (Scheme, error) { return NewIntSum(32) },
+		func() (Scheme, error) { return NewIntSum(64) },
+		func() (Scheme, error) { return NewIntProd(64) },
+		func() (Scheme, error) { return NewIntXor(64) },
+		func() (Scheme, error) { return NewNaiveIntSum(64, starting) },
+		func() (Scheme, error) { return NewFloatSum(hfp.FP32, 2) },
+		func() (Scheme, error) { return NewFloatProd(hfp.FP64, 0) },
+		func() (Scheme, error) { return NewFloatSumV2(hfp.FP64, 0) },
+		func() (Scheme, error) { return NewFixedSum(codec) },
+		func() (Scheme, error) { return NewFixedProd(codec) },
+		func() (Scheme, error) { return NewParitySum(64) },
+	}
+	out := make([]Scheme, 0, len(mk))
+	for _, m := range mk {
+		s, err := m()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fillPlain produces a valid plaintext buffer for any scheme (floats get
+// in-range values, ints get a deterministic pattern).
+func fillPlain(s Scheme, n int) []byte {
+	buf := make([]byte, n*s.PlainSize())
+	switch s.PlainSize() {
+	case 4:
+		if isFloatScheme(s) {
+			w := floatWire{size: 4}
+			for j := 0; j < n; j++ {
+				w.store(buf, j, 0.5+float64(j%16)/8)
+			}
+		} else {
+			iw := intWire{size: 4}
+			for j := 0; j < n; j++ {
+				iw.store(buf, j, uint64(j)*2654435761)
+			}
+		}
+	case 8:
+		if isFloatScheme(s) {
+			w := floatWire{size: 8}
+			for j := 0; j < n; j++ {
+				w.store(buf, j, 0.25+float64(j%32)/16)
+			}
+		} else {
+			iw := intWire{size: 8}
+			for j := 0; j < n; j++ {
+				iw.store(buf, j, uint64(j)*0x9E3779B97F4A7C15+1)
+			}
+		}
+	}
+	return buf
+}
+
+func isFloatScheme(s Scheme) bool {
+	switch s.(type) {
+	case *FloatSum, *FloatProd, *FloatSumV2, *FixedSum, *FixedProd:
+		return true
+	}
+	return false
+}
+
+// EncryptAt(off) must produce exactly the ciphertext span [off, off+n) of
+// one whole-buffer Encrypt, for every scheme — the invariant the pipelined
+// data path depends on for both correctness and local safety.
+func TestEncryptAtMatchesWholeBufferEncrypt(t *testing.T) {
+	const total = 96
+	states := genStates(t, 3)
+	starting := make([]uint64, 3)
+	for i, s := range states {
+		starting[i] = s.SelfKey
+	}
+	for _, rank := range []int{0, 2} { // a canceling rank and the last rank
+		schemes := allSchemes(t, 3, starting)
+		for _, s := range schemes {
+			st := states[rank]
+			st.Advance()
+			plain := fillPlain(s, total)
+			whole := make([]byte, total*s.CipherSize())
+			if err := s.Encrypt(st, plain, whole, total); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			for _, off := range []int{0, 1, 7, 32, 90} {
+				n := total - off
+				if n > 24 {
+					n = 24
+				}
+				part := make([]byte, n*s.CipherSize())
+				if err := s.EncryptAt(st, plain[off*s.PlainSize():], part, n, off); err != nil {
+					t.Fatalf("%s off=%d: %v", s.Name(), off, err)
+				}
+				want := whole[off*s.CipherSize() : (off+n)*s.CipherSize()]
+				if !bytes.Equal(part, want) {
+					t.Fatalf("%s rank=%d off=%d: EncryptAt diverges from whole-buffer Encrypt", s.Name(), rank, off)
+				}
+			}
+		}
+	}
+}
+
+// DecryptAt must invert EncryptAt at any offset.
+func TestDecryptAtInvertsEncryptAt(t *testing.T) {
+	states := genStates(t, 2)
+	starting := []uint64{states[0].SelfKey, states[1].SelfKey}
+	schemes := allSchemes(t, 2, starting)
+	for _, s := range schemes {
+		if _, ok := s.(*NaiveIntSum); ok {
+			continue // naive decrypt removes ALL ranks' noise; single-rank identity does not hold
+		}
+		// Use a 1-rank world so the encrypt noise equals the decrypt noise
+		// and the identity holds without a reduction.
+		solo := genStates(t, 1)[0]
+		solo.Advance()
+		const n, off = 16, 5
+		plain := fillPlain(s, n)
+		cipher := make([]byte, n*s.CipherSize())
+		if err := s.EncryptAt(solo, plain, cipher, n, off); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		out := make([]byte, n*s.PlainSize())
+		if err := s.DecryptAt(solo, cipher, out, n, off); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := compareRoundTrip(s, plain, out, n); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// compareRoundTrip allows the float schemes their documented rounding.
+func compareRoundTrip(s Scheme, plain, out []byte, n int) error {
+	if !isFloatScheme(s) {
+		if !bytes.Equal(plain[:n*s.PlainSize()], out[:n*s.PlainSize()]) {
+			return errMismatch
+		}
+		return nil
+	}
+	w := floatWire{size: s.PlainSize()}
+	for j := 0; j < n; j++ {
+		a, b := w.load(plain, j), w.load(out, j)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-3*absF(a)+1e-6 {
+			return errMismatch
+		}
+	}
+	return nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var errMismatch = errForm("round trip mismatch")
+
+type errForm string
+
+func (e errForm) Error() string { return string(e) }
+
+// Property: for arbitrary uint64 vectors and any small communicator, the
+// telescoped integer SUM pipeline is the identity on the wrapping sum.
+func TestQuickIntSumPipelineIdentity(t *testing.T) {
+	f := func(vals []uint64, pRaw uint8) bool {
+		p := int(pRaw)%6 + 2
+		if len(vals) == 0 {
+			vals = []uint64{1}
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		n := len(vals)
+		states := genStates(t, p)
+		want := make([]uint64, n)
+		agg := make([]byte, n*8)
+		for r := 0; r < p; r++ {
+			states[r].Advance()
+			s, err := NewIntSum(64)
+			if err != nil {
+				return false
+			}
+			plain := make([]byte, n*8)
+			iw := intWire{size: 8}
+			for j, v := range vals {
+				x := v + uint64(r) // vary per rank
+				iw.store(plain, j, x)
+				want[j] += x
+			}
+			cipher := make([]byte, n*8)
+			if err := s.Encrypt(states[r], plain, cipher, n); err != nil {
+				return false
+			}
+			if r == 0 {
+				copy(agg, cipher)
+			} else {
+				s.Reduce(agg, cipher, n)
+			}
+		}
+		s, _ := NewIntSum(64)
+		out := make([]byte, n*8)
+		if err := s.Decrypt(states[0], agg, out, n); err != nil {
+			return false
+		}
+		iw := intWire{size: 8}
+		for j := range want {
+			if iw.load(out, j) != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR scheme round-trips arbitrary byte patterns bit-exactly.
+func TestQuickXorPipelineIdentity(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		n := len(vals)
+		const p = 3
+		states := genStates(t, p)
+		want := make([]uint64, n)
+		agg := make([]byte, n*8)
+		for r := 0; r < p; r++ {
+			states[r].Advance()
+			s, err := NewIntXor(64)
+			if err != nil {
+				return false
+			}
+			plain := make([]byte, n*8)
+			iw := intWire{size: 8}
+			for j, v := range vals {
+				x := v ^ uint64(r*77)
+				iw.store(plain, j, x)
+				want[j] ^= x
+			}
+			cipher := make([]byte, n*8)
+			if err := s.Encrypt(states[r], plain, cipher, n); err != nil {
+				return false
+			}
+			if r == 0 {
+				copy(agg, cipher)
+			} else {
+				s.Reduce(agg, cipher, n)
+			}
+		}
+		s, _ := NewIntXor(64)
+		out := make([]byte, n*8)
+		if err := s.Decrypt(states[1], agg, out, n); err != nil {
+			return false
+		}
+		iw := intWire{size: 8}
+		for j := range want {
+			if iw.load(out, j) != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

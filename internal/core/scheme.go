@@ -1,0 +1,77 @@
+// Package core implements HEAR's encryption schemes (§5): lossless integer
+// SUM/PROD/XOR with the canceling technique (eqs. 1–3), the HFP float
+// PROD and SUM v1 schemes (eqs. 6–7), the alternative log-space float
+// addition (§5.3.4), fixed point (§5.2), and the naive Θ(P)-decrypt
+// variant of Figure 1 used for ablation.
+//
+// Every scheme follows the same shape:
+//
+//	E(x) = x ★ noise        D(x) = x ★ noise⁻¹
+//
+// where the per-rank noises are PRF keystreams arranged to telescope under
+// the reduction operator, so the aggregated ciphertext carries only rank
+// 0's noise and decryption is Θ(1) per element.
+package core
+
+import (
+	"fmt"
+
+	"hear/internal/keys"
+)
+
+// Scheme is one HEAR encryption scheme bound to a datatype and reduction
+// operator. A Scheme instance belongs to a single rank (it holds scratch
+// buffers) and is not safe for concurrent use; ranks construct their own.
+type Scheme interface {
+	// Name identifies the scheme, e.g. "int32-sum".
+	Name() string
+	// PlainSize is the plaintext element width in bytes on the wire.
+	PlainSize() int
+	// CipherSize is the ciphertext element width in bytes on the wire.
+	// Integer schemes have CipherSize == PlainSize (zero inflation, R1);
+	// float schemes inflate by γ bits rounded up to the next byte.
+	CipherSize() int
+	// Encrypt transforms n plaintext elements from plain into ciphertext
+	// elements in cipher using the rank's keys and the current collective
+	// key. The caller advances the collective key once per collective call
+	// (keys.RankState.Advance), not per Encrypt. Equivalent to
+	// EncryptAt(st, plain, cipher, n, 0).
+	Encrypt(st *keys.RankState, plain, cipher []byte, n int) error
+	// EncryptAt is Encrypt with a global element offset: element i of
+	// plain is encrypted as vector element off+i, i.e. with noise
+	// F(k + k_c + off + i). The pipelined data path (§6) uses it so that
+	// blocks of one collective call never reuse a stream index — reuse
+	// would break local safety.
+	EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error
+	// Decrypt transforms n reduced ciphertext elements back to plaintext.
+	Decrypt(st *keys.RankState, cipher, plain []byte, n int) error
+	// DecryptAt is Decrypt at a global element offset, pairing EncryptAt.
+	DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error
+	// Reduce folds src into dst elementwise with the scheme's operator ⊙
+	// (dst = dst ⊙ src). This is the operation in-network devices execute;
+	// it uses no key material.
+	Reduce(dst, src []byte, n int)
+}
+
+// checkLen validates buffer lengths against element counts; every scheme
+// calls it so misuse fails loudly instead of silently truncating data.
+func checkLen(name string, plain, cipher []byte, n, plainSize, cipherSize int) error {
+	if n < 0 {
+		return fmt.Errorf("%s: negative element count %d", name, n)
+	}
+	if len(plain) < n*plainSize {
+		return fmt.Errorf("%s: plaintext buffer %d B < %d elements × %d B", name, len(plain), n, plainSize)
+	}
+	if len(cipher) < n*cipherSize {
+		return fmt.Errorf("%s: ciphertext buffer %d B < %d elements × %d B", name, len(cipher), n, cipherSize)
+	}
+	return nil
+}
+
+// grow returns a scratch slice of at least n bytes, reusing buf's storage.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,135 @@
+// Package dnn models the distributed DNN training proxy workloads of
+// §7.2 / Figure 9: one training iteration of ResNet-152, GPT-3, DLRM, and
+// CosmoFlow decomposed into compute, gradient Allreduce (the part HEAR
+// encrypts), and other communication (Alltoall for DLRM's embedding
+// exchange, pipeline point-to-point for GPT-3) that HEAR leaves untouched
+// in the paper's experiment.
+//
+// The paper itself reports *simulated* relative execution times; this
+// package reproduces that methodology: replay the per-iteration trace
+// against the netsim interconnect model with and without HEAR's measured
+// costs and report the ratio. The distinguishing shape — ResNet-152 worst
+// (Allreduce-only communication), GPT-3 best (compute-dominated) — follows
+// from the traces, not from tuned ratios.
+package dnn
+
+import (
+	"fmt"
+
+	"hear/internal/netsim"
+)
+
+// Model is one proxy workload's per-iteration trace.
+type Model struct {
+	Name  string
+	Ranks int
+	Nodes int
+	// Params is the parameter count whose FP32 gradients are averaged by
+	// Allreduce each iteration.
+	Params int64
+	// ComputeSeconds is the per-iteration compute time (forward+backward),
+	// assumed serial with communication — the paper's declared worst case
+	// ("these overheads could be eliminated by further overlapping
+	// computation with non-blocking HEAR communication").
+	ComputeSeconds float64
+	// OtherCommSeconds is non-Allreduce communication (Alltoall, pipeline
+	// p2p, synchronization) that HEAR does not encrypt in this experiment.
+	OtherCommSeconds float64
+}
+
+// AllreduceBytes is the FP32 gradient volume per iteration.
+func (m Model) AllreduceBytes() int64 { return m.Params * 4 }
+
+// PaperModels returns the four Figure 9 workloads with their paper
+// configurations: GPT-3 across 384 ranks (48 nodes, 8 PPN); the others at
+// 256 ranks (8 nodes, 32 PPN). Parameter counts are the public model
+// sizes; compute and other-communication times are proxy calibrations
+// (the originals come from the HammingMesh proxy suite, which is not
+// public) chosen to sit in each model's documented regime:
+// compute-dominated GPT-3, Alltoall-heavy DLRM, Allreduce-only ResNet-152.
+func PaperModels() []Model {
+	return []Model{
+		{
+			Name: "ResNet-152", Ranks: 256, Nodes: 8,
+			Params:         60_200_000, // 60.2M parameters
+			ComputeSeconds: 0.040,
+			// "whose communication part consists of only Allreduce calls"
+			OtherCommSeconds: 0,
+		},
+		{
+			Name: "DLRM", Ranks: 256, Nodes: 8,
+			// MLP + dense gradients ride Allreduce; the embedding tables are
+			// exchanged via Alltoall and stay unencrypted in this experiment.
+			Params:           30_000_000,
+			ComputeSeconds:   0.030,
+			OtherCommSeconds: 0.080,
+		},
+		{
+			Name: "GPT3", Ranks: 384, Nodes: 48,
+			// The 175B parameters are sharded by tensor/pipeline parallelism;
+			// only one stage shard's data-parallel gradients ride Allreduce.
+			Params:           60_000_000,
+			ComputeSeconds:   4.0,
+			OtherCommSeconds: 0.8,
+		},
+		{
+			Name: "CosmoFlow", Ranks: 256, Nodes: 8,
+			Params:           8_900_000,
+			ComputeSeconds:   0.045,
+			OtherCommSeconds: 0.005,
+		},
+	}
+}
+
+// Result is one model's simulated iteration times.
+type Result struct {
+	Model            Model
+	NativeSeconds    float64
+	HEARSeconds      float64
+	AllreduceNative  float64
+	AllreduceHEAR    float64
+	RelativeExecTime float64 // HEARSeconds / NativeSeconds, Figure 9's bar
+}
+
+// Simulate replays one model's iteration against the interconnect model.
+// costs carries HEAR's measured float-scheme rates (Figure 9 uses
+// MPI_FLOAT / FP32 gradients).
+func Simulate(m Model, p netsim.Params, costs *netsim.HEARCosts) (Result, error) {
+	if m.Ranks < 1 || m.Nodes < 1 || m.Params < 1 {
+		return Result{}, fmt.Errorf("dnn: malformed model %+v", m)
+	}
+	if costs == nil {
+		return Result{}, fmt.Errorf("dnn: %s: HEAR costs are required (the result is a HEAR/native ratio)", m.Name)
+	}
+	native, hear, err := p.ThroughputPerNode(costs, m.Ranks, m.Nodes, int(m.AllreduceBytes()))
+	if err != nil {
+		return Result{}, fmt.Errorf("dnn: %s: %w", m.Name, err)
+	}
+	// A ring Allreduce moves ~2x the payload through each node.
+	bytesPerNode := 2 * float64(m.AllreduceBytes())
+	arNative := bytesPerNode / native
+	arHEAR := bytesPerNode / hear
+	res := Result{
+		Model:           m,
+		AllreduceNative: arNative,
+		AllreduceHEAR:   arHEAR,
+		NativeSeconds:   m.ComputeSeconds + m.OtherCommSeconds + arNative,
+		HEARSeconds:     m.ComputeSeconds + m.OtherCommSeconds + arHEAR,
+	}
+	res.RelativeExecTime = res.HEARSeconds / res.NativeSeconds
+	return res, nil
+}
+
+// SimulateAll runs every paper model.
+func SimulateAll(p netsim.Params, costs *netsim.HEARCosts) ([]Result, error) {
+	models := PaperModels()
+	out := make([]Result, 0, len(models))
+	for _, m := range models {
+		r, err := Simulate(m, p, costs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

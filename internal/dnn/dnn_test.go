@@ -1,0 +1,89 @@
+package dnn
+
+import (
+	"testing"
+
+	"hear/internal/netsim"
+)
+
+// floatCosts mimics the measured float-scheme rates: slower than the AES
+// integer path because every element passes the software HFP FPU.
+func floatCosts() *netsim.HEARCosts {
+	return &netsim.HEARCosts{
+		EncRate:            0.4e9,
+		DecRate:            0.4e9,
+		PerCallLatency:     0.5e-6,
+		Inflation:          1.0,
+		PipelineEfficiency: 0.85,
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	p := netsim.AriesDefaults()
+	if _, err := Simulate(Model{Name: "x"}, p, floatCosts()); err == nil {
+		t.Error("malformed model accepted")
+	}
+}
+
+func TestPaperModelsConfig(t *testing.T) {
+	ms := PaperModels()
+	if len(ms) != 4 {
+		t.Fatalf("%d models, want 4", len(ms))
+	}
+	byName := map[string]Model{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if g := byName["GPT3"]; g.Ranks != 384 || g.Nodes != 48 {
+		t.Errorf("GPT3 config %d/%d, paper uses 384 ranks on 48 nodes", g.Ranks, g.Nodes)
+	}
+	for _, name := range []string{"ResNet-152", "DLRM", "CosmoFlow"} {
+		if m := byName[name]; m.Ranks != 256 || m.Nodes != 8 {
+			t.Errorf("%s config %d/%d, paper uses 256 ranks on 8 nodes", name, m.Ranks, m.Nodes)
+		}
+	}
+	if byName["ResNet-152"].OtherCommSeconds != 0 {
+		t.Error("ResNet-152 must be Allreduce-only (paper: 'consists of only Allreduce calls')")
+	}
+}
+
+// Figure 9's shape: every overhead ≥ 1, ResNet-152 the worst, GPT-3 the
+// mildest, all within a plausible band of the paper's 1.03–1.31x.
+func TestFigure9Shape(t *testing.T) {
+	res, err := SimulateAll(netsim.AriesDefaults(), floatCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range res {
+		byName[r.Model.Name] = r
+		if r.RelativeExecTime < 1.0 {
+			t.Errorf("%s: HEAR faster than native (%.3f)", r.Model.Name, r.RelativeExecTime)
+		}
+		if r.RelativeExecTime > 2.0 {
+			t.Errorf("%s: overhead %.2fx implausibly large", r.Model.Name, r.RelativeExecTime)
+		}
+		if r.AllreduceHEAR <= r.AllreduceNative {
+			t.Errorf("%s: encrypted allreduce not slower", r.Model.Name)
+		}
+	}
+	worst := byName["ResNet-152"].RelativeExecTime
+	for name, r := range byName {
+		if name != "ResNet-152" && r.RelativeExecTime > worst {
+			t.Errorf("%s (%.3f) exceeds ResNet-152 (%.3f); paper has ResNet worst", name, r.RelativeExecTime, worst)
+		}
+	}
+	if g := byName["GPT3"].RelativeExecTime; g > 1.10 {
+		t.Errorf("GPT3 overhead %.3f, paper reports ~1.03 (compute-dominated)", g)
+	}
+	if worst < 1.15 {
+		t.Errorf("ResNet-152 overhead %.3f too mild; paper reports 1.31", worst)
+	}
+}
+
+func TestNilCostsMeansNativeOnly(t *testing.T) {
+	_, err := Simulate(PaperModels()[0], netsim.AriesDefaults(), nil)
+	if err == nil {
+		t.Error("nil costs should error: the ratio needs a HEAR leg")
+	}
+}

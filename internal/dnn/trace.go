@@ -1,0 +1,102 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is the serialized form of a workload suite, so users can define
+// their own per-iteration communication traces and replay them against the
+// model — the paper's proxy-application methodology (its traces come from
+// the HammingMesh suite) generalized to arbitrary workloads.
+//
+// The JSON shape:
+//
+//	{
+//	  "models": [
+//	    {"name": "MyNet", "ranks": 128, "nodes": 4, "params": 25000000,
+//	     "compute_seconds": 0.08, "other_comm_seconds": 0.01}
+//	  ]
+//	}
+type Trace struct {
+	Models []TraceModel `json:"models"`
+}
+
+// TraceModel is the JSON form of Model.
+type TraceModel struct {
+	Name             string  `json:"name"`
+	Ranks            int     `json:"ranks"`
+	Nodes            int     `json:"nodes"`
+	Params           int64   `json:"params"`
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	OtherCommSeconds float64 `json:"other_comm_seconds"`
+}
+
+// toModel converts with validation.
+func (tm TraceModel) toModel() (Model, error) {
+	m := Model{
+		Name:             tm.Name,
+		Ranks:            tm.Ranks,
+		Nodes:            tm.Nodes,
+		Params:           tm.Params,
+		ComputeSeconds:   tm.ComputeSeconds,
+		OtherCommSeconds: tm.OtherCommSeconds,
+	}
+	if m.Name == "" {
+		return Model{}, fmt.Errorf("dnn: trace model without a name")
+	}
+	if m.Ranks < 1 || m.Nodes < 1 || m.Ranks < m.Nodes {
+		return Model{}, fmt.Errorf("dnn: %s: bad topology %d ranks / %d nodes", m.Name, m.Ranks, m.Nodes)
+	}
+	if m.Params < 1 {
+		return Model{}, fmt.Errorf("dnn: %s: non-positive parameter count", m.Name)
+	}
+	if m.ComputeSeconds < 0 || m.OtherCommSeconds < 0 {
+		return Model{}, fmt.Errorf("dnn: %s: negative times", m.Name)
+	}
+	return m, nil
+}
+
+// LoadTrace parses and validates a workload trace.
+func LoadTrace(r io.Reader) ([]Model, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("dnn: parsing trace: %w", err)
+	}
+	if len(t.Models) == 0 {
+		return nil, fmt.Errorf("dnn: trace contains no models")
+	}
+	out := make([]Model, 0, len(t.Models))
+	for _, tm := range t.Models {
+		m, err := tm.toModel()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SaveTrace serializes models as an indented trace document.
+func SaveTrace(w io.Writer, models []Model) error {
+	if len(models) == 0 {
+		return fmt.Errorf("dnn: nothing to save")
+	}
+	t := Trace{Models: make([]TraceModel, 0, len(models))}
+	for _, m := range models {
+		t.Models = append(t.Models, TraceModel{
+			Name:             m.Name,
+			Ranks:            m.Ranks,
+			Nodes:            m.Nodes,
+			Params:           m.Params,
+			ComputeSeconds:   m.ComputeSeconds,
+			OtherCommSeconds: m.OtherCommSeconds,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,70 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hear/internal/netsim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, PaperModels()); err != nil {
+		t.Fatal(err)
+	}
+	models, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := PaperModels()
+	if len(models) != len(orig) {
+		t.Fatalf("%d models, want %d", len(models), len(orig))
+	}
+	for i := range orig {
+		if models[i] != orig[i] {
+			t.Errorf("model %d: %+v != %+v", i, models[i], orig[i])
+		}
+	}
+}
+
+func TestLoadTraceValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":         `{"models": []}`,
+		"no name":       `{"models": [{"ranks": 2, "nodes": 1, "params": 10}]}`,
+		"bad topology":  `{"models": [{"name": "x", "ranks": 1, "nodes": 4, "params": 10}]}`,
+		"no params":     `{"models": [{"name": "x", "ranks": 4, "nodes": 2}]}`,
+		"negative time": `{"models": [{"name": "x", "ranks": 4, "nodes": 2, "params": 10, "compute_seconds": -1}]}`,
+		"unknown field": `{"models": [{"name": "x", "ranks": 4, "nodes": 2, "params": 10, "bogus": 1}]}`,
+		"not json":      `hello`,
+	}
+	for name, doc := range cases {
+		if _, err := LoadTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, nil); err == nil {
+		t.Error("empty save accepted")
+	}
+}
+
+func TestLoadedTraceSimulates(t *testing.T) {
+	doc := `{"models": [{"name": "CustomNet", "ranks": 64, "nodes": 2,
+		"params": 5000000, "compute_seconds": 0.02, "other_comm_seconds": 0.001}]}`
+	models, err := LoadTrace(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &netsim.HEARCosts{EncRate: 1e9, DecRate: 1e9, Inflation: 1, PipelineEfficiency: 0.85}
+	res, err := Simulate(models[0], netsim.AriesDefaults(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelativeExecTime <= 1.0 || res.RelativeExecTime > 2.0 {
+		t.Errorf("relative time %g implausible", res.RelativeExecTime)
+	}
+}

@@ -1,0 +1,94 @@
+// Package fixedpoint implements the fixed point transmissions of §5.2:
+// reals are quantized to an integer grid with an implicit scaling factor
+// agreed upon before any computation and shared securely with all ranks.
+// The integers then ride the lossless integer schemes unchanged. For
+// multiplication, the number of involved processes determines the output
+// scaling factor (each factor contributes one 2^-Frac scale).
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec converts between float64 and two's-complement fixed point with
+// Frac fractional bits in a Width-bit word.
+type Codec struct {
+	Width uint // total bits (32 or 64 in practice)
+	Frac  uint // fractional bits; the implicit scaling factor is 2^Frac
+}
+
+// ErrOverflow is returned when a value does not fit the fixed point range.
+var ErrOverflow = errors.New("fixedpoint: value outside representable range")
+
+// NewCodec validates and returns a codec.
+func NewCodec(width, frac uint) (Codec, error) {
+	if width < 2 || width > 64 {
+		return Codec{}, fmt.Errorf("fixedpoint: width %d outside [2, 64]", width)
+	}
+	if frac >= width {
+		return Codec{}, fmt.Errorf("fixedpoint: frac %d must be < width %d", frac, width)
+	}
+	return Codec{Width: width, Frac: frac}, nil
+}
+
+// Scale returns the implicit scaling factor 2^Frac.
+func (c Codec) Scale() float64 { return math.Ldexp(1, int(c.Frac)) }
+
+// Max and Min bound the representable range.
+func (c Codec) Max() float64 {
+	return float64((int64(1)<<(c.Width-1))-1) / c.Scale()
+}
+func (c Codec) Min() float64 {
+	return float64(-(int64(1) << (c.Width - 1))) / c.Scale()
+}
+
+// Encode quantizes x to the grid (round to nearest). The result is the
+// two's-complement word embedded in uint64, ready for the integer schemes.
+func (c Codec) Encode(x float64) (uint64, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("fixedpoint: %w: non-finite input", ErrOverflow)
+	}
+	scaled := math.RoundToEven(x * c.Scale())
+	if scaled > float64((int64(1)<<(c.Width-1))-1) || scaled < float64(-(int64(1)<<(c.Width-1))) {
+		return 0, fmt.Errorf("fixedpoint: %w: %g", ErrOverflow, x)
+	}
+	return uint64(int64(scaled)) & c.mask(), nil
+}
+
+// Decode converts a word back to float64.
+func (c Codec) Decode(w uint64) float64 {
+	return float64(c.signed(w)) / c.Scale()
+}
+
+// DecodeSum decodes an aggregated sum (the scale is unchanged by addition).
+func (c Codec) DecodeSum(w uint64) float64 { return c.Decode(w) }
+
+// DecodeProd decodes an aggregated product of p factors: the accumulated
+// scale is 2^(p·Frac), as §5.2 notes ("the number of involved processes can
+// be used to obtain the correct output scaling factor").
+func (c Codec) DecodeProd(w uint64, p int) float64 {
+	if p < 1 {
+		return math.NaN()
+	}
+	return float64(c.signed(w)) / math.Ldexp(1, p*int(c.Frac))
+}
+
+// Ulp is the quantization step 2^-Frac.
+func (c Codec) Ulp() float64 { return 1 / c.Scale() }
+
+func (c Codec) mask() uint64 {
+	if c.Width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << c.Width) - 1
+}
+
+func (c Codec) signed(w uint64) int64 {
+	w &= c.mask()
+	if c.Width < 64 && w>>(c.Width-1) == 1 {
+		return int64(w) - (int64(1) << c.Width)
+	}
+	return int64(w)
+}

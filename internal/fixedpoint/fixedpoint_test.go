@@ -1,0 +1,126 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCodecValidation(t *testing.T) {
+	if _, err := NewCodec(1, 0); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewCodec(65, 10); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if _, err := NewCodec(32, 32); err == nil {
+		t.Error("frac == width accepted")
+	}
+	if _, err := NewCodec(32, 16); err != nil {
+		t.Errorf("valid codec rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeGridExact(t *testing.T) {
+	c, _ := NewCodec(32, 16)
+	for _, x := range []float64{0, 1, -1, 0.5, -0.25, 1234.0625, -32767.5} {
+		w, err := c.Encode(x)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", x, err)
+		}
+		if got := c.Decode(w); got != x {
+			t.Errorf("round trip %g -> %g", x, got)
+		}
+	}
+}
+
+func TestEncodeQuantizes(t *testing.T) {
+	c, _ := NewCodec(32, 16)
+	f := func(x float64) bool {
+		x = math.Mod(x, 30000)
+		if math.IsNaN(x) {
+			return true
+		}
+		w, err := c.Encode(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Decode(w)-x) <= c.Ulp()/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeOverflow(t *testing.T) {
+	c, _ := NewCodec(16, 8)
+	if _, err := c.Encode(200); err == nil {
+		t.Error("200 fits 16/8? max is ~127.996")
+	}
+	if _, err := c.Encode(math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := c.Encode(math.Inf(1)); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, err := c.Encode(c.Max()); err != nil {
+		t.Errorf("Max rejected: %v", err)
+	}
+	if _, err := c.Encode(c.Min()); err != nil {
+		t.Errorf("Min rejected: %v", err)
+	}
+}
+
+func TestSumSemantics(t *testing.T) {
+	c, _ := NewCodec(32, 12)
+	a, _ := c.Encode(1.5)
+	b, _ := c.Encode(-0.75)
+	sum := (a + b) & ((1 << 32) - 1)
+	if got := c.DecodeSum(sum); got != 0.75 {
+		t.Errorf("1.5 + (-0.75) = %g", got)
+	}
+}
+
+func TestProdSemantics(t *testing.T) {
+	c, _ := NewCodec(64, 16)
+	a, _ := c.Encode(2.5)
+	b, _ := c.Encode(4.0)
+	d, _ := c.Encode(-0.5)
+	prod := a * b * d // wrapping product of three scaled words
+	if got := c.DecodeProd(prod, 3); got != -5.0 {
+		t.Errorf("2.5 * 4 * -0.5 = %g, want -5", got)
+	}
+}
+
+func TestDecodeProdRejectsBadP(t *testing.T) {
+	c, _ := NewCodec(32, 8)
+	if !math.IsNaN(c.DecodeProd(1, 0)) {
+		t.Error("p=0 should yield NaN")
+	}
+}
+
+func TestNegativeWrapAround(t *testing.T) {
+	c, _ := NewCodec(16, 4)
+	w, err := c.Encode(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xFFF0 {
+		t.Errorf("-1 encoded as %#x, want 0xfff0", w)
+	}
+	if got := c.Decode(w); got != -1 {
+		t.Errorf("decode = %g", got)
+	}
+}
+
+func TestWidth64(t *testing.T) {
+	c, _ := NewCodec(64, 32)
+	x := -123456.789
+	w, err := c.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Decode(w)-x) > c.Ulp() {
+		t.Errorf("64-bit round trip off: %g", c.Decode(w))
+	}
+}

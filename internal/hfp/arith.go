@@ -1,0 +1,299 @@
+package hfp
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"hear/internal/prf"
+)
+
+// This file is the software FPU: ⊗ (Mul), its inverse (Div), and the
+// non-IEEE ring-exponent addition of §5.3.5. All mantissa arithmetic is
+// exact in 64/128-bit integers with round-to-nearest-even at the end, so
+// the only precision loss is the rounding the paper quantifies in Fig. 3.
+
+// significand returns the full mantissa (1 << W) | Frac.
+func significand(v Value) uint64 { return uint64(1)<<v.W | v.Frac }
+
+// roundTo rounds a significand sig carrying w fraction bits (value
+// sig/2^w ∈ [1,2)) down to wt fraction bits with round-to-nearest-even.
+// sticky folds in any bits already discarded below sig. It returns the new
+// significand and 1 if rounding overflowed to 2.0 (caller bumps exponent).
+func roundTo(sig uint64, w, wt uint, sticky uint64) (uint64, uint64) {
+	if w <= wt {
+		return sig << (wt - w), 0
+	}
+	shift := w - wt
+	dropped := sig & ((uint64(1) << shift) - 1)
+	out := sig >> shift
+	half := uint64(1) << (shift - 1)
+	switch {
+	case dropped > half || (dropped == half && sticky != 0):
+		out++
+	case dropped == half && sticky == 0:
+		out += out & 1 // ties to even
+	}
+	if out == uint64(1)<<(wt+1) {
+		return out >> 1, 1
+	}
+	return out, 0
+}
+
+// roundTo128 rounds a 128-bit significand (hi, lo) carrying w fraction
+// bits down to wt fraction bits, round-to-nearest-even. Requires w >= wt.
+func roundTo128(hi, lo uint64, w, wt uint) (uint64, uint64) {
+	shift := w - wt
+	var out, dropped, half uint64
+	var stickyLow uint64
+	switch {
+	case shift == 0:
+		return lo, 0 // caller guarantees the result fits 64 bits in this case
+	case shift < 64:
+		dropped = lo & ((uint64(1) << shift) - 1)
+		out = lo>>shift | hi<<(64-shift)
+		half = uint64(1) << (shift - 1)
+		stickyLow = 0
+	case shift == 64:
+		dropped = lo
+		out = hi
+		half = uint64(1) << 63
+	default: // shift in (64, 128)
+		s := shift - 64
+		dropped = hi & ((uint64(1) << s) - 1)
+		stickyLow = lo
+		out = hi >> s
+		half = uint64(1) << (s - 1)
+	}
+	switch {
+	case dropped > half || (dropped == half && stickyLow != 0):
+		out++
+	case dropped == half && stickyLow == 0:
+		out += out & 1
+	}
+	if out == uint64(1)<<(wt+1) {
+		return out >> 1, 1
+	}
+	return out, 0
+}
+
+// Mul computes a ⊗ b (eq. 5): sign XOR, exponent ring addition, mantissa
+// product rounded to the format's ciphertext fraction width. The operand
+// widths may differ (plaintext Lm vs noise lm−δ+γ); the result always has
+// W = FracBits().
+func (f Format) Mul(a, b Value) Value {
+	wt := f.FracBits()
+	ma, mb := significand(a), significand(b)
+	hi, lo := bits.Mul64(ma, mb)
+	pw := uint(a.W) + uint(b.W) // product fraction width; value ∈ [1, 4)
+	// Normalize to [1, 2).
+	var carry uint64
+	topBit := pw + 1 // product ≥ 2 iff bit topBit is set
+	var isTop bool
+	if topBit < 64 {
+		isTop = lo>>topBit != 0 || hi != 0
+	} else {
+		isTop = hi>>(topBit-64) != 0
+	}
+	if isTop {
+		carry = 1
+		pw++
+	}
+	sig, c2 := roundTo128(hi, lo, pw, wt)
+	return Value{
+		Sign: a.Sign ^ b.Sign,
+		Exp:  f.ringAdd(f.ringAdd(a.Exp, b.Exp), carry+c2),
+		Frac: sig & ((uint64(1) << wt) - 1),
+		W:    uint8(wt),
+	}
+}
+
+// Div computes a ⊗ b⁻¹ directly (single rounding), used by decryption:
+// dec(k, r, c) = c ⊗ F_k(r)⁻¹. The quotient mantissa is computed by
+// 128-by-64-bit integer division with the remainder feeding the sticky bit.
+func (f Format) Div(a, b Value) Value {
+	wt := f.FracBits()
+	ma, mb := significand(a), significand(b)
+	// Compute q = ma·2^S / mb with S sized so q has wt+3..wt+4 significant
+	// bits: S = wt + 3 - Wa + Wb  ⇒  q ≈ (α/β)·2^(wt+3), α/β ∈ (1/2, 2).
+	s := int(wt) + 3 - int(a.W) + int(b.W)
+	for s < 0 { // defensive; unreachable with the package's own formats
+		mb <<= 1
+		s++
+	}
+	var nHi, nLo uint64
+	switch {
+	case s < 64:
+		nLo = ma << uint(s)
+		if s > 0 {
+			nHi = ma >> uint(64-s)
+		}
+	default:
+		nHi = ma << uint(s-64)
+	}
+	q, r := bits.Div64(nHi, nLo, mb) // nHi < mb holds for every Validate-accepted format
+	sticky := r
+	exp := f.ringSub(a.Exp, b.Exp)
+	// q/2^(wt+3) ∈ (1/2, 2): one leading-bit test decides the exponent.
+	qw := wt + 3
+	if q>>qw == 0 { // quotient < 1: value in (1/2, 1)
+		exp = f.ringSub(exp, 1)
+		q <<= 1
+		// the shifted-in zero is exact; sticky unchanged
+	}
+	sig, c := roundTo(q, qw, wt, sticky)
+	return Value{
+		Sign: a.Sign ^ b.Sign,
+		Exp:  f.ringAdd(exp, c),
+		Frac: sig & ((uint64(1) << wt) - 1),
+		W:    uint8(wt),
+	}
+}
+
+// Add implements the ring-exponent addition of §5.3.5: the two-difference
+// comparison (d12 vs d21, the smaller is the true distance and its
+// minuend the larger number), mantissa alignment with sticky-preserving
+// right shift, signed combination, renormalization, and RNE rounding.
+//
+// The δ = 2 headroom guarantees the smaller difference is the true one for
+// any ciphertexts produced from in-range plaintexts under a common noise
+// factor (the v1 addition scheme encrypts every rank's element j with the
+// same noise, so exponent *differences* are plaintext differences ±1).
+func (f Format) Add(a, b Value) Value {
+	wt := f.FracBits()
+	// Bring both operands to a common working fraction width.
+	w := a.W
+	if b.W > w {
+		w = b.W
+	}
+	ma := significand(a) << (w - a.W)
+	mb := significand(b) << (w - b.W)
+
+	d12 := f.ringSub(a.Exp, b.Exp)
+	d21 := f.ringSub(b.Exp, a.Exp)
+	var large, small Value
+	var ml, ms uint64
+	var shift uint64
+	switch {
+	case d12 == 0:
+		if ma >= mb {
+			large, small, ml, ms, shift = a, b, ma, mb, 0
+		} else {
+			large, small, ml, ms, shift = b, a, mb, ma, 0
+		}
+	case d12 < d21:
+		large, small, ml, ms, shift = a, b, ma, mb, d12
+	default:
+		large, small, ml, ms, shift = b, a, mb, ma, d21
+	}
+	_ = small
+
+	// Align the smaller mantissa: guardBits of extra precision + sticky.
+	const guardBits = 3
+	ml <<= guardBits
+	ms <<= guardBits
+	gw := uint(w) + guardBits
+	var sticky uint64
+	if shift >= uint64(gw)+2 {
+		sticky = ms // entire small operand is below the guard bits
+		ms = 0
+	} else {
+		sticky = ms & ((uint64(1) << shift) - 1)
+		ms >>= shift
+	}
+
+	var sig uint64
+	var sign uint8
+	if a.Sign == b.Sign {
+		sign = a.Sign
+		sum := ml + ms // ≤ 2^(gw+2); gw ≤ 60 keeps this in range
+		exp := large.Exp
+		sw := gw
+		if sum>>(sw+1) != 0 { // ∈ [2, 4): normalize right
+			sticky |= sum & 1
+			sum >>= 1
+			exp = f.ringAdd(exp, 1)
+		}
+		out, c := roundTo(sum, sw, wt, sticky)
+		return Value{Sign: sign, Exp: f.ringAdd(exp, c), Frac: out & ((uint64(1) << wt) - 1), W: uint8(wt)}
+	}
+
+	// Opposite signs: subtract the aligned smaller magnitude.
+	sign = large.Sign
+	if sticky != 0 {
+		// Borrow one ulp for the sticky tail so rounding stays correct:
+		// ml - (ms + sticky·ε) = (ml - ms - 1) + (1 - sticky·ε).
+		sig = ml - ms - 1
+		sticky = (uint64(1) << shift) - sticky // remaining fraction, non-zero
+	} else {
+		sig = ml - ms
+	}
+	if sig == 0 && sticky == 0 {
+		// Exact cancellation. There is no true zero on the ring (§5.3.6);
+		// return a value negligibly small relative to the operands.
+		return Value{
+			Sign: 0,
+			Exp:  f.ringSub(large.Exp, uint64(wt)+2),
+			Frac: 0,
+			W:    uint8(wt),
+		}
+	}
+	if sig == 0 {
+		// The magnitude is entirely in the sticky tail, below one guard ulp
+		// of the large operand; clamp to a tiny value at that scale.
+		return Value{Sign: sign, Exp: f.ringSub(large.Exp, uint64(wt)+2), Frac: 0, W: uint8(wt)}
+	}
+	exp := large.Exp
+	// Renormalize left; sig may have lost up to gw leading bits.
+	top := 63 - bits.LeadingZeros64(sig) // index of leading one
+	want := int(gw)
+	if top < want {
+		n := uint(want - top)
+		sig <<= n
+		// shifted-in zeros are exact only if sticky == 0; fold sticky into
+		// the lowest bit so RNE still sees "something below".
+		exp = f.ringSub(exp, uint64(n))
+	}
+	out, c := roundTo(sig, gw, wt, sticky)
+	return Value{Sign: sign, Exp: f.ringAdd(exp, c), Frac: out & ((uint64(1) << wt) - 1), W: uint8(wt)}
+}
+
+// NoiseBytes is the keystream consumption per element: two 64-bit words.
+const NoiseBytes = 16
+
+// Noise draws the encryption noise F_k(r) ∈ F for element index idx of the
+// stream identified by nonce: uniform sign, uniform ring exponent, uniform
+// mantissa fraction at ciphertext width (l_mf = lm−δ+γ, l_ef = le+δ as
+// §5.3.1 specifies). Two PRF words are consumed per element.
+func (f Format) Noise(p prf.PRF, nonce, idx uint64) Value {
+	return f.noiseFromWords(p.Uint64(nonce, idx*2), p.Uint64(nonce, idx*2+1))
+}
+
+// NoiseFromBytes decodes one element's noise from its 16-byte keystream
+// span (bytes [16·idx, 16·idx+16) of the stream). Bit-identical to
+// Noise(p, nonce, idx) — the bulk-encrypt path generates the whole
+// keystream with one PRF call and slices it per element.
+func (f Format) NoiseFromBytes(b []byte) Value {
+	w0 := binary.LittleEndian.Uint64(b[0:8])
+	w1 := binary.LittleEndian.Uint64(b[8:16])
+	return f.noiseFromWords(w0, w1)
+}
+
+func (f Format) noiseFromWords(w0, w1 uint64) Value {
+	wt := f.FracBits()
+	return Value{
+		Sign: uint8(w1 & 1),
+		Exp:  (w1 >> 1) & f.expMask(),
+		Frac: w0 & ((uint64(1) << wt) - 1),
+		W:    uint8(wt),
+	}
+}
+
+// NoiseNoSign is Noise with a fixed positive sign. The v1 addition scheme
+// uses it: a shared random sign would be cancelled anyway (common factor),
+// but a positive noise keeps the reduced ciphertext's sign equal to the
+// sum's sign, which simplifies under/overflow detection after decryption.
+func (f Format) NoiseNoSign(p prf.PRF, nonce, idx uint64) Value {
+	v := f.Noise(p, nonce, idx)
+	v.Sign = 0
+	return v
+}

@@ -1,0 +1,103 @@
+package hfp
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets complement the property tests: the Go fuzzer explores the
+// bit-level corners of the software FPU (denormal-adjacent encodings,
+// ring-wrap exponents, rounding boundaries) that uniform random sampling
+// rarely hits.
+
+func FuzzPackUnpackRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(1), uint64(1023), uint64((1<<23)-1))
+	f.Add(uint8(0), uint64(1<<12), uint64(1<<52-1))
+	formats := []Format{FP16.ForAdd(0), BF16.ForAdd(2), FP32.ForMul(0), FP32.ForAdd(2), FP64.ForAdd(2)}
+	f.Fuzz(func(t *testing.T, sign uint8, exp, frac uint64) {
+		for _, fm := range formats {
+			v := Value{
+				Sign: sign & 1,
+				Exp:  exp & fm.expMask(),
+				Frac: frac & ((uint64(1) << fm.FracBits()) - 1),
+				W:    uint8(fm.FracBits()),
+			}
+			buf := make([]byte, fm.ByteSize())
+			fm.Pack(v, buf)
+			if got := fm.Unpack(buf); got != v {
+				t.Fatalf("%+v: %+v -> %+v", fm, v, got)
+			}
+		}
+	})
+}
+
+func FuzzEncodeDecodeStable(f *testing.F) {
+	f.Add(1.5)
+	f.Add(-3.25e10)
+	f.Add(5.877471754111438e-39)
+	f.Fuzz(func(t *testing.T, x float64) {
+		fm := FP64.ForAdd(2)
+		v, err := fm.Encode(x)
+		if err != nil {
+			return // out of range / non-finite, fine
+		}
+		y := fm.Decode(v)
+		// Decode∘Encode must be idempotent (a projection).
+		v2, err := fm.Encode(y)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %g failed: %v", y, err)
+		}
+		if v2 != v {
+			t.Fatalf("Encode not idempotent: %g -> %+v -> %g -> %+v", x, v, y, v2)
+		}
+	})
+}
+
+func FuzzMulDivInverse(f *testing.F) {
+	f.Add(uint64(100), uint64(5000), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, fa, fb uint64, ea, eb uint8) {
+		fm := FP32.ForMul(0)
+		w := uint8(fm.FracBits())
+		a := Value{Exp: uint64(ea) & fm.expMask(), Frac: fa & ((1 << fm.FracBits()) - 1), W: w}
+		b := Value{Exp: uint64(eb) & fm.expMask(), Frac: fb & ((1 << fm.FracBits()) - 1), W: w, Sign: 1}
+		// (a ⊗ b) ⊘ b must return a up to 2 ulp (two roundings).
+		got := fm.Div(fm.Mul(a, b), b)
+		if got.Sign != a.Sign {
+			t.Fatalf("sign flip: %+v * %+v -> %+v", a, b, got)
+		}
+		// Compare mantissa·2^exp on the ring via a float reconstruction of
+		// the ratio got/a, which must be within 2^-21 of 1.
+		ma := 1 + float64(a.Frac)/math.Ldexp(1, int(a.W))
+		mg := 1 + float64(got.Frac)/math.Ldexp(1, int(got.W))
+		de := int64(got.Exp) - int64(a.Exp)
+		if de > 1<<7 {
+			de -= 1 << 8 // ring wrap on the 8-bit exponent
+		}
+		if de < -(1 << 7) {
+			de += 1 << 8
+		}
+		ratio := mg / ma * math.Ldexp(1, int(de))
+		if math.Abs(ratio-1) > math.Ldexp(1, -int(fm.FracBits())+2) {
+			t.Fatalf("(a*b)/b drifted: ratio %g (a=%+v b=%+v got=%+v)", ratio, a, b, got)
+		}
+	})
+}
+
+func FuzzAddCommutesAndBounds(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(10), uint8(20))
+	f.Fuzz(func(t *testing.T, fa, fb uint64, ea, eb uint8) {
+		fm := FP32.ForAdd(2)
+		w := uint8(fm.FracBits())
+		a := Value{Exp: uint64(ea) & fm.expMask(), Frac: fa & ((1 << fm.FracBits()) - 1), W: w}
+		b := Value{Exp: uint64(eb) & fm.expMask(), Frac: fb & ((1 << fm.FracBits()) - 1), W: w}
+		ab := fm.Add(a, b)
+		ba := fm.Add(b, a)
+		if ab != ba {
+			t.Fatalf("Add not commutative: %+v vs %+v", ab, ba)
+		}
+		if ab.Frac >= 1<<fm.FracBits() || ab.Exp > fm.expMask() {
+			t.Fatalf("Add result out of field bounds: %+v", ab)
+		}
+	})
+}

@@ -1,0 +1,261 @@
+// Package hfp implements HFP, the HEAR floating point encoding of §5.3:
+// a software FPU for a non-IEEE float whose exponent lives on the ring
+// Z_{2^(le+δ)} instead of being capped, whose mantissa is hidden-one
+// normalized, and which supports the ⊗ operation (eq. 5), ring-exponent
+// addition with the two-difference comparison (§5.3.5), and the δ/γ
+// parameters trading ciphertext inflation for precision (Figure 3).
+//
+// The paper's FPU changes "can be emulated in software if the INC hardware
+// allows for this" — this package is that emulation. There are no
+// subnormals, no NaN/Inf, no exponent bias (two's complement instead), and
+// zero encodes as the smallest representable magnitude (§5.3.6).
+package hfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Format describes one HFP instantiation.
+//
+//	Le    — plaintext exponent bits (5/8/11 for FP16/FP32/FP64 analogues)
+//	Lm    — plaintext mantissa fraction bits (10/23/52)
+//	Delta — exponent expansion δ: 0 for the multiplication scheme, 2 for
+//	        addition (§5.3.5 derives why two extra bits are required)
+//	Gamma — ciphertext inflation γ ≥ 0 restoring mantissa precision
+//
+// Ciphertext layout: 1 sign bit, Le+δ exponent bits (ring), Lm−δ+γ
+// mantissa fraction bits — net inflation is exactly γ bits.
+type Format struct {
+	Le    uint
+	Lm    uint
+	Delta uint
+	Gamma uint
+}
+
+// Predefined plaintext shapes matching the paper's FP16/FP32/FP64 columns,
+// plus BF16 (the ML-training truncated float the paper's DNN workloads
+// increasingly use; same exponent range as FP32 with a 7-bit mantissa).
+var (
+	FP16 = Format{Le: 5, Lm: 10}
+	BF16 = Format{Le: 8, Lm: 7}
+	FP32 = Format{Le: 8, Lm: 23}
+	FP64 = Format{Le: 11, Lm: 52}
+)
+
+// ForMul returns the format configured for the multiplication scheme
+// (δ = 0) with inflation γ.
+func (f Format) ForMul(gamma uint) Format { f.Delta = 0; f.Gamma = gamma; return f }
+
+// ForAdd returns the format configured for the addition scheme (δ = 2)
+// with inflation γ.
+func (f Format) ForAdd(gamma uint) Format { f.Delta = 2; f.Gamma = gamma; return f }
+
+// EBits is the ciphertext exponent width le+δ.
+func (f Format) EBits() uint { return f.Le + f.Delta }
+
+// FracBits is the ciphertext mantissa fraction width lm−δ+γ.
+func (f Format) FracBits() uint { return f.Lm - f.Delta + f.Gamma }
+
+// CipherBits is the total ciphertext width in bits: 1 + (le+δ) + (lm−δ+γ)
+// = 1 + le + lm + γ, i.e. plaintext width plus γ.
+func (f Format) CipherBits() uint { return 1 + f.EBits() + f.FracBits() }
+
+// ByteSize is the byte-aligned wire cell for one ciphertext element. The
+// bit-level inflation reported by the benchmarks is CipherBits-based; the
+// runtime's buffers are byte-aligned for lane-parallel switch aggregation.
+func (f Format) ByteSize() int { return int(f.CipherBits()+7) / 8 }
+
+// Validate reports whether the format's widths fit the software FPU
+// (mantissa significands must fit in 64-bit words with guard room).
+func (f Format) Validate() error {
+	if f.Le < 2 || f.Le > 13 {
+		return fmt.Errorf("hfp: exponent width %d outside [2, 13]", f.Le)
+	}
+	if f.Lm < 3 || f.Lm > 52 {
+		return fmt.Errorf("hfp: mantissa width %d outside [3, 52]", f.Lm)
+	}
+	if f.Delta != 0 && f.Delta != 2 {
+		return fmt.Errorf("hfp: δ must be 0 (mul) or 2 (add), got %d", f.Delta)
+	}
+	if f.Gamma > 8 {
+		return fmt.Errorf("hfp: γ = %d unreasonably large", f.Gamma)
+	}
+	if f.Delta > f.Lm {
+		return errors.New("hfp: δ exceeds mantissa width")
+	}
+	return nil
+}
+
+// Value is one HFP number: sign, ring exponent, and mantissa fraction of
+// width W (the hidden leading one is implicit: significand = 1.Frac).
+// Plaintext values carry W = Lm; ciphertexts carry W = FracBits().
+type Value struct {
+	Sign uint8  // 0 positive, 1 negative
+	Exp  uint64 // element of Z_{2^EBits}; plaintexts embed two's complement
+	Frac uint64 // fraction bits, width W
+	W    uint8  // fraction width of Frac
+}
+
+// ErrNotFinite is returned when encoding NaN or ±Inf, which HFP cannot
+// represent (§5.3.6: caps break the ring security argument).
+var ErrNotFinite = errors.New("hfp: NaN and Inf are not representable")
+
+// ErrRange is returned when a value's exponent exceeds the plaintext range.
+var ErrRange = errors.New("hfp: exponent outside plaintext range")
+
+// expMask returns the ring mask for the format's exponent.
+func (f Format) expMask() uint64 { return (uint64(1) << f.EBits()) - 1 }
+
+// ringAdd / ringSub operate on the exponent ring.
+func (f Format) ringAdd(a, b uint64) uint64 { return (a + b) & f.expMask() }
+func (f Format) ringSub(a, b uint64) uint64 { return (a - b) & f.expMask() }
+
+// SignedExp decodes a ring exponent as an EBits-wide two's complement
+// integer. After a legitimate decryption the result lies in the plaintext
+// range; values outside it signal under/overflow (§5.3.6 uses exactly this
+// as the detection mechanism the extra δ bits enable).
+func (f Format) SignedExp(e uint64) int64 {
+	bits := f.EBits()
+	e &= f.expMask()
+	if e>>(bits-1) == 1 {
+		return int64(e) - (int64(1) << bits)
+	}
+	return int64(e)
+}
+
+// MinExp and MaxExp bound the plaintext exponent range (Le-bit two's
+// complement).
+func (f Format) MinExp() int64 { return -(int64(1) << (f.Le - 1)) }
+func (f Format) MaxExp() int64 { return (int64(1) << (f.Le - 1)) - 1 }
+
+// smallest returns the smallest-magnitude plaintext encoding, which also
+// serves as the representation of zero (§5.3.6).
+func (f Format) smallest() Value {
+	return Value{Sign: 0, Exp: uint64(f.MinExp()) & f.expMask(), Frac: 0, W: uint8(f.Lm)}
+}
+
+// Encode converts a float64 into the plaintext HFP representation
+// (W = Lm, exponent embedded into the δ-expanded ring). Zero and
+// underflowing magnitudes map to the smallest representable value;
+// NaN/Inf and overflow return errors.
+func (f Format) Encode(x float64) (Value, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return Value{}, ErrNotFinite
+	}
+	if x == 0 {
+		return f.smallest(), nil
+	}
+	var sign uint8
+	if math.Signbit(x) {
+		sign = 1
+		x = -x
+	}
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+	e := int64(exp - 1)        // significand m = frac*2 in [1, 2)
+	m := frac * 2
+	// Round the fraction to Lm bits, round-to-nearest-even.
+	scaled := (m - 1) * float64(uint64(1)<<f.Lm)
+	fr := uint64(math.RoundToEven(scaled))
+	if fr == uint64(1)<<f.Lm { // rounded up to 2.0
+		fr = 0
+		e++
+	}
+	if e > f.MaxExp() {
+		return Value{}, fmt.Errorf("%w: exponent %d > %d", ErrRange, e, f.MaxExp())
+	}
+	if e < f.MinExp() {
+		return f.smallest(), nil
+	}
+	return Value{Sign: sign, Exp: uint64(e) & f.expMask(), Frac: fr, W: uint8(f.Lm)}, nil
+}
+
+// Decode converts a Value back to float64, interpreting the exponent as
+// EBits-wide two's complement.
+func (f Format) Decode(v Value) float64 {
+	m := 1 + float64(v.Frac)/float64(uint64(1)<<v.W)
+	x := math.Ldexp(m, int(f.SignedExp(v.Exp)))
+	if v.Sign == 1 {
+		return -x
+	}
+	return x
+}
+
+// IsZeroEncoding reports whether v is the smallest-magnitude value used to
+// represent zero at plaintext level.
+func (f Format) IsZeroEncoding(v Value) bool {
+	return v.Frac == 0 && f.SignedExp(v.Exp) == f.MinExp()
+}
+
+// String renders a value as in the paper's Table 3, e.g. "1.75×2^7".
+func (f Format) String(v Value) string {
+	m := 1 + float64(v.Frac)/float64(uint64(1)<<v.W)
+	s := ""
+	if v.Sign == 1 {
+		s = "-"
+	}
+	return fmt.Sprintf("%s%g×2^%d", s, m, f.SignedExp(v.Exp))
+}
+
+// Pack writes v into dst (ByteSize bytes, little-endian bit layout:
+// fraction in the low bits, then the exponent, sign on top).
+func (f Format) Pack(v Value, dst []byte) {
+	w := f.FracBits()
+	eb := f.EBits()
+	// Assemble into a 128-bit little-endian accumulator.
+	var lo, hi uint64
+	lo = v.Frac & ((uint64(1) << w) - 1)
+	put := func(val uint64, at, n uint) {
+		if at < 64 {
+			lo |= val << at
+			if at+n > 64 {
+				hi |= val >> (64 - at)
+			}
+		} else {
+			hi |= val << (at - 64)
+		}
+	}
+	put(v.Exp&f.expMask(), w, eb)
+	put(uint64(v.Sign), w+eb, 1)
+	for i := 0; i < f.ByteSize(); i++ {
+		if i < 8 {
+			dst[i] = byte(lo >> (8 * uint(i)))
+		} else {
+			dst[i] = byte(hi >> (8 * uint(i-8)))
+		}
+	}
+}
+
+// Unpack reads a Value previously written by Pack. The value's width is
+// the ciphertext fraction width.
+func (f Format) Unpack(src []byte) Value {
+	var lo, hi uint64
+	for i := 0; i < f.ByteSize(); i++ {
+		if i < 8 {
+			lo |= uint64(src[i]) << (8 * uint(i))
+		} else {
+			hi |= uint64(src[i]) << (8 * uint(i-8))
+		}
+	}
+	get := func(at, n uint) uint64 {
+		var v uint64
+		if at < 64 {
+			v = lo >> at
+			if at+n > 64 {
+				v |= hi << (64 - at)
+			}
+		} else {
+			v = hi >> (at - 64)
+		}
+		return v & ((uint64(1) << n) - 1)
+	}
+	w := f.FracBits()
+	eb := f.EBits()
+	return Value{
+		Frac: get(0, w),
+		Exp:  get(w, eb),
+		Sign: uint8(get(w+eb, 1)),
+		W:    uint8(w),
+	}
+}

@@ -1,0 +1,491 @@
+package hfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hear/internal/prf"
+)
+
+func mustEncode(t *testing.T, f Format, x float64) Value {
+	t.Helper()
+	v, err := f.Encode(x)
+	if err != nil {
+		t.Fatalf("Encode(%g): %v", x, err)
+	}
+	return v
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestFormatDerivedWidths(t *testing.T) {
+	cases := []struct {
+		f          Format
+		eb, wb, cb uint
+		bytes      int
+	}{
+		{FP32.ForMul(0), 8, 23, 32, 4},
+		{FP32.ForAdd(0), 10, 21, 32, 4},
+		{FP32.ForAdd(2), 10, 23, 34, 5},
+		{FP16.ForAdd(0), 7, 8, 16, 2},
+		{FP64.ForAdd(2), 13, 52, 66, 9},
+		{FP64.ForMul(0), 11, 52, 64, 8},
+	}
+	for _, c := range cases {
+		if c.f.EBits() != c.eb || c.f.FracBits() != c.wb || c.f.CipherBits() != c.cb || c.f.ByteSize() != c.bytes {
+			t.Errorf("%+v: got (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				c.f, c.f.EBits(), c.f.FracBits(), c.f.CipherBits(), c.f.ByteSize(), c.eb, c.wb, c.cb, c.bytes)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Format{FP16.ForAdd(0), FP32.ForMul(2), FP64.ForAdd(2)}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%+v: %v", f, err)
+		}
+	}
+	bad := []Format{
+		{Le: 1, Lm: 10},
+		{Le: 5, Lm: 2},
+		{Le: 5, Lm: 10, Delta: 1},
+		{Le: 5, Lm: 10, Gamma: 20},
+		{Le: 14, Lm: 10},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%+v: expected error", f)
+		}
+	}
+}
+
+func TestEncodeRejectsSpecials(t *testing.T) {
+	f := FP32.ForAdd(0)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := f.Encode(x); err == nil {
+			t.Errorf("Encode(%v) accepted", x)
+		}
+	}
+}
+
+func TestEncodeZeroIsSmallest(t *testing.T) {
+	f := FP16.ForAdd(0)
+	v, err := f.Encode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZeroEncoding(v) {
+		t.Errorf("zero encoded as %s, not the smallest value", f.String(v))
+	}
+	if got := f.Decode(v); got != math.Ldexp(1, int(f.MinExp())) {
+		t.Errorf("Decode(zero-encoding) = %g", got)
+	}
+}
+
+func TestEncodeOverflowErrors(t *testing.T) {
+	f := FP16.ForAdd(0) // max exponent 15
+	if _, err := f.Encode(math.Ldexp(1, 16)); err == nil {
+		t.Error("2^16 accepted by FP16")
+	}
+	if _, err := f.Encode(math.Ldexp(1, 15)); err != nil {
+		t.Errorf("2^15 rejected: %v", err)
+	}
+}
+
+func TestEncodeUnderflowClampsToSmallest(t *testing.T) {
+	f := FP16.ForAdd(0)
+	v, err := f.Encode(math.Ldexp(1, -30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZeroEncoding(v) {
+		t.Errorf("underflow encoded as %s", f.String(v))
+	}
+}
+
+func TestEncodeDecodeRoundTripExact(t *testing.T) {
+	f := FP32.ForAdd(2) // γ=2 keeps all 23 fraction bits
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := float64(math.Float32frombits(rng.Uint32()))
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			continue
+		}
+		fr, e := math.Frexp(x)
+		_ = fr
+		if int64(e-1) > f.MaxExp() || int64(e-1) < f.MinExp() {
+			continue // IEEE subnormals fall below the HFP range
+		}
+		v, err := f.Encode(x)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", x, err)
+		}
+		if got := f.Decode(v); got != x {
+			t.Fatalf("round trip %g -> %g", x, got)
+		}
+	}
+}
+
+func TestEncodeRoundsToNearestEven(t *testing.T) {
+	f := Format{Le: 5, Lm: 4} // 4 fraction bits: ulp 1/16
+	// 1 + 3/32 is exactly between 1+1/16 and 1+2/16: ties to even -> 1+2/16? no:
+	// candidates frac=1 (odd) and frac=2 (even)... halfway rounds to even frac 2? RNE picks 2? halfway = 1.5 ulp -> frac 1.5 -> rounds to 2.
+	v := mustEncode(t, f, 1+3.0/32)
+	if v.Frac != 2 {
+		t.Errorf("frac = %d, want 2 (ties-to-even)", v.Frac)
+	}
+	// 1 + 1/32 is between frac 0 and 1: ties to even -> 0.
+	v = mustEncode(t, f, 1+1.0/32)
+	if v.Frac != 0 {
+		t.Errorf("frac = %d, want 0 (ties-to-even)", v.Frac)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	formats := []Format{FP16.ForAdd(0), FP16.ForAdd(2), FP32.ForMul(0), FP32.ForAdd(2), FP64.ForAdd(2), FP64.ForMul(0)}
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range formats {
+		buf := make([]byte, f.ByteSize())
+		for i := 0; i < 500; i++ {
+			v := Value{
+				Sign: uint8(rng.Intn(2)),
+				Exp:  rng.Uint64() & f.expMask(),
+				Frac: rng.Uint64() & ((uint64(1) << f.FracBits()) - 1),
+				W:    uint8(f.FracBits()),
+			}
+			f.Pack(v, buf)
+			got := f.Unpack(buf)
+			if got != v {
+				t.Fatalf("%+v: pack/unpack %+v -> %+v", f, v, got)
+			}
+		}
+	}
+}
+
+func TestMulMatchesFloat64(t *testing.T) {
+	for _, f := range []Format{FP32.ForMul(0), FP64.ForMul(0), FP16.ForMul(0)} {
+		tol := math.Ldexp(1, -int(f.FracBits()))
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 3000; i++ {
+			x := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(12)-6)
+			y := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(12)-6)
+			if rng.Intn(2) == 0 {
+				x = -x
+			}
+			a := mustEncode(t, f, x)
+			b := mustEncode(t, f, y)
+			got := f.Decode(f.Mul(a, b))
+			if relErr(got, x*y) > 3*tol {
+				t.Fatalf("%g * %g = %g, want %g (relerr %g)", x, y, got, x*y, relErr(got, x*y))
+			}
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	for _, f := range []Format{FP16.ForMul(0), FP32.ForMul(0), FP32.ForAdd(2), FP64.ForMul(0)} {
+		tol := 4 * math.Ldexp(1, -int(f.FracBits()))
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 3000; i++ {
+			x := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(8)-4)
+			y := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(8)-4)
+			a := mustEncode(t, f, x)
+			b := mustEncode(t, f, y)
+			got := f.Decode(f.Div(f.Mul(a, b), b))
+			if relErr(got, x) > tol {
+				t.Fatalf("%+v: (x*y)/y = %g, want %g", f, got, x)
+			}
+		}
+	}
+}
+
+func TestDivExactCases(t *testing.T) {
+	f := FP16.ForAdd(0)
+	a := mustEncode(t, f, 6.0)
+	b := mustEncode(t, f, 1.5)
+	if got := f.Decode(f.Div(a, b)); got != 4.0 {
+		t.Errorf("6/1.5 = %g", got)
+	}
+	if got := f.Decode(f.Div(a, a)); got != 1.0 {
+		t.Errorf("x/x = %g", got)
+	}
+}
+
+func TestAddMatchesFloat64(t *testing.T) {
+	for _, f := range []Format{FP32.ForAdd(2), FP64.ForAdd(2), FP16.ForAdd(2)} {
+		tol := 4 * math.Ldexp(1, -int(f.FracBits()))
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 3000; i++ {
+			x := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(10)-5)
+			y := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(10)-5)
+			if rng.Intn(2) == 0 {
+				y = -y
+			}
+			sum := x + y
+			if sum == 0 {
+				continue // exact cancellation measured separately
+			}
+			// Cancellation amplifies relative error by the condition number
+			// max(|x|,|y|)/|x+y|; scale the tolerance accordingly.
+			cond := math.Max(math.Abs(x), math.Abs(y)) / math.Abs(sum)
+			a := mustEncode(t, f, x)
+			b := mustEncode(t, f, y)
+			got := f.Decode(f.Add(a, b))
+			if relErr(got, sum) > tol*(cond+1) {
+				t.Fatalf("%+v: %g + %g = %g, want %g (relerr %g)", f, x, y, got, sum, relErr(got, sum))
+			}
+		}
+	}
+}
+
+func TestAddCommutes(t *testing.T) {
+	f := FP32.ForAdd(0)
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(xb, yb uint32) bool {
+		x := float64(math.Float32frombits(xb))
+		y := float64(math.Float32frombits(yb))
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		a, err1 := f.Encode(x)
+		b, err2 := f.Encode(y)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return f.Add(a, b) == f.Add(b, a)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddExactCancellationIsTiny(t *testing.T) {
+	f := FP32.ForAdd(2)
+	a := mustEncode(t, f, 3.25)
+	b := mustEncode(t, f, -3.25)
+	got := f.Decode(f.Add(a, b))
+	// No true zero on the ring: the result must be negligibly small
+	// relative to the operands.
+	if math.Abs(got) > 3.25*math.Ldexp(1, -int(f.FracBits())-1) {
+		t.Errorf("cancellation result %g too large", got)
+	}
+}
+
+// Homomorphic property of the v1 addition scheme: with a COMMON noise n,
+// Σ(x_i ⊗ n) ⊗ n⁻¹ ≈ Σ x_i, even when the noise drives exponents around
+// the ring (eq. 7, §5.3.3).
+func TestHomomorphicAdditionUnderRingWrap(t *testing.T) {
+	p, err := prf.New(prf.BackendAESFast, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Format{FP32.ForAdd(0), FP32.ForAdd(2), FP64.ForAdd(2), FP16.ForAdd(2)} {
+		tol := 64 * math.Ldexp(1, -int(f.FracBits()))
+		rng := rand.New(rand.NewSource(23))
+		for trial := 0; trial < 200; trial++ {
+			n := f.Noise(p, uint64(trial), 0)
+			var want float64
+			sumCipher := Value{}
+			first := true
+			for i := 0; i < 8; i++ {
+				x := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(6)-3)
+				if rng.Intn(3) == 0 {
+					x = -x
+				}
+				want += x
+				c := f.Mul(mustEncode(t, f, x), n)
+				if first {
+					sumCipher = c
+					first = false
+				} else {
+					sumCipher = f.Add(sumCipher, c)
+				}
+			}
+			if math.Abs(want) < 0.05 {
+				continue
+			}
+			got := f.Decode(f.Div(sumCipher, n))
+			if relErr(got, want) > tol {
+				t.Fatalf("%+v trial %d: decrypted sum %g, want %g (relerr %g, noise %s)",
+					f, trial, got, want, relErr(got, want), f.String(n))
+			}
+		}
+	}
+}
+
+// Homomorphic property of the multiplication scheme: per-rank noises with
+// telescoping ratios leave Πx ⊗ n_0 after reduction (eq. 6, §5.3.2).
+func TestHomomorphicMultiplicationTelescopes(t *testing.T) {
+	p, err := prf.New(prf.BackendAESFast, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FP64.ForMul(0)
+	tol := 64 * math.Ldexp(1, -int(f.FracBits()))
+	rng := rand.New(rand.NewSource(29))
+	const P = 6
+	for trial := 0; trial < 200; trial++ {
+		noises := make([]Value, P)
+		for i := range noises {
+			noises[i] = f.Noise(p, uint64(i), uint64(trial))
+		}
+		want := 1.0
+		var reduced Value
+		for i := 0; i < P; i++ {
+			x := (rng.Float64() + 0.5) * math.Ldexp(1, rng.Intn(4)-2)
+			want *= x
+			var c Value
+			xe := mustEncode(t, f, x)
+			if i == P-1 {
+				c = f.Mul(xe, noises[i])
+			} else {
+				c = f.Mul(xe, f.Div(noises[i], noises[i+1]))
+			}
+			if i == 0 {
+				reduced = c
+			} else {
+				reduced = f.Mul(reduced, c)
+			}
+		}
+		got := f.Decode(f.Div(reduced, noises[0]))
+		if relErr(got, want) > tol {
+			t.Fatalf("trial %d: decrypted product %g, want %g", trial, got, want)
+		}
+	}
+}
+
+// Table 3 of the paper, float half of the worked examples (FP16, le=5, lm=10).
+func TestTable3FloatSum(t *testing.T) {
+	f := FP16.ForAdd(0)
+	x1 := mustEncode(t, f, 1.75*math.Ldexp(1, 7))
+	x2 := mustEncode(t, f, 1.25*math.Ldexp(1, 9))
+	noise := mustEncode(t, f, 1.5*math.Ldexp(1, 13))
+
+	c1 := f.Mul(x1, noise)
+	c2 := f.Mul(x2, noise)
+	if got := f.Decode(c1); got != 1.3125*math.Ldexp(1, 21) {
+		t.Errorf("c1 = %s, want 1.3125×2^21", f.String(c1))
+	}
+	if got := f.Decode(c2); got != 1.875*math.Ldexp(1, 22) {
+		t.Errorf("c2 = %s, want 1.875×2^22", f.String(c2))
+	}
+	reduced := f.Add(c1, c2)
+	if got := f.Decode(reduced); got != 1.265625*math.Ldexp(1, 23) {
+		t.Errorf("reduced = %s, want 1.265625×2^23", f.String(reduced))
+	}
+	dec := f.Div(reduced, noise)
+	if got := f.Decode(dec); got != 1.6875*math.Ldexp(1, 9) {
+		t.Errorf("decrypted = %s, want 1.6875×2^9", f.String(dec))
+	}
+}
+
+func TestTable3FloatProd(t *testing.T) {
+	f := FP16.ForMul(0)
+	x1 := mustEncode(t, f, 1.125*math.Ldexp(1, 9))
+	x2 := mustEncode(t, f, 1.375*math.Ldexp(1, 1))
+	// Noise exponents 22 and −13 sit outside the FP16 *plaintext* range but
+	// are valid ring elements; build them directly.
+	negExp := int64(-13)
+	n1 := Value{Sign: 0, Exp: 22 & f.expMask(), Frac: 0x300, W: uint8(f.FracBits())}             // 1.75×2^22
+	n2 := Value{Sign: 0, Exp: uint64(negExp) & f.expMask(), Frac: 0x100, W: uint8(f.FracBits())} // 1.25×2^-13
+	c1 := f.Mul(x1, f.Div(n1, n2))
+	// On the 5-bit exponent ring (mod 32), Table 3's encrypted exponent 44
+	// appears as 44 mod 32 = 12 — the same ring element.
+	if e := f.SignedExp(c1.Exp); e != 12 {
+		t.Errorf("c1 ring exponent = %d, want 44 mod 32 = 12", e)
+	}
+	m1 := 1 + float64(c1.Frac)/math.Ldexp(1, int(c1.W))
+	if math.Abs(m1-1.575) > 1e-3 {
+		t.Errorf("c1 mantissa = %g, want ~1.575", m1)
+	}
+	c2 := f.Mul(x2, n2)
+	if got := f.Decode(c2); relErr(got, 1.71875*math.Ldexp(1, -12)) > 1e-3 {
+		t.Errorf("c2 = %s, want 1.719×2^-12", f.String(c2))
+	}
+	reduced := f.Mul(c1, c2)
+	dec := f.Div(reduced, n1)
+	if got := f.Decode(dec); relErr(got, 1.546875*math.Ldexp(1, 10)) > 1e-3 {
+		t.Errorf("decrypted = %s, want 1.547×2^10", f.String(dec))
+	}
+}
+
+func TestNoiseIsDeterministicAndInRange(t *testing.T) {
+	p, err := prf.New(prf.BackendAESFast, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FP32.ForAdd(2)
+	for idx := uint64(0); idx < 100; idx++ {
+		a := f.Noise(p, 5, idx)
+		b := f.Noise(p, 5, idx)
+		if a != b {
+			t.Fatal("noise not deterministic")
+		}
+		if a.Exp > f.expMask() || a.Frac >= uint64(1)<<f.FracBits() || a.Sign > 1 {
+			t.Fatalf("noise out of range: %+v", a)
+		}
+		if uint(a.W) != f.FracBits() {
+			t.Fatalf("noise width %d, want %d", a.W, f.FracBits())
+		}
+	}
+	if f.Noise(p, 1, 0) == f.Noise(p, 2, 0) {
+		t.Error("noise identical across nonces")
+	}
+	if f.NoiseNoSign(p, 3, 0).Sign != 0 {
+		t.Error("NoiseNoSign produced a negative value")
+	}
+}
+
+func TestSignedExpWrap(t *testing.T) {
+	f := FP16.ForAdd(0) // EBits = 7, ring mod 128
+	cases := []struct {
+		e    uint64
+		want int64
+	}{{0, 0}, {1, 1}, {63, 63}, {64, -64}, {127, -1}, {130, 2}}
+	for _, c := range cases {
+		if got := f.SignedExp(c.e); got != c.want {
+			t.Errorf("SignedExp(%d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMulFP32(b *testing.B) {
+	f := FP32.ForAdd(2)
+	x, _ := f.Encode(1.337)
+	n, _ := f.Encode(1.775)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, n)
+		x.Exp = 3 // prevent drift
+	}
+}
+
+func BenchmarkAddFP32(b *testing.B) {
+	f := FP32.ForAdd(2)
+	x, _ := f.Encode(1.337)
+	y, _ := f.Encode(2.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := f.Add(x, y)
+		_ = z
+	}
+}
+
+func BenchmarkDivFP32(b *testing.B) {
+	f := FP32.ForAdd(2)
+	x, _ := f.Encode(1.337)
+	y, _ := f.Encode(2.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := f.Div(x, y)
+		_ = z
+	}
+}

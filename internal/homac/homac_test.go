@@ -1,0 +1,298 @@
+package homac
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"hear/internal/keys"
+	"hear/internal/ring"
+)
+
+type seqReader struct{ next byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.next*73 + 11
+		r.next++
+	}
+	return len(p), nil
+}
+
+func genStates(t testing.TB, p int) []*keys.RankState {
+	t.Helper()
+	states, err := keys.Generate(p, keys.Config{Rand: &seqReader{next: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// fullRun tags random ciphertext vectors on every rank, aggregates both
+// lanes like the network would, and returns the reduced lanes plus states.
+func fullRun(t *testing.T, v *Vector, p, n int, tamper func(c []uint64, tags []uint64)) (int, []*keys.RankState) {
+	t.Helper()
+	states := genStates(t, p)
+	rng := rand.New(rand.NewSource(int64(p*1000 + n)))
+	var cT []uint64
+	var sigmaT []uint64
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		cipher := make([]uint64, n)
+		for j := range cipher {
+			cipher[j] = rng.Uint64()
+		}
+		tags := make([]uint64, n)
+		if err := v.Tag(states[i], cipher, tags); err != nil {
+			t.Fatal(err)
+		}
+		if cT == nil {
+			cT = append([]uint64(nil), cipher...)
+			sigmaT = append([]uint64(nil), tags...)
+		} else {
+			for j := range cT {
+				cT[j] += cipher[j] // data lane wraps mod 2^64
+			}
+			v.Aggregate(sigmaT, tags)
+		}
+	}
+	if tamper != nil {
+		tamper(cT, sigmaT)
+	}
+	return v.Verify(states[0], cT, sigmaT, p), states
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 1); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := New(ring.MersennePrime61, 0); err == nil {
+		t.Error("zero Z accepted")
+	}
+	if _, err := New(ring.MersennePrime61, ring.MersennePrime61); err == nil {
+		t.Error("Z ≡ 0 mod p accepted")
+	}
+}
+
+func TestVerifyAcceptsHonestAggregation(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 0xDEADBEEF12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 8, 16} {
+		if idx, _ := fullRun(t, v, p, 64, nil); idx != -1 {
+			t.Errorf("P=%d: honest aggregation rejected at element %d", p, idx)
+		}
+	}
+}
+
+func TestVerifyDetectsDataTampering(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 7777777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := fullRun(t, v, 4, 32, func(c []uint64, tags []uint64) {
+		c[17] += 5 // the malicious switch flips the data lane
+	})
+	if idx != 17 {
+		t.Errorf("tampered element not detected: got index %d, want 17", idx)
+	}
+}
+
+func TestVerifyDetectsTagTampering(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 31337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := fullRun(t, v, 4, 32, func(c []uint64, tags []uint64) {
+		tags[3] = tags[3] + 1
+	})
+	if idx != 3 {
+		t.Errorf("tampered tag not detected: got index %d, want 3", idx)
+	}
+}
+
+func TestVerifyDetectsDroppedContribution(t *testing.T) {
+	// A switch that drops one rank's pair entirely must be caught.
+	v, err := New(ring.MersennePrime61, 999331)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p, n = 3, 8
+	states := genStates(t, p)
+	var cT, sigmaT []uint64
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		cipher := make([]uint64, n)
+		for j := range cipher {
+			cipher[j] = uint64(i*100 + j)
+		}
+		tags := make([]uint64, n)
+		if err := v.Tag(states[i], cipher, tags); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			continue // dropped by the network
+		}
+		if cT == nil {
+			cT = append([]uint64(nil), cipher...)
+			sigmaT = append([]uint64(nil), tags...)
+		} else {
+			for j := range cT {
+				cT[j] += cipher[j]
+			}
+			v.Aggregate(sigmaT, tags)
+		}
+	}
+	if idx := v.Verify(states[0], cT, sigmaT, p); idx == -1 {
+		t.Error("dropped contribution went undetected")
+	}
+}
+
+func TestNaiveTagVerifyRoundTrip(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 0xFEED5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p, n = 4, 16
+	states := genStates(t, p)
+	starting := make([]uint64, p)
+	for i, s := range states {
+		starting[i] = s.SelfKey
+	}
+	var cT, sigmaT []uint64
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		cipher := make([]uint64, n)
+		for j := range cipher {
+			cipher[j] = uint64(i*1000 + j)
+		}
+		tags := make([]uint64, n)
+		if err := v.TagNaive(states[i], cipher, tags); err != nil {
+			t.Fatal(err)
+		}
+		if cT == nil {
+			cT = append([]uint64(nil), cipher...)
+			sigmaT = append([]uint64(nil), tags...)
+		} else {
+			for j := range cT {
+				cT[j] += cipher[j]
+			}
+			v.Aggregate(sigmaT, tags)
+		}
+	}
+	if idx := v.VerifyNaive(states[0], starting, cT, sigmaT, p); idx != -1 {
+		t.Errorf("honest naive aggregation rejected at %d", idx)
+	}
+	cT[3]++
+	if idx := v.VerifyNaive(states[0], starting, cT, sigmaT, p); idx != 3 {
+		t.Errorf("naive tamper detection: got %d, want 3", idx)
+	}
+}
+
+func TestNaiveTagBufferTooSmall(t *testing.T) {
+	v, _ := New(ring.MersennePrime61, 5)
+	states := genStates(t, 2)
+	if err := v.TagNaive(states[0], make([]uint64, 4), make([]uint64, 2)); err == nil {
+		t.Error("short tag buffer accepted")
+	}
+}
+
+func TestTagBufferTooSmall(t *testing.T) {
+	v, _ := New(ring.MersennePrime61, 5)
+	states := genStates(t, 2)
+	if err := v.Tag(states[0], make([]uint64, 4), make([]uint64, 2)); err == nil {
+		t.Error("short tag buffer accepted")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	v, _ := New(ring.MersennePrime61, 5)
+	if got := v.Overhead(64); got < 1.9 || got > 2.0 {
+		t.Errorf("Overhead(64) = %g, want ~1.95 (61-bit λ)", got)
+	}
+	if got := v.Overhead(32); got < 2.8 {
+		t.Errorf("Overhead(32) = %g, want ~2.9", got)
+	}
+}
+
+func TestBigHoMACRoundTrip(t *testing.T) {
+	b, err := NewBig(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lambda() != 128 {
+		t.Errorf("λ = %d", b.Lambda())
+	}
+	const p, n = 3, 16
+	states := genStates(t, p)
+	var cT []uint64
+	var sigmaT []*big.Int
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		cipher := make([]uint64, n)
+		for j := range cipher {
+			cipher[j] = uint64(j)*7 + uint64(i)
+		}
+		tags := make([]*big.Int, n)
+		if err := b.Tag(states[i], cipher, tags); err != nil {
+			t.Fatal(err)
+		}
+		if cT == nil {
+			cT = append([]uint64(nil), cipher...)
+			sigmaT = tags
+		} else {
+			for j := range cT {
+				cT[j] += cipher[j]
+			}
+			b.Aggregate(sigmaT, tags)
+		}
+	}
+	if idx := b.Verify(states[0], cT, sigmaT, p); idx != -1 {
+		t.Errorf("honest aggregation rejected at %d", idx)
+	}
+	cT[5] ^= 1
+	if idx := b.Verify(states[0], cT, sigmaT, p); idx != 5 {
+		t.Errorf("tamper detection: got %d, want 5", idx)
+	}
+}
+
+func TestNewBigValidation(t *testing.T) {
+	if _, err := NewBig(4); err == nil {
+		t.Error("λ=4 accepted")
+	}
+	if _, err := NewBig(10000); err == nil {
+		t.Error("λ=10000 accepted")
+	}
+}
+
+func BenchmarkTag64(b *testing.B) {
+	v, _ := New(ring.MersennePrime61, 12345)
+	states := genStates(b, 2)
+	cipher := make([]uint64, 1024)
+	tags := make([]uint64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Tag(states[0], cipher, tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTagBig128(b *testing.B) {
+	bg, err := NewBig(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := genStates(b, 2)
+	cipher := make([]uint64, 256)
+	tags := make([]*big.Int, 256)
+	b.SetBytes(256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bg.Tag(states[0], cipher, tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

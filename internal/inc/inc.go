@@ -1,0 +1,329 @@
+// Package inc simulates in-network computing (INC): an aggregation tree of
+// switches in the spirit of SHArP that reduces Allreduce traffic inside the
+// network instead of on the hosts. Switches execute the reduction operator
+// on opaque byte lanes — they hold no keys, which is the entire point of
+// HEAR: the ciphertexts they fold are all they ever see.
+//
+// The tree also carries an adversary tap: every frame crossing a switch can
+// be recorded, modelling the paper's threat model where "any elements
+// within the network, such as the NICs and routers, are untrusted" and the
+// adversary "can observe the whole network". The adversary experiments in
+// internal/adversary replay these captures.
+package inc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fold is the element-wise reduction a switch executes on two frames
+// (dst = dst ⊙ src). It must not inspect more than the frame bytes — the
+// switch has no keys and no datatype semantics beyond lane width.
+type Fold func(dst, src []byte)
+
+// Tap observes frames crossing the network. Implementations must be safe
+// for concurrent use; Observe receives a read-only view that is only valid
+// during the call (copy to retain).
+type Tap interface {
+	Observe(switchID, fromRank int, up bool, frame []byte)
+}
+
+// Stats aggregates traffic through the tree.
+type Stats struct {
+	mu          sync.Mutex
+	BytesUp     uint64 // host→root direction, including inter-switch hops
+	BytesDown   uint64 // root→host broadcast
+	FramesUp    uint64
+	FramesDown  uint64
+	Reductions  uint64 // fold operations executed in-network
+	SwitchCount int
+	Depth       int
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		BytesUp: s.BytesUp, BytesDown: s.BytesDown,
+		FramesUp: s.FramesUp, FramesDown: s.FramesDown,
+		Reductions: s.Reductions, SwitchCount: s.SwitchCount, Depth: s.Depth,
+	}
+}
+
+// node is one switch in the aggregation tree.
+type node struct {
+	id          int
+	parent      *node
+	numChildren int
+	depth       int
+}
+
+// Tree is an INC aggregation tree over numRanks hosts with the given
+// switch radix. All ranks of a round must submit equal-length buffers.
+type Tree struct {
+	numRanks int
+	radix    int
+	fold     Fold
+	leafOf   []*node // rank -> leaf switch
+	root     *node
+	nodes    []*node
+
+	mu      sync.Mutex
+	rankSeq []uint64          // per-rank collective call counter
+	rounds  map[uint64]*round // in-flight rounds by sequence number
+	tap     Tap
+	stats   Stats
+}
+
+// round is the state of one in-flight Allreduce.
+type round struct {
+	mu         sync.Mutex
+	perNode    map[int]*nodeAcc
+	done       chan struct{}
+	final      []byte
+	err        error
+	size       int // frame size, fixed by the first arriving rank
+	arrivedOut int // ranks that have copied the result out
+}
+
+type nodeAcc struct {
+	arrived int
+	acc     []byte
+}
+
+// NewTree builds a tree over numRanks hosts with switches of the given
+// radix (children per switch).
+func NewTree(numRanks, radix int, fold Fold) (*Tree, error) {
+	if numRanks < 1 {
+		return nil, fmt.Errorf("inc: numRanks %d < 1", numRanks)
+	}
+	if radix < 2 {
+		return nil, fmt.Errorf("inc: radix %d < 2", radix)
+	}
+	if fold == nil {
+		return nil, fmt.Errorf("inc: nil fold")
+	}
+	t := &Tree{
+		numRanks: numRanks,
+		radix:    radix,
+		fold:     fold,
+		leafOf:   make([]*node, numRanks),
+		rankSeq:  make([]uint64, numRanks),
+		rounds:   make(map[uint64]*round),
+	}
+	t.build()
+	t.stats.SwitchCount = len(t.nodes)
+	t.stats.Depth = t.depth()
+	return t, nil
+}
+
+// build constructs the switch layers bottom-up: ⌈P/k⌉ leaves, then ⌈/k⌉
+// per layer until one root remains.
+func (t *Tree) build() {
+	id := 0
+	newNode := func(children int) *node {
+		n := &node{id: id, numChildren: children}
+		id++
+		t.nodes = append(t.nodes, n)
+		return n
+	}
+	// Leaf layer.
+	var layer []*node
+	for start := 0; start < t.numRanks; start += t.radix {
+		endExcl := start + t.radix
+		if endExcl > t.numRanks {
+			endExcl = t.numRanks
+		}
+		leaf := newNode(endExcl - start)
+		for r := start; r < endExcl; r++ {
+			t.leafOf[r] = leaf
+		}
+		layer = append(layer, leaf)
+	}
+	// Upper layers.
+	for len(layer) > 1 {
+		var next []*node
+		for start := 0; start < len(layer); start += t.radix {
+			endExcl := start + t.radix
+			if endExcl > len(layer) {
+				endExcl = len(layer)
+			}
+			parent := newNode(endExcl - start)
+			for _, child := range layer[start:endExcl] {
+				child.parent = parent
+			}
+			next = append(next, parent)
+		}
+		layer = next
+	}
+	t.root = layer[0]
+	// Depth annotation (distance to the root).
+	for _, n := range t.nodes {
+		d := 0
+		for p := n; p.parent != nil; p = p.parent {
+			d++
+		}
+		n.depth = d
+	}
+}
+
+func (t *Tree) depth() int {
+	max := 0
+	for _, n := range t.nodes {
+		if n.depth > max {
+			max = n.depth
+		}
+	}
+	return max + 1 // host→leaf hop included
+}
+
+// SetTap installs (or clears, with nil) the adversary tap.
+func (t *Tree) SetTap(tap Tap) {
+	t.mu.Lock()
+	t.tap = tap
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (t *Tree) Stats() Stats { return t.stats.Snapshot() }
+
+// NumSwitches returns the number of switches in the tree.
+func (t *Tree) NumSwitches() int { return len(t.nodes) }
+
+// Depth returns the number of hops from a host to the root.
+func (t *Tree) Depth() int { return t.stats.Depth }
+
+func (t *Tree) observe(switchID, from int, up bool, frame []byte) {
+	t.mu.Lock()
+	tap := t.tap
+	t.mu.Unlock()
+	if tap != nil {
+		tap.Observe(switchID, from, up, frame)
+	}
+}
+
+func (t *Tree) getRound(seq uint64, size int) (*round, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rounds[seq]
+	if !ok {
+		r = &round{perNode: make(map[int]*nodeAcc), done: make(chan struct{}), size: size}
+		t.rounds[seq] = r
+		return r, nil
+	}
+	if r.size != size {
+		// Poison the whole round: the mismatched rank will never deposit,
+		// so ranks already waiting would block forever. Fail them all.
+		err := fmt.Errorf("inc: rank submitted %d B to a round of %d B frames", size, r.size)
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+			close(r.done)
+		}
+		r.mu.Unlock()
+		delete(t.rounds, seq)
+		return nil, err
+	}
+	return r, nil
+}
+
+func (t *Tree) finishRound(seq uint64) {
+	t.mu.Lock()
+	delete(t.rounds, seq)
+	t.mu.Unlock()
+}
+
+// Allreduce submits rank's buffer for in-network reduction and blocks
+// until the aggregate is written back into buf. All ranks must call it
+// collectively with equal-length buffers; calls across ranks pair up by
+// per-rank call order (MPI collective semantics).
+func (t *Tree) Allreduce(rank int, buf []byte) error {
+	if rank < 0 || rank >= t.numRanks {
+		return fmt.Errorf("inc: rank %d outside [0, %d)", rank, t.numRanks)
+	}
+	if len(buf) == 0 {
+		return fmt.Errorf("inc: empty frame")
+	}
+	t.mu.Lock()
+	seq := t.rankSeq[rank]
+	t.rankSeq[rank]++
+	t.mu.Unlock()
+
+	r, err := t.getRound(seq, len(buf))
+	if err != nil {
+		return err
+	}
+	// Inject the host frame into the leaf switch and combine upward. The
+	// last child to arrive at each switch carries the partial aggregate up.
+	frame := make([]byte, len(buf))
+	copy(frame, buf)
+	t.climb(r, t.leafOf[rank], rank, frame)
+
+	<-r.done
+	r.mu.Lock()
+	roundErr := r.err
+	r.mu.Unlock()
+	if roundErr != nil {
+		return roundErr
+	}
+	// Root broadcasts the aggregate back down; each host link carries one
+	// frame (the tap sees it, the host NIC receives it).
+	t.observe(t.leafOf[rank].id, -1, false, r.final)
+	t.stats.mu.Lock()
+	t.stats.BytesDown += uint64(len(r.final))
+	t.stats.FramesDown++
+	t.stats.mu.Unlock()
+	copy(buf, r.final)
+
+	// The last rank to copy out retires the round.
+	r.mu.Lock()
+	r.arrivedOut++
+	last := r.arrivedOut == t.numRanks
+	r.mu.Unlock()
+	if last {
+		t.finishRound(seq)
+	}
+	return nil
+}
+
+// climb delivers a frame to node n; when n has heard from all children it
+// forwards the combined frame to its parent (or publishes at the root).
+func (t *Tree) climb(r *round, n *node, fromRank int, frame []byte) {
+	t.observe(n.id, fromRank, true, frame)
+	t.stats.mu.Lock()
+	t.stats.BytesUp += uint64(len(frame))
+	t.stats.FramesUp++
+	t.stats.mu.Unlock()
+
+	r.mu.Lock()
+	acc, ok := r.perNode[n.id]
+	if !ok {
+		acc = &nodeAcc{}
+		r.perNode[n.id] = acc
+	}
+	if acc.acc == nil {
+		acc.acc = frame
+	} else {
+		t.fold(acc.acc, frame)
+		t.stats.mu.Lock()
+		t.stats.Reductions++
+		t.stats.mu.Unlock()
+	}
+	acc.arrived++
+	complete := acc.arrived == n.numChildren
+	combined := acc.acc
+	r.mu.Unlock()
+
+	if !complete {
+		return
+	}
+	if n.parent == nil {
+		r.mu.Lock()
+		r.final = combined
+		r.mu.Unlock()
+		close(r.done)
+		return
+	}
+	t.climb(r, n.parent, -1, combined)
+}

@@ -1,0 +1,104 @@
+package inc
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// Rounds may overlap arbitrarily: a fast rank can be several collectives
+// ahead of a slow one, and the per-sequence round state must keep them
+// separate. This drives R rounds back-to-back per rank with NO barrier
+// between rounds.
+func TestOverlappingRoundsNoBarrier(t *testing.T) {
+	const p, rounds = 8, 20
+	tr, err := NewTree(p, 4, sumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([][]error, p)
+	results := make([][]uint64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		errs[r] = make([]error, rounds)
+		results[r] = make([]uint64, rounds)
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, uint64(rank+1)*uint64(k+1))
+				errs[rank][k] = tr.Allreduce(rank, buf)
+				results[rank][k] = binary.LittleEndian.Uint64(buf)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		for k := 0; k < rounds; k++ {
+			if errs[r][k] != nil {
+				t.Fatalf("rank %d round %d: %v", r, k, errs[r][k])
+			}
+			want := uint64(p*(p+1)/2) * uint64(k+1)
+			if results[r][k] != want {
+				t.Fatalf("rank %d round %d: got %d, want %d", r, k, results[r][k], want)
+			}
+		}
+	}
+	if len(tr.rounds) != 0 {
+		t.Errorf("%d rounds leaked", len(tr.rounds))
+	}
+}
+
+// After a poisoned (mismatched) round, the tree must keep working for
+// subsequent rounds.
+func TestTreeRecoversAfterPoisonedRound(t *testing.T) {
+	const p = 2
+	tr, err := NewTree(p, 2, sumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	sizes := []int{8, 16}
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = tr.Allreduce(rank, make([]byte, sizes[rank]))
+		}(r)
+	}
+	wg.Wait()
+	bad := 0
+	for _, err := range errs {
+		if err != nil {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("mismatched round not rejected")
+	}
+	// Next round, consistent sizes: must succeed.
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, 5)
+			errs[rank] = tr.Allreduce(rank, buf)
+			if binary.LittleEndian.Uint64(buf) != 10 {
+				errs[rank] = errFormI("wrong sum after recovery")
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d after recovery: %v", r, err)
+		}
+	}
+}
+
+type errFormI string
+
+func (e errFormI) Error() string { return string(e) }

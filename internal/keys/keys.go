@@ -1,0 +1,170 @@
+// Package keys implements HEAR's key generation and per-rank key state
+// (§5, "Key Generation"). Initialization is per communicator: every rank i
+// draws a secret starting key k_s_i and shares it only with the ranks that
+// need it for the telescoping noise (its ring predecessor) — plus rank 0's
+// key, which every rank needs to decrypt. Rank 0 additionally draws the
+// collective key k_c, the encryption key k_e (the PRF key), and the
+// progression key k_p, and broadcasts them inside the secure environment.
+//
+// After initialization every rank holds exactly six keys — Θ(1) space
+// regardless of communicator size — and before each Allreduce the whole
+// communicator advances k_c ← F_{k_p}(k_c), which is what provides
+// temporal safety.
+package keys
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hear/internal/prf"
+)
+
+// KeyBytes is the PRF key length for k_e and k_p (AES-128).
+const KeyBytes = 16
+
+// RankState is the key material one rank is permitted to hold. It contains
+// rank i's own starting key, the successor's key (consumed by the canceling
+// noise term of eqs. 1–3 and 6), rank 0's key (consumed by decryption), and
+// the three collective secrets.
+type RankState struct {
+	Rank int
+	Size int
+
+	SelfKey uint64 // k_s_i
+	NextKey uint64 // k_s_{(i+1) mod P}
+	RootKey uint64 // k_s_0
+
+	collective uint64  // k_c, progressed before every Allreduce
+	Enc        prf.PRF // F keyed with k_e
+	prog       prf.PRF // F keyed with k_p
+}
+
+// Config controls key generation.
+type Config struct {
+	// Backend selects the PRF backend for k_e and k_p (default AES-CTR fast).
+	Backend string
+	// Rand is the entropy source; nil means crypto/rand.Reader. Tests may
+	// inject a deterministic reader.
+	Rand io.Reader
+}
+
+func (c *Config) fill() {
+	if c.Backend == "" {
+		c.Backend = prf.BackendAESFast
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Reader
+	}
+}
+
+// Generate runs the initialization phase for a communicator of size P and
+// returns one RankState per rank. In a deployment each state would exist
+// only inside that rank's secure environment; the slice models the result
+// of the secure exchange. The states deliberately contain *only* the keys
+// §5 grants each rank: k_s_i, k_s_{i+1}, k_s_0, k_c, k_e, k_p.
+func Generate(size int, cfg Config) ([]*RankState, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("keys: communicator size %d < 1", size)
+	}
+	cfg.fill()
+
+	starting := make([]uint64, size)
+	for i := range starting {
+		v, err := randUint64(cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+		starting[i] = v
+	}
+	kc, err := randUint64(cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	ke := make([]byte, KeyBytes)
+	if _, err := io.ReadFull(cfg.Rand, ke); err != nil {
+		return nil, fmt.Errorf("keys: drawing k_e: %w", err)
+	}
+	kp := make([]byte, KeyBytes)
+	if _, err := io.ReadFull(cfg.Rand, kp); err != nil {
+		return nil, fmt.Errorf("keys: drawing k_p: %w", err)
+	}
+
+	states := make([]*RankState, size)
+	for i := 0; i < size; i++ {
+		enc, err := prf.New(cfg.Backend, ke)
+		if err != nil {
+			return nil, fmt.Errorf("keys: constructing F_{k_e}: %w", err)
+		}
+		prog, err := prf.New(cfg.Backend, kp)
+		if err != nil {
+			return nil, fmt.Errorf("keys: constructing F_{k_p}: %w", err)
+		}
+		states[i] = &RankState{
+			Rank:       i,
+			Size:       size,
+			SelfKey:    starting[i],
+			NextKey:    starting[(i+1)%size],
+			RootKey:    starting[0],
+			collective: kc,
+			Enc:        enc,
+			prog:       prog,
+		}
+	}
+	return states, nil
+}
+
+// Advance progresses the collective key, k_c ← F_{k_p}(k_c). Every rank
+// calls it once at the start of each Allreduce; because k_p and the initial
+// k_c are shared, all ranks stay in lockstep without communication.
+func (s *RankState) Advance() {
+	s.collective = s.prog.Uint64(s.collective, 0)
+}
+
+// Collective returns the current k_c.
+func (s *RankState) Collective() uint64 { return s.collective }
+
+// SelfNonce is the stream identifier k_s_i + k_c for this rank's noise.
+func (s *RankState) SelfNonce() uint64 { return s.SelfKey + s.collective }
+
+// NextNonce is k_s_{i+1} + k_c, the canceling stream.
+func (s *RankState) NextNonce() uint64 { return s.NextKey + s.collective }
+
+// RootNonce is k_s_0 + k_c, the stream that survives the telescoping sum
+// and is subtracted (divided, XORed) out at decryption.
+func (s *RankState) RootNonce() uint64 { return s.RootKey + s.collective }
+
+// CollectiveNonce is k_c itself, used by the float v1 addition scheme whose
+// noise (eq. 7) depends only on the collective key — the documented reason
+// that scheme lacks global safety.
+func (s *RankState) CollectiveNonce() uint64 { return s.collective }
+
+// IsLast reports whether this rank is P−1, the rank whose noise term is
+// not canceled (eqs. 1–3) or that carries the plain noise factor (eq. 6).
+func (s *RankState) IsLast() bool { return s.Rank == s.Size-1 }
+
+// NewManual constructs a RankState from explicit key material. It exists
+// for tests and for reproducing the paper's Table 3 worked examples with
+// chosen noise; production code uses Generate. prog may be nil when the
+// caller never calls Advance.
+func NewManual(rank, size int, self, next, root, kc uint64, enc, prog prf.PRF) *RankState {
+	return &RankState{
+		Rank:       rank,
+		Size:       size,
+		SelfKey:    self,
+		NextKey:    next,
+		RootKey:    root,
+		collective: kc,
+		Enc:        enc,
+		prog:       prog,
+	}
+}
+
+func randUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("keys: drawing key: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

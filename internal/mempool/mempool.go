@@ -1,0 +1,83 @@
+// Package mempool is the pre-allocated block pool libhear uses on its
+// pipelined data path (§6, "Memory allocation"): intermediate send-buffer
+// blocks come from a pool sized at initialization, avoiding per-call
+// malloc and — on the real RDMA path — repeated memory registration. Here
+// it avoids per-block garbage and keeps the pipelined path allocation-free
+// in steady state.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool hands out fixed-size blocks.
+type Pool struct {
+	blockSize int
+	mu        sync.Mutex
+	free      [][]byte
+	allocated int
+	limit     int
+	hits      uint64
+	misses    uint64
+}
+
+// New creates a pool of blockSize-byte blocks, pre-populating it with
+// prealloc blocks. limit caps total blocks ever allocated (0 = unlimited);
+// Get beyond the cap returns an error instead of growing, mirroring a
+// pinned-memory budget.
+func New(blockSize, prealloc, limit int) (*Pool, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("mempool: block size %d <= 0", blockSize)
+	}
+	if prealloc < 0 || (limit > 0 && prealloc > limit) {
+		return nil, fmt.Errorf("mempool: prealloc %d outside [0, limit %d]", prealloc, limit)
+	}
+	p := &Pool{blockSize: blockSize, limit: limit}
+	for i := 0; i < prealloc; i++ {
+		p.free = append(p.free, make([]byte, blockSize))
+	}
+	p.allocated = prealloc
+	return p, nil
+}
+
+// BlockSize returns the fixed block size.
+func (p *Pool) BlockSize() int { return p.blockSize }
+
+// Get returns a block from the pool, growing it if under the limit.
+func (p *Pool) Get() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.hits++
+		return b, nil
+	}
+	if p.limit > 0 && p.allocated >= p.limit {
+		return nil, fmt.Errorf("mempool: exhausted (%d blocks of %d B)", p.limit, p.blockSize)
+	}
+	p.allocated++
+	p.misses++
+	return make([]byte, p.blockSize), nil
+}
+
+// Put returns a block. Foreign-sized blocks are rejected — accepting them
+// would corrupt the pool invariant.
+func (p *Pool) Put(b []byte) error {
+	if len(b) != p.blockSize {
+		return fmt.Errorf("mempool: block of %d B returned to pool of %d B blocks", len(b), p.blockSize)
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+	return nil
+}
+
+// Stats returns (hits, misses, allocated): hits are pool reuses, misses
+// are growth allocations.
+func (p *Pool) Stats() (hits, misses uint64, allocated int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.allocated
+}

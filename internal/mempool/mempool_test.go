@@ -1,0 +1,99 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := New(64, -1, 0); err == nil {
+		t.Error("negative prealloc accepted")
+	}
+	if _, err := New(64, 10, 5); err == nil {
+		t.Error("prealloc > limit accepted")
+	}
+}
+
+func TestGetPutReuse(t *testing.T) {
+	p, err := New(128, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Get()
+	if err != nil || len(a) != 128 {
+		t.Fatalf("Get: %v, %d B", err, len(a))
+	}
+	if err := p.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("pool did not reuse the returned block")
+	}
+	hits, misses, allocated := p.Stats()
+	if hits < 2 || misses != 0 || allocated != 2 {
+		t.Errorf("stats: hits=%d misses=%d allocated=%d", hits, misses, allocated)
+	}
+}
+
+func TestGrowthAndLimit(t *testing.T) {
+	p, err := New(16, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Get()
+	b, err := p.Get() // grows to the limit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); err == nil {
+		t.Error("pool exceeded its limit")
+	}
+	if err := p.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); err != nil {
+		t.Errorf("Get after Put failed: %v", err)
+	}
+	_ = b
+}
+
+func TestPutRejectsForeignBlock(t *testing.T) {
+	p, _ := New(32, 0, 0)
+	if err := p.Put(make([]byte, 16)); err == nil {
+		t.Error("foreign-sized block accepted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p, err := New(256, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b[0] = byte(i)
+				if err := p.Put(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype describes the element layout of a typed buffer.
+type Datatype struct {
+	Name string
+	Size int // bytes per element
+}
+
+// Predefined datatypes. HEAR ciphertext datatypes (odd sizes from γ > 0)
+// are created with CipherType.
+var (
+	Byte    = Datatype{Name: "byte", Size: 1}
+	Int32   = Datatype{Name: "int32", Size: 4}
+	Int64   = Datatype{Name: "int64", Size: 8}
+	Uint32  = Datatype{Name: "uint32", Size: 4}
+	Uint64  = Datatype{Name: "uint64", Size: 8}
+	Float32 = Datatype{Name: "float32", Size: 4}
+	Float64 = Datatype{Name: "float64", Size: 8}
+)
+
+// CipherType builds a datatype for HEAR ciphertext elements of the given
+// byte size (e.g. 5-byte FP32 ciphertexts at γ = 2).
+func CipherType(size int) Datatype {
+	return Datatype{Name: fmt.Sprintf("cipher%d", size*8), Size: size}
+}
+
+// Op is an elementwise reduction operator over wire buffers. Fold must
+// compute dst[j] = dst[j] ⊙ src[j] for n elements.
+type Op struct {
+	Name string
+	Fold func(dst, src []byte, n int)
+}
+
+// OpFrom wraps an arbitrary fold function (used to plug HEAR scheme
+// reductions into the collectives).
+func OpFrom(name string, fold func(dst, src []byte, n int)) Op {
+	return Op{Name: name, Fold: fold}
+}
+
+// Integer sums are wrapping (mod 2^width) — the property the lossless
+// integer schemes rely on.
+var (
+	SumInt32 = Op{Name: "sum-int32", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 4
+			binary.LittleEndian.PutUint32(dst[o:], binary.LittleEndian.Uint32(dst[o:])+binary.LittleEndian.Uint32(src[o:]))
+		}
+	}}
+	SumInt64 = Op{Name: "sum-int64", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 8
+			binary.LittleEndian.PutUint64(dst[o:], binary.LittleEndian.Uint64(dst[o:])+binary.LittleEndian.Uint64(src[o:]))
+		}
+	}}
+	ProdInt64 = Op{Name: "prod-int64", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 8
+			binary.LittleEndian.PutUint64(dst[o:], binary.LittleEndian.Uint64(dst[o:])*binary.LittleEndian.Uint64(src[o:]))
+		}
+	}}
+	BXor = Op{Name: "bxor", Fold: func(dst, src []byte, n int) {
+		// XOR is width-agnostic: fold the whole byte span regardless of the
+		// element size the count refers to.
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+	}}
+	SumFloat32 = Op{Name: "sum-float32", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 4
+			v := math.Float32frombits(binary.LittleEndian.Uint32(dst[o:])) + math.Float32frombits(binary.LittleEndian.Uint32(src[o:]))
+			binary.LittleEndian.PutUint32(dst[o:], math.Float32bits(v))
+		}
+	}}
+	SumFloat64 = Op{Name: "sum-float64", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 8
+			v := math.Float64frombits(binary.LittleEndian.Uint64(dst[o:])) + math.Float64frombits(binary.LittleEndian.Uint64(src[o:]))
+			binary.LittleEndian.PutUint64(dst[o:], math.Float64bits(v))
+		}
+	}}
+	MaxInt64 = Op{Name: "max-int64", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 8
+			a := int64(binary.LittleEndian.Uint64(dst[o:]))
+			b := int64(binary.LittleEndian.Uint64(src[o:]))
+			if b > a {
+				binary.LittleEndian.PutUint64(dst[o:], uint64(b))
+			}
+		}
+	}}
+	MinInt64 = Op{Name: "min-int64", Fold: func(dst, src []byte, n int) {
+		for j := 0; j < n; j++ {
+			o := j * 8
+			a := int64(binary.LittleEndian.Uint64(dst[o:]))
+			b := int64(binary.LittleEndian.Uint64(src[o:]))
+			if b < a {
+				binary.LittleEndian.PutUint64(dst[o:], uint64(b))
+			}
+		}
+	}}
+)
+
+// foldElems applies op over exactly count elements of datatype dt. The
+// slices are trimmed to the element span so byte-oriented folds (BXor) and
+// element-oriented folds see consistent extents.
+func foldElems(op Op, dt Datatype, dst, src []byte, count int) {
+	nb := count * dt.Size
+	op.Fold(dst[:nb], src[:nb], count)
+}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCollectiveArgumentErrors(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, 64)
+		// Bcast root range.
+		if err := c.Bcast(-1, buf); err == nil {
+			return fmt.Errorf("bcast root -1 accepted")
+		}
+		if err := c.Bcast(7, buf); err == nil {
+			return fmt.Errorf("bcast root 7 accepted")
+		}
+		// Reduce argument checks.
+		if err := c.Reduce(9, buf, buf, 1, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("reduce root 9 accepted")
+		}
+		if err := c.Reduce(0, buf, buf, 0, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("reduce count 0 accepted")
+		}
+		if c.Rank() == 0 {
+			if err := c.Reduce(0, buf, make([]byte, 4), 8, Uint64, SumInt64); err == nil {
+				return fmt.Errorf("short root recv accepted")
+			}
+		}
+		// Allgather/Alltoall buffers.
+		if err := c.Allgather(buf, make([]byte, 4), 8, Uint64); err == nil {
+			return fmt.Errorf("short allgather recv accepted")
+		}
+		if err := c.Alltoall(make([]byte, 4), buf, 8, Uint64); err == nil {
+			return fmt.Errorf("short alltoall send accepted")
+		}
+		// Gather/Scatter roots and buffers.
+		if err := c.Gather(5, buf, buf, 1, Uint64); err == nil {
+			return fmt.Errorf("gather root 5 accepted")
+		}
+		if err := c.Scatter(-2, buf, buf, 1, Uint64); err == nil {
+			return fmt.Errorf("scatter root -2 accepted")
+		}
+		if err := c.Scatter(0, buf, make([]byte, 2), 1, Uint64); err == nil {
+			return fmt.Errorf("short scatter recv accepted")
+		}
+		// Ring allreduce explicit with count < size.
+		if err := c.AllreduceAlgo(AlgoRing, buf, buf, 1, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("ring with count < size accepted")
+		}
+		// Unknown algorithm.
+		if err := c.AllreduceAlgo(Algorithm(42), buf, buf, 8, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("unknown algorithm accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIallreduceArgumentErrors(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, 8)
+		if _, err := c.Iallreduce(buf, buf, 0, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("zero-count iallreduce accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for algo, want := range map[Algorithm]string{
+		AlgoAuto:              "auto",
+		AlgoRing:              "ring",
+		AlgoRecursiveDoubling: "recursive-doubling",
+		AlgoReduceBcast:       "reduce-bcast",
+		Algorithm(9):          "algorithm(9)",
+	} {
+		if got := algo.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(algo), got, want)
+		}
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		if err := c.Allreduce(buf, buf, 1, Uint64, SumInt64); err != nil {
+			return err
+		}
+		if err := c.Bcast(0, buf); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		out := make([]byte, 8)
+		if err := c.Allgather(buf, out, 1, Uint64); err != nil {
+			return err
+		}
+		if err := c.Alltoall(buf, out, 1, Uint64); err != nil {
+			return err
+		}
+		recv := make([]byte, 8)
+		if err := c.Reduce(0, buf, recv, 1, Uint64, SumInt64); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldCommPanicsOutOfRange(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Comm(5) did not panic")
+		}
+	}()
+	w.Comm(5)
+}
+
+// In-place allreduce where send and recv alias but with reduce-bcast: the
+// non-root ranks must still end with the full result.
+func TestReduceBcastAllRanksGetResult(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, 8)
+		buf[0] = 1
+		if err := c.AllreduceAlgo(AlgoReduceBcast, buf, buf, 1, Uint64, SumInt64); err != nil {
+			return err
+		}
+		if buf[0] != p {
+			return fmt.Errorf("rank %d: %d", c.Rank(), buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

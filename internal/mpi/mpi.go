@@ -1,0 +1,280 @@
+// Package mpi is a from-scratch message-passing runtime with MPI-style
+// semantics: a World of P ranks (goroutines), point-to-point Send/Recv
+// with (source, tag) matching and per-pair FIFO ordering, and the
+// collectives HEAR relies on — Allreduce (four algorithms), the
+// non-blocking Iallreduce used by libhear's pipelining, Bcast, Reduce,
+// Allgather, Alltoall, Gather, Scatter, and Barrier.
+//
+// It substitutes for Cray MPICH in the paper's evaluation: HEAR only
+// depends on the collective call structure (P ranks reducing element-wise
+// with consistent indices), which this runtime provides with the same
+// semantics. Per-rank traffic counters let experiments report bandwidth
+// the way the paper does.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	from int
+	tag  int
+	data []byte
+}
+
+// mailbox is a rank's receive queue with MPI matching: messages arrive in
+// send order per (source, destination) pair, and Recv consumes the first
+// message matching (source, tag), leaving non-matching ones queued.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// AnySource matches messages from any rank.
+const AnySource = -1
+
+func (m *mailbox) get(from, tag int) (message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (from == AnySource || msg.from == from) && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return message{}, errors.New("mpi: world shut down while receiving")
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Stats counts a rank's traffic; experiments use it to report bandwidth
+// and to demonstrate INC's 2x host-traffic reduction.
+type Stats struct {
+	BytesSent     atomic.Uint64
+	BytesReceived atomic.Uint64
+	MessagesSent  atomic.Uint64
+}
+
+// World is a communicator universe of P in-process ranks.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+	stats     []Stats
+}
+
+// NewWorld creates a world of the given size. It panics on size < 1
+// because no program can make progress in an empty world.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{size: size, mailboxes: make([]*mailbox, size), stats: make([]Stats, size)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the traffic counters of a rank.
+func (w *World) Stats(rank int) *Stats { return &w.stats[rank] }
+
+// Comm returns the communicator handle for one rank. Each handle must be
+// used by a single goroutine at a time (like an MPI process).
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d outside world of size %d", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. Errors from all ranks are joined. A non-positive timeout means no
+// watchdog; with a timeout, a hung collective surfaces as an error instead
+// of deadlocking the test suite.
+func (w *World) Run(timeout time.Duration, body func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = body(w.Comm(rank))
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			for _, m := range w.mailboxes {
+				m.close()
+			}
+			<-done
+			return fmt.Errorf("mpi: world timed out after %v", timeout)
+		}
+	} else {
+		<-done
+	}
+	return errors.Join(errs...)
+}
+
+// Comm is one rank's communicator handle. The world communicator has a
+// nil group; sub-communicators created by Split carry a member list and a
+// disjoint tag namespace.
+type Comm struct {
+	world   *World
+	rank    int   // local rank within the communicator
+	group   []int // member world-ranks in rank order; nil = world
+	tagBase int   // tag namespace offset (0 for the world communicator)
+	collSeq int   // per-rank collective sequence; identical across ranks by MPI call-order semantics
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int {
+	if c.group != nil {
+		return len(c.group)
+	}
+	return c.world.size
+}
+
+// maxUserTag bounds user point-to-point tags; collective-internal tags
+// live above it so user traffic can never match collective traffic.
+const maxUserTag = 1 << 16
+
+// Send delivers a copy of buf to rank `to` under tag. It is buffered
+// (eager): it never blocks on the receiver.
+func (c *Comm) Send(to, tag int, buf []byte) error {
+	if err := c.checkPeer(to); err != nil {
+		return err
+	}
+	if tag < 0 || tag >= maxUserTag {
+		return fmt.Errorf("mpi: user tag %d outside [0, %d)", tag, maxUserTag)
+	}
+	c.send(to, c.tagBase+tag, buf)
+	return nil
+}
+
+// send is the internal unchecked path used by collectives. to is a
+// communicator-local rank; the wire tag must already be namespaced.
+func (c *Comm) send(to, tag int, buf []byte) {
+	data := make([]byte, len(buf))
+	copy(data, buf)
+	self := c.worldRank(c.rank)
+	dst := c.worldRank(to)
+	st := &c.world.stats[self]
+	st.BytesSent.Add(uint64(len(buf)))
+	st.MessagesSent.Add(1)
+	c.world.stats[dst].BytesReceived.Add(uint64(len(buf)))
+	c.world.mailboxes[dst].put(message{from: self, tag: tag, data: data})
+}
+
+// Recv blocks until a message from `from` (or AnySource) with tag arrives,
+// copies it into buf, and returns the payload length and the source rank.
+// A message longer than buf is an error (truncation would corrupt data).
+func (c *Comm) Recv(from, tag int, buf []byte) (int, int, error) {
+	if from != AnySource {
+		if err := c.checkPeer(from); err != nil {
+			return 0, 0, err
+		}
+	}
+	wireFrom := from
+	if from != AnySource {
+		wireFrom = c.worldRank(from)
+	}
+	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(wireFrom, c.tagBase+tag)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(msg.data) > len(buf) {
+		return 0, 0, fmt.Errorf("mpi: message of %d B exceeds receive buffer of %d B", len(msg.data), len(buf))
+	}
+	copy(buf, msg.data)
+	src := c.localRank(msg.from)
+	if src < 0 {
+		return 0, 0, fmt.Errorf("mpi: message from non-member world rank %d leaked into communicator", msg.from)
+	}
+	return len(msg.data), src, nil
+}
+
+// recv is the internal path used by collectives (tag already namespaced).
+func (c *Comm) recv(from, tag int, buf []byte) (int, error) {
+	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(c.worldRank(from), tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(msg.data) > len(buf) {
+		return 0, fmt.Errorf("mpi: internal message of %d B exceeds buffer of %d B", len(msg.data), len(buf))
+	}
+	copy(buf, msg.data)
+	return len(msg.data), nil
+}
+
+// Sendrecv performs a simultaneous exchange, safe against head-on
+// deadlock because sends are eager.
+func (c *Comm) Sendrecv(to, sendTag int, sendBuf []byte, from, recvTag int, recvBuf []byte) (int, error) {
+	if err := c.Send(to, sendTag, sendBuf); err != nil {
+		return 0, err
+	}
+	n, _, err := c.Recv(from, recvTag, recvBuf)
+	return n, err
+}
+
+func (c *Comm) checkPeer(rank int) error {
+	if rank < 0 || rank >= c.Size() {
+		return fmt.Errorf("mpi: peer rank %d outside communicator of size %d", rank, c.Size())
+	}
+	if rank == c.rank {
+		return fmt.Errorf("mpi: self-messaging not supported (rank %d)", rank)
+	}
+	return nil
+}
+
+// nextCollTag reserves a fresh tag block for one collective call. MPI
+// requires every rank to invoke collectives in the same order, so the
+// per-rank sequence numbers agree without communication.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return c.tagBase + maxUserTag + c.collSeq
+}

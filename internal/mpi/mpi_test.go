@@ -1,0 +1,613 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+const testTimeout = 30 * time.Second
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		buf := make([]byte, 16)
+		n, from, err := c.Recv(0, 7, buf)
+		if err != nil {
+			return err
+		}
+		if n != 5 || from != 0 || string(buf[:5]) != "hello" {
+			return fmt.Errorf("got %q from %d (%d B)", buf[:n], from, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(2, 1, []byte{0xA}); err != nil {
+				return err
+			}
+		case 1:
+			if err := c.Send(2, 2, []byte{0xB}); err != nil {
+				return err
+			}
+		case 2:
+			buf := make([]byte, 1)
+			// Receive tag 2 first even if tag 1 arrived earlier.
+			if _, _, err := c.Recv(1, 2, buf); err != nil {
+				return err
+			}
+			if buf[0] != 0xB {
+				return fmt.Errorf("tag 2 payload %#x", buf[0])
+			}
+			if _, _, err := c.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if buf[0] != 0xA {
+				return fmt.Errorf("tag 1 payload %#x", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, []byte{42})
+		}
+		buf := make([]byte, 1)
+		_, from, err := c.Recv(AnySource, 3, buf)
+		if err != nil {
+			return err
+		}
+		if from != 0 || buf[0] != 42 {
+			return fmt.Errorf("from=%d payload=%d", from, buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		const k = 100
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := c.Send(1, 5, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < k; i++ {
+			if _, _, err := c.Recv(0, 5, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order (%d)", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(5, 0, nil); err == nil {
+			return fmt.Errorf("out-of-range peer accepted")
+		}
+		if err := c.Send(0, 0, nil); err == nil {
+			return fmt.Errorf("self-send accepted")
+		}
+		if err := c.Send(1, maxUserTag, nil); err == nil {
+			return fmt.Errorf("oversized tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTruncationIsError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, make([]byte, 64))
+		}
+		_, _, err := c.Recv(0, 1, make([]byte, 8))
+		if err == nil {
+			return fmt.Errorf("truncating receive succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(100*time.Millisecond, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Rank 0 waits for a message that never comes.
+			_, _, err := c.Recv(1, 9, make([]byte, 1))
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("hung world did not time out")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+}
+
+func fillU64(rng *rand.Rand, n int) ([]byte, []uint64) {
+	buf := make([]byte, n*8)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+		binary.LittleEndian.PutUint64(buf[i*8:], vals[i])
+	}
+	return buf, vals
+}
+
+func testAllreduceSum(t *testing.T, algo Algorithm, p, count int) {
+	t.Helper()
+	w := NewWorld(p)
+	want := make([]uint64, count)
+	sends := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		rng := rand.New(rand.NewSource(int64(r*1000 + count)))
+		buf, vals := fillU64(rng, count)
+		sends[r] = buf
+		for j, v := range vals {
+			want[j] += v
+		}
+	}
+	err := w.Run(testTimeout, func(c *Comm) error {
+		recv := make([]byte, count*8)
+		if err := c.AllreduceAlgo(algo, sends[c.Rank()], recv, count, Uint64, SumInt64); err != nil {
+			return err
+		}
+		for j := 0; j < count; j++ {
+			if got := binary.LittleEndian.Uint64(recv[j*8:]); got != want[j] {
+				return fmt.Errorf("rank %d elem %d: got %d, want %d", c.Rank(), j, got, want[j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v p=%d count=%d: %v", algo, p, count, err)
+	}
+}
+
+func TestAllreduceAllAlgorithmsAllSizes(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoRing, AlgoRecursiveDoubling, AlgoReduceBcast, AlgoAuto} {
+		for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+			for _, count := range []int{16, 33, 1024} {
+				if algo == AlgoRing && count < p {
+					continue
+				}
+				testAllreduceSum(t, algo, p, count)
+			}
+		}
+	}
+}
+
+func TestAllreduceSmallCountFallsBackFromRing(t *testing.T) {
+	// Auto must handle count < size by picking recursive doubling.
+	testAllreduceSum(t, AlgoAuto, 8, 2)
+}
+
+func TestAllreduceInPlace(t *testing.T) {
+	const p, count = 4, 64
+	w := NewWorld(p)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, count*8)
+		for j := 0; j < count; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], uint64(c.Rank()+1))
+		}
+		if err := c.Allreduce(buf, buf, count, Uint64, SumInt64); err != nil {
+			return err
+		}
+		want := uint64(p * (p + 1) / 2)
+		for j := 0; j < count; j++ {
+			if got := binary.LittleEndian.Uint64(buf[j*8:]); got != want {
+				return fmt.Errorf("elem %d: got %d, want %d", j, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceErrors(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, 8)
+		if err := c.Allreduce(buf, buf, 0, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("zero count accepted")
+		}
+		if err := c.Allreduce(buf, buf, 2, Uint64, SumInt64); err == nil {
+			return fmt.Errorf("short buffer accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIallreduceOverlap(t *testing.T) {
+	const p, count = 4, 512
+	w := NewWorld(p)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		// Launch two non-blocking allreduces, then wait in reverse order.
+		a := make([]byte, count*8)
+		b := make([]byte, count*8)
+		for j := 0; j < count; j++ {
+			binary.LittleEndian.PutUint64(a[j*8:], 1)
+			binary.LittleEndian.PutUint64(b[j*8:], 2)
+		}
+		r1, err := c.Iallreduce(a, a, count, Uint64, SumInt64)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Iallreduce(b, b, count, Uint64, SumInt64)
+		if err != nil {
+			return err
+		}
+		if err := r2.Wait(); err != nil {
+			return err
+		}
+		if err := r1.Wait(); err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint64(a); got != uint64(p) {
+			return fmt.Errorf("first allreduce: %d, want %d", got, p)
+		}
+		if got := binary.LittleEndian.Uint64(b); got != uint64(2*p) {
+			return fmt.Errorf("second allreduce: %d, want %d", got, 2*p)
+		}
+		done, err := r1.Test()
+		if !done || err != nil {
+			return fmt.Errorf("Test after Wait: %v %v", done, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < p; root += 2 {
+			w := NewWorld(p)
+			payload := []byte{1, 2, 3, 4, 5}
+			err := w.Run(testTimeout, func(c *Comm) error {
+				buf := make([]byte, len(payload))
+				if c.Rank() == root {
+					copy(buf, payload)
+				}
+				if err := c.Bcast(root, buf); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, payload) {
+					return fmt.Errorf("rank %d got %v", c.Rank(), buf)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceToEveryRoot(t *testing.T) {
+	const p, count = 6, 16
+	for root := 0; root < p; root++ {
+		w := NewWorld(p)
+		err := w.Run(testTimeout, func(c *Comm) error {
+			send := make([]byte, count*8)
+			for j := 0; j < count; j++ {
+				binary.LittleEndian.PutUint64(send[j*8:], uint64(c.Rank()+j))
+			}
+			var recv []byte
+			if c.Rank() == root {
+				recv = make([]byte, count*8)
+			}
+			if err := c.Reduce(root, send, recv, count, Uint64, SumInt64); err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				for j := 0; j < count; j++ {
+					want := uint64(p*(p-1)/2 + p*j)
+					if got := binary.LittleEndian.Uint64(recv[j*8:]); got != want {
+						return fmt.Errorf("elem %d: got %d, want %d", j, got, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("root=%d: %v", root, err)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		w := NewWorld(p)
+		err := w.Run(testTimeout, func(c *Comm) error {
+			send := make([]byte, 8)
+			binary.LittleEndian.PutUint64(send, uint64(c.Rank()*11))
+			recv := make([]byte, p*8)
+			if err := c.Allgather(send, recv, 1, Uint64); err != nil {
+				return err
+			}
+			for i := 0; i < p; i++ {
+				if got := binary.LittleEndian.Uint64(recv[i*8:]); got != uint64(i*11) {
+					return fmt.Errorf("slot %d: got %d", i, got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		w := NewWorld(p)
+		err := w.Run(testTimeout, func(c *Comm) error {
+			send := make([]byte, p*8)
+			for i := 0; i < p; i++ {
+				binary.LittleEndian.PutUint64(send[i*8:], uint64(c.Rank()*100+i))
+			}
+			recv := make([]byte, p*8)
+			if err := c.Alltoall(send, recv, 1, Uint64); err != nil {
+				return err
+			}
+			for i := 0; i < p; i++ {
+				want := uint64(i*100 + c.Rank())
+				if got := binary.LittleEndian.Uint64(recv[i*8:]); got != want {
+					return fmt.Errorf("rank %d slot %d: got %d, want %d", c.Rank(), i, got, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		send := make([]byte, 4)
+		binary.LittleEndian.PutUint32(send, uint32(c.Rank()+1))
+		var gathered []byte
+		if c.Rank() == 2 {
+			gathered = make([]byte, p*4)
+		}
+		if err := c.Gather(2, send, gathered, 1, Uint32); err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			for i := 0; i < p; i++ {
+				if got := binary.LittleEndian.Uint32(gathered[i*4:]); got != uint32(i+1) {
+					return fmt.Errorf("gather slot %d: %d", i, got)
+				}
+			}
+		}
+		out := make([]byte, 4)
+		if err := c.Scatter(2, gathered, out, 1, Uint32); err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint32(out); got != uint32(c.Rank()+1) {
+			return fmt.Errorf("scatter returned %d to rank %d", got, c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 8
+	w := NewWorld(p)
+	var counter [p]int32
+	err := w.Run(testTimeout, func(c *Comm) error {
+		// Phase 1 writes, barrier, phase 2 reads: without a working barrier
+		// some rank would observe a zero.
+		counter[c.Rank()] = 1
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < p; i++ {
+			if counter[i] != 1 {
+				return fmt.Errorf("rank %d saw rank %d unarrived", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, make([]byte, 100))
+		}
+		_, _, err := c.Recv(0, 4, make([]byte, 100))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats(0).BytesSent.Load(); got != 100 {
+		t.Errorf("rank 0 sent %d B", got)
+	}
+	if got := w.Stats(1).BytesReceived.Load(); got != 100 {
+		t.Errorf("rank 1 received %d B", got)
+	}
+	if got := w.Stats(0).MessagesSent.Load(); got != 1 {
+		t.Errorf("rank 0 sent %d messages", got)
+	}
+}
+
+func TestMaxMinOps(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		v := int64(c.Rank()*10 - 15) // -15, -5, 5, 15
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		maxOut := make([]byte, 8)
+		if err := c.Allreduce(buf, maxOut, 1, Int64, MaxInt64); err != nil {
+			return err
+		}
+		if got := int64(binary.LittleEndian.Uint64(maxOut)); got != 15 {
+			return fmt.Errorf("max = %d", got)
+		}
+		minOut := make([]byte, 8)
+		if err := c.Allreduce(buf, minOut, 1, Int64, MinInt64); err != nil {
+			return err
+		}
+		if got := int64(binary.LittleEndian.Uint64(minOut)); got != -15 {
+			return fmt.Errorf("min = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBXorAllreduce(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	want := uint64(0)
+	for r := 0; r < p; r++ {
+		want ^= uint64(r)*0x9E3779B97F4A7C15 + 1
+	}
+	err := w.Run(testTimeout, func(c *Comm) error {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(c.Rank())*0x9E3779B97F4A7C15+1)
+		if err := c.Allreduce(buf, buf, 1, Uint64, BXor); err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != want {
+			return fmt.Errorf("xor = %#x, want %#x", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ count, size int }{{10, 3}, {7, 7}, {100, 8}, {5, 4}, {16, 16}} {
+		b := chunkBounds(tc.count, tc.size)
+		if len(b) != tc.size+1 || b[0] != 0 || b[tc.size] != tc.count {
+			t.Fatalf("chunkBounds(%d,%d) = %v", tc.count, tc.size, b)
+		}
+		for i := 0; i < tc.size; i++ {
+			d := b[i+1] - b[i]
+			if d < tc.count/tc.size || d > tc.count/tc.size+1 {
+				t.Fatalf("chunkBounds(%d,%d): chunk %d has %d elements", tc.count, tc.size, i, d)
+			}
+		}
+	}
+}
+
+func BenchmarkAllreduceRing16MiBWorld4(b *testing.B) {
+	benchAllreduce(b, AlgoRing, 4, 16<<20)
+}
+
+func BenchmarkAllreduceRD16BWorld4(b *testing.B) {
+	benchAllreduce(b, AlgoRecursiveDoubling, 4, 16)
+}
+
+func benchAllreduce(b *testing.B, algo Algorithm, p, bytes int) {
+	w := NewWorld(p)
+	count := bytes / 8
+	b.SetBytes(int64(bytes))
+	b.ResetTimer()
+	err := w.Run(0, func(c *Comm) error {
+		buf := make([]byte, count*8)
+		for i := 0; i < b.N; i++ {
+			if err := c.AllreduceAlgo(algo, buf, buf, count, Uint64, SumInt64); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

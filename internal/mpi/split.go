@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file adds MPI_Comm_split-style sub-communicators. A sub-communicator
+// is a view over the world: a member list of world ranks plus a tag
+// namespace, so its point-to-point and collective traffic can never match
+// another communicator's. HEAR initializes keys *per communicator* (§5),
+// which the hear package's InitOverComm exercises on top of Split.
+
+// worldRank translates a communicator-local rank to a world rank.
+func (c *Comm) worldRank(local int) int {
+	if c.group == nil {
+		return local
+	}
+	return c.group[local]
+}
+
+// localRank translates a world rank to this communicator's local rank, or
+// -1 when the rank is not a member.
+func (c *Comm) localRank(world int) int {
+	if c.group == nil {
+		return world
+	}
+	for i, w := range c.group {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColorExcluded marks a rank as not belonging to any result communicator
+// (MPI_UNDEFINED in the standard); Split then returns (nil, nil) for it.
+const ColorExcluded = -1
+
+// Split partitions the communicator: ranks passing equal non-negative
+// colors form a new communicator, ordered by (key, then current rank).
+// It is collective — every member must call it. Excluded ranks receive a
+// nil communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if color < ColorExcluded {
+		return nil, fmt.Errorf("mpi: split color %d < %d", color, ColorExcluded)
+	}
+	// Gather everyone's (color, key) — 16 bytes per rank.
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint64(rec, uint64(int64(color)))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(int64(key)))
+	all := make([]byte, 16*c.Size())
+	if err := c.Allgather(rec, all, 16, Byte); err != nil {
+		return nil, fmt.Errorf("mpi: split exchange: %w", err)
+	}
+	// The split sequence number is identical on every member because
+	// collectives execute in program order; it namespaces the child's tags.
+	splitSeq := c.collSeq // incremented by the Allgather above
+
+	if color == ColorExcluded {
+		return nil, nil
+	}
+	type member struct {
+		localRank int
+		key       int
+	}
+	var members []member
+	for r := 0; r < c.Size(); r++ {
+		col := int(int64(binary.LittleEndian.Uint64(all[r*16:])))
+		k := int(int64(binary.LittleEndian.Uint64(all[r*16+8:])))
+		if col == color {
+			members = append(members, member{localRank: r, key: k})
+		}
+	}
+	sort.SliceStable(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].localRank < members[j].localRank
+	})
+	group := make([]int, len(members))
+	myIdx := -1
+	for i, m := range members {
+		group[i] = c.worldRank(m.localRank)
+		if m.localRank == c.rank {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("mpi: split internal error: caller missing from its own color group")
+	}
+	// Child tag namespace: parent base shifted by the split sequence. Two
+	// groups born of the same Split share a base, but their member sets are
+	// disjoint, so (source, tag) matching cannot cross them.
+	childBase := c.tagBase + splitSeq*tagSpacePerComm
+	return &Comm{
+		world:   c.world,
+		rank:    myIdx,
+		group:   group,
+		tagBase: childBase,
+	}, nil
+}
+
+// tagSpacePerComm separates communicator tag namespaces. A communicator
+// may issue up to this many collectives (and user tags) before its tags
+// could collide with a sibling created later — far beyond any test or
+// example in this repository; a production runtime would recycle
+// communicator ids instead.
+const tagSpacePerComm = 1 << 24
+
+// Translate wraps this communicator's group for callers (like the hear
+// package's per-communicator key exchange) that need member identities.
+func (c *Comm) Group() []int {
+	if c.group == nil {
+		out := make([]int, c.world.size)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, len(c.group))
+	copy(out, c.group)
+	return out
+}

@@ -1,0 +1,289 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is a discrete-event cross-check of the analytic model: instead
+// of closed-form cost formulas, it evaluates the actual communication
+// dependency graph of an Allreduce algorithm — every rank's per-step
+// timeline, with message completion gated on both endpoints and on NIC
+// sharing — and reports the completion time. The scaling figures use the
+// analytic model (fast, smooth); the DES validates its shape and exposes
+// algorithm-level effects (stragglers, contention) the formulas average
+// away. Cross-validation lives in the tests and in `hearbench fig7`'s
+// methodology notes.
+
+// Algo selects the simulated Allreduce algorithm.
+type Algo int
+
+const (
+	// AlgoRingDES is reduce-scatter + allgather around a ring.
+	AlgoRingDES Algo = iota
+	// AlgoRecDoublingDES is ⌈log₂P⌉ full-vector exchanges.
+	AlgoRecDoublingDES
+	// AlgoTreeDES is a binomial reduce followed by a binomial broadcast.
+	AlgoTreeDES
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoRingDES:
+		return "ring"
+	case AlgoRecDoublingDES:
+		return "recursive-doubling"
+	case AlgoTreeDES:
+		return "reduce-bcast"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// Cluster is the simulated machine: ranks are block-distributed over
+// nodes (ranks [i·PPN, (i+1)·PPN) on node i).
+type Cluster struct {
+	Nodes int
+	PPN   int
+	// NICBandwidth is a node's injection/ejection bandwidth in B/s, shared
+	// by its ranks' concurrent inter-node flows.
+	NICBandwidth float64
+	// PerRankRate caps a single rank's injection processing (the MPI-stack
+	// bound the analytic model carries as Params.PerRankRate), B/s.
+	PerRankRate float64
+	// MemBandwidth is the per-rank effective copy/reduce bandwidth for
+	// intra-node transfers and fold operations, B/s.
+	MemBandwidth float64
+	// InterLatency / IntraLatency are per-message latencies in seconds.
+	InterLatency float64
+	IntraLatency float64
+}
+
+// AriesCluster mirrors AriesDefaults for the DES.
+func AriesCluster(nodes, ppn int) Cluster {
+	return Cluster{
+		Nodes:        nodes,
+		PPN:          ppn,
+		NICBandwidth: 12.5e9,
+		PerRankRate:  2.0e9,
+		MemBandwidth: 4.0e9,
+		InterLatency: 1.3e-6,
+		IntraLatency: 0.35e-6,
+	}
+}
+
+func (cl Cluster) ranks() int { return cl.Nodes * cl.PPN }
+
+func (cl Cluster) node(rank int) int { return rank / cl.PPN }
+
+// Validate rejects unusable clusters.
+func (cl Cluster) Validate() error {
+	if cl.Nodes < 1 || cl.PPN < 1 {
+		return fmt.Errorf("netsim: cluster %d nodes × %d ppn invalid", cl.Nodes, cl.PPN)
+	}
+	if cl.NICBandwidth <= 0 || cl.MemBandwidth <= 0 || cl.PerRankRate <= 0 {
+		return fmt.Errorf("netsim: non-positive bandwidths")
+	}
+	return nil
+}
+
+// transfer returns the time for one m-byte message between two ranks given
+// how many inter-node flows currently share each NIC.
+func (cl Cluster) transfer(from, to int, m int, interFlowsPerNode float64) float64 {
+	if cl.node(from) == cl.node(to) {
+		bw := math.Min(cl.MemBandwidth, cl.PerRankRate)
+		return cl.IntraLatency + float64(m)/bw
+	}
+	bw := math.Min(cl.NICBandwidth/math.Max(1, interFlowsPerNode), cl.PerRankRate)
+	return cl.InterLatency + float64(m)/bw
+}
+
+// foldTime is the cost of reducing m bytes into an accumulator.
+func (cl Cluster) foldTime(m int) float64 { return float64(m) / cl.MemBandwidth }
+
+// interFlows counts, for a round where every rank sends to a partner, the
+// maximum number of inter-node flows leaving any single node.
+func (cl Cluster) interFlows(partner func(r int) int) float64 {
+	counts := make([]int, cl.Nodes)
+	for r := 0; r < cl.ranks(); r++ {
+		p := partner(r)
+		if p >= 0 && p != r && cl.node(p) != cl.node(r) {
+			counts[cl.node(r)]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max)
+}
+
+// SimulateAllreduce evaluates the dependency graph of one msgBytes
+// Allreduce and returns its completion time (the slowest rank's finish).
+// startSkew optionally staggers rank start times (seconds per rank index)
+// to expose straggler amplification; pass 0 for a synchronized start.
+func (cl Cluster) SimulateAllreduce(algo Algo, msgBytes int, startSkew float64) (float64, error) {
+	if err := cl.Validate(); err != nil {
+		return 0, err
+	}
+	if msgBytes <= 0 {
+		return 0, fmt.Errorf("netsim: non-positive message")
+	}
+	p := cl.ranks()
+	t := make([]float64, p)
+	for r := range t {
+		t[r] = startSkew * float64(r)
+	}
+	if p == 1 {
+		return t[0], nil
+	}
+	switch algo {
+	case AlgoRecDoublingDES:
+		// Power-of-two participants only in the DES: fold the remainder
+		// into neighbours first, like the runtime does.
+		p2 := 1
+		for p2*2 <= p {
+			p2 *= 2
+		}
+		rem := p - p2
+		if rem > 0 {
+			flows := cl.interFlows(func(r int) int {
+				if r < 2*rem && r%2 == 1 {
+					return r - 1
+				}
+				return -1
+			})
+			for r := 0; r < 2*rem; r += 2 {
+				arr := t[r+1] + cl.transfer(r+1, r, msgBytes, flows)
+				t[r] = math.Max(t[r], arr) + cl.foldTime(msgBytes)
+			}
+		}
+		active := make([]int, 0, p2)
+		for r := 0; r < p; r++ {
+			if r < 2*rem && r%2 == 1 {
+				continue
+			}
+			active = append(active, r)
+		}
+		for mask := 1; mask < p2; mask <<= 1 {
+			flows := cl.interFlows(func(r int) int {
+				for i, a := range active {
+					if a == r {
+						return active[i^mask]
+					}
+				}
+				return -1
+			})
+			next := make([]float64, len(active))
+			for i, r := range active {
+				partner := active[i^mask]
+				arr := t[partner] + cl.transfer(partner, r, msgBytes, flows)
+				next[i] = math.Max(t[r], arr) + cl.foldTime(msgBytes)
+			}
+			for i, r := range active {
+				t[r] = next[i]
+			}
+		}
+		if rem > 0 {
+			flows := cl.interFlows(func(r int) int {
+				if r < 2*rem && r%2 == 0 {
+					return r + 1
+				}
+				return -1
+			})
+			for r := 0; r < 2*rem; r += 2 {
+				t[r+1] = math.Max(t[r+1], t[r]+cl.transfer(r, r+1, msgBytes, flows))
+			}
+		}
+	case AlgoRingDES:
+		chunk := (msgBytes + p - 1) / p
+		flows := cl.interFlows(func(r int) int { return (r + 1) % p })
+		for s := 0; s < 2*(p-1); s++ {
+			next := make([]float64, p)
+			fold := 0.0
+			if s < p-1 {
+				fold = cl.foldTime(chunk)
+			}
+			for r := 0; r < p; r++ {
+				left := (r - 1 + p) % p
+				arr := t[left] + cl.transfer(left, r, chunk, flows)
+				next[r] = math.Max(t[r], arr) + fold
+			}
+			t = next
+		}
+	case AlgoTreeDES:
+		// Binomial reduce to 0 then binomial broadcast.
+		for mask := 1; mask < p; mask <<= 1 {
+			flows := cl.interFlows(func(r int) int {
+				if r&mask != 0 && r^mask < r {
+					return r - mask
+				}
+				return -1
+			})
+			for r := 0; r < p; r++ {
+				if r&mask != 0 {
+					continue
+				}
+				src := r + mask
+				if src < p {
+					arr := t[src] + cl.transfer(src, r, msgBytes, flows)
+					t[r] = math.Max(t[r], arr) + cl.foldTime(msgBytes)
+				}
+			}
+		}
+		for mask := 1; mask < p; mask <<= 1 {
+			// broadcast wave: parents at multiples of 2*mask send to +mask
+			flows := cl.interFlows(func(r int) int {
+				if r%(2*mask) == 0 && r+mask < p {
+					return r + mask
+				}
+				return -1
+			})
+			for r := 0; r < p; r += 2 * mask {
+				dst := r + mask
+				if dst < p {
+					t[dst] = math.Max(t[dst], t[r]+cl.transfer(r, dst, msgBytes, flows))
+				}
+			}
+		}
+	default:
+		return 0, fmt.Errorf("netsim: unknown DES algorithm %v", algo)
+	}
+	max := 0.0
+	for _, x := range t {
+		if x > max {
+			max = x
+		}
+	}
+	return max, nil
+}
+
+// SimulateHEARAllreduce adds HEAR's measured crypto to the DES: every rank
+// encrypts before the collective and decrypts after. With block pipelining
+// the crypto overlaps communication, modeled as the larger of the two plus
+// one block of non-overlapped ramp at each end.
+func (cl Cluster) SimulateHEARAllreduce(algo Algo, msgBytes int, h *HEARCosts, pipelineBlock int) (float64, error) {
+	if h == nil {
+		return 0, fmt.Errorf("netsim: nil HEAR costs")
+	}
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	comm, err := cl.SimulateAllreduce(algo, int(float64(msgBytes)*h.Inflation), 0)
+	if err != nil {
+		return 0, err
+	}
+	enc := float64(msgBytes) / h.EncRate
+	dec := float64(msgBytes) / h.DecRate
+	if pipelineBlock <= 0 || pipelineBlock >= msgBytes {
+		// Synchronous: crypto serializes with communication.
+		return enc + comm + dec, nil
+	}
+	// Pipelined: the steady state is bound by the slower of crypto and
+	// communication; the ramp costs one block of crypto at each end.
+	blockFrac := float64(pipelineBlock) / float64(msgBytes)
+	steady := math.Max(comm, enc+dec)
+	return steady + (enc+dec)*blockFrac + h.PerCallLatency, nil
+}

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func defaultCosts() *HEARCosts {
+	return &HEARCosts{
+		EncRate:            9e9,
+		DecRate:            18e9,
+		PerCallLatency:     0.4e-6,
+		Inflation:          1.0,
+		PipelineEfficiency: 0.85,
+	}
+}
+
+func TestValidateHEARCosts(t *testing.T) {
+	bad := []HEARCosts{
+		{EncRate: 0, DecRate: 1, Inflation: 1},
+		{EncRate: 1, DecRate: 1, Inflation: 0.5},
+		{EncRate: 1, DecRate: 1, Inflation: 1, PipelineEfficiency: 1.5},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := defaultCosts().Validate(); err != nil {
+		t.Errorf("good costs rejected: %v", err)
+	}
+}
+
+func TestThroughputRejectsBadConfigs(t *testing.T) {
+	p := AriesDefaults()
+	if _, _, err := p.ThroughputPerNode(nil, 0, 1, 1024); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, _, err := p.ThroughputPerNode(nil, 2, 4, 1024); err == nil {
+		t.Error("ranks < nodes accepted")
+	}
+	if _, _, err := p.ThroughputPerNode(nil, 4, 2, 0); err == nil {
+		t.Error("zero message accepted")
+	}
+}
+
+// Figure 7 shape: native throughput per node rises with PPN on two nodes,
+// peaks near the paper's 11.1 GB/s, then declines moderately with node
+// count; HEAR tracks native at roughly 80%.
+func TestFigure7Shape(t *testing.T) {
+	p := AriesDefaults()
+	h := defaultCosts()
+	var prev float64
+	var peak float64
+	points := PaperPoints()
+	ratios := make([]float64, 0, len(points))
+	for i, pt := range points {
+		native, hear, err := p.ThroughputPerNode(h, pt.Ranks, pt.Nodes, 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Nodes == 2 && i > 0 && native < prev-1e-9 {
+			t.Errorf("PPN section not monotone: %v: %.2f after %.2f GB/s", pt, native/1e9, prev/1e9)
+		}
+		prev = native
+		if native > peak {
+			peak = native
+		}
+		ratios = append(ratios, hear/native)
+	}
+	if peak < 10e9 || peak > 12.5e9 {
+		t.Errorf("native peak %.2f GB/s, paper reports ~11.1", peak/1e9)
+	}
+	// Node scaling declines.
+	nFirst, _, _ := p.ThroughputPerNode(nil, 144, 4, 16<<20)
+	nLast, _, _ := p.ThroughputPerNode(nil, 1152, 32, 16<<20)
+	if nLast >= nFirst {
+		t.Errorf("node scaling does not decline: %g vs %g", nFirst, nLast)
+	}
+	// HEAR ≈ 80% of native everywhere (paper: "consistently achieving
+	// around 80%").
+	for i, r := range ratios {
+		if r < 0.7 || r > 0.98 {
+			t.Errorf("point %v: HEAR/native = %.2f outside [0.7, 0.98]", points[i], r)
+		}
+	}
+}
+
+// Figure 8 shape: latency grows with rank count, HEAR's overhead is small
+// and shrinks relative to the growing noise band.
+func TestFigure8Shape(t *testing.T) {
+	p := AriesDefaults()
+	h := defaultCosts()
+	var prevMean float64
+	for i, pt := range PaperPoints() {
+		native, hear, err := p.Latency(h, pt.Ranks, pt.Nodes, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if native.Mean <= 0 || native.Min > native.Mean || native.Mean > native.Max {
+			t.Fatalf("%v: malformed stats %+v", pt, native)
+		}
+		if i > 0 && native.Mean < prevMean-1e-12 {
+			t.Errorf("latency not monotone at %v", pt)
+		}
+		prevMean = native.Mean
+		if hear.Mean <= native.Mean {
+			t.Errorf("%v: HEAR latency %.2g not above native %.2g", pt, hear.Mean, native.Mean)
+		}
+		// At scale the HEAR mean must sit inside the native noise band —
+		// the paper's "overhead is small enough to hide within the network
+		// noise for a larger number of ranks".
+		if pt.Ranks >= 144 && hear.Mean > native.Max {
+			t.Errorf("%v: HEAR mean %.3g µs above native max %.3g µs", pt, hear.Mean*1e6, native.Max*1e6)
+		}
+	}
+	// Two-rank latency should be in the low microseconds like the paper's.
+	native, _, _ := p.Latency(nil, 2, 2, 16)
+	if native.Mean < 0.5e-6 || native.Mean > 5e-6 {
+		t.Errorf("2-rank latency %.2g s implausible for Aries", native.Mean)
+	}
+}
+
+func TestLatencyRejectsBadConfigs(t *testing.T) {
+	p := AriesDefaults()
+	if _, _, err := p.Latency(nil, 0, 1, 16); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, _, err := p.Latency(nil, 2, 4, 16); err == nil {
+		t.Error("ranks < nodes accepted")
+	}
+}
+
+// INC motivation: tree aggregation beats host-based allreduce latency by
+// the 3–18x the paper cites.
+func TestINCLatencyAdvantage(t *testing.T) {
+	p := AriesDefaults()
+	for _, ranks := range []int{64, 256, 1024} {
+		incLat, err := p.INCLatency(ranks, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, _, err := p.Latency(nil, ranks, ranks/32, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := host.Mean / incLat
+		if speedup < 2 || speedup > 30 {
+			t.Errorf("ranks=%d: INC speedup %.1fx outside the paper's 3-18x ballpark", ranks, speedup)
+		}
+	}
+}
+
+func TestINCLatencyValidation(t *testing.T) {
+	p := AriesDefaults()
+	if _, err := p.INCLatency(0, 4, 16); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := p.INCLatency(8, 1, 16); err == nil {
+		t.Error("radix 1 accepted")
+	}
+}
+
+func TestSingleRankDegenerate(t *testing.T) {
+	p := AriesDefaults()
+	native, hear, err := p.ThroughputPerNode(defaultCosts(), 1, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native <= 0 || hear <= 0 {
+		t.Error("degenerate config produced non-positive throughput")
+	}
+	nl, _, err := p.Latency(defaultCosts(), 1, 1, 16)
+	if err != nil || nl.Mean <= 0 {
+		t.Errorf("1-rank latency: %v %+v", err, nl)
+	}
+}
+
+func TestPaperPointsLayout(t *testing.T) {
+	pts := PaperPoints()
+	if len(pts) != 9 {
+		t.Fatalf("%d points, want 9", len(pts))
+	}
+	if pts[0] != (Point{2, 2}) || pts[len(pts)-1] != (Point{1152, 32}) {
+		t.Errorf("endpoints wrong: %v ... %v", pts[0], pts[len(pts)-1])
+	}
+	for _, pt := range pts[5:] {
+		if pt.Ranks/pt.Nodes != 36 {
+			t.Errorf("node-scaling point %v is not 36 PPN", pt)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package prf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// ChaCha20 backend, implemented from scratch (the standard library does
+// not export a ChaCha20 stream outside crypto/internal). It demonstrates
+// §8's extensibility claim — "libhear allows users to add new data types
+// and operations transparently" — with a PRF whose security rests on ARX
+// rounds instead of AES S-boxes: relevant for hosts without AES hardware.
+//
+// Layout: the original (djb) variant with a 64-bit block counter in words
+// 12–13 and a 64-bit nonce in words 14–15, which maps directly onto this
+// package's (nonce, blockIdx) keystream addressing. The quarter-round and
+// 20-round core match RFC 8439 and are pinned to its test vector.
+
+// chachaBlockBytes is the native ChaCha block size.
+const chachaBlockBytes = 64
+
+var (
+	sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574} // "expand 32-byte k"
+	tau   = [4]uint32{0x61707865, 0x3120646e, 0x79622d36, 0x6b206574} // "expand 16-byte k"
+)
+
+// quarterRound is the ARX core of RFC 8439 §2.1.
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+// chachaCore runs 20 rounds over state and serializes state+working into
+// out (RFC 8439 §2.3).
+func chachaCore(state *[16]uint32, out *[chachaBlockBytes]byte) {
+	var x [16]uint32
+	copy(x[:], state[:])
+	for i := 0; i < 10; i++ { // 10 double rounds = 20 rounds
+		// column rounds
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		// diagonal rounds
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(out[i*4:], x[i]+state[i])
+	}
+}
+
+type chachaPRF struct {
+	keyWords [8]uint32
+	constant [4]uint32
+}
+
+// NewChaCha20 returns the ChaCha20-based PRF. key must be 16 or 32 bytes
+// (16-byte keys use the original 128-bit "tau" constant with the key
+// repeated, per the original specification).
+func NewChaCha20(key []byte) (PRF, error) {
+	p := &chachaPRF{}
+	switch len(key) {
+	case 32:
+		p.constant = sigma
+		for i := 0; i < 8; i++ {
+			p.keyWords[i] = binary.LittleEndian.Uint32(key[i*4:])
+		}
+	case 16:
+		p.constant = tau
+		for i := 0; i < 4; i++ {
+			w := binary.LittleEndian.Uint32(key[i*4:])
+			p.keyWords[i] = w
+			p.keyWords[i+4] = w
+		}
+	default:
+		return nil, fmt.Errorf("prf: chacha20 key must be 16 or 32 bytes, got %d", len(key))
+	}
+	return p, nil
+}
+
+func (p *chachaPRF) Name() string { return "chacha20" }
+
+// state assembles the djb-layout state for one 64-byte block.
+func (p *chachaPRF) state(nonce, chachaIdx uint64) [16]uint32 {
+	var s [16]uint32
+	copy(s[0:4], p.constant[:])
+	copy(s[4:12], p.keyWords[:])
+	s[12] = uint32(chachaIdx)
+	s[13] = uint32(chachaIdx >> 32)
+	s[14] = uint32(nonce)
+	s[15] = uint32(nonce >> 32)
+	return s
+}
+
+// blockAt exposes the package's 16-byte block abstraction over the 64-byte
+// ChaCha blocks.
+func (p *chachaPRF) blockAt(dst *[BlockSize]byte, nonce, blockIdx uint64) {
+	st := p.state(nonce, blockIdx/4)
+	var out [chachaBlockBytes]byte
+	chachaCore(&st, &out)
+	copy(dst[:], out[(blockIdx%4)*BlockSize:])
+}
+
+func (p *chachaPRF) Keystream(dst []byte, nonce, off uint64) {
+	// Bulk path: emit whole 64-byte ChaCha blocks directly.
+	var out [chachaBlockBytes]byte
+	for len(dst) > 0 {
+		chachaIdx := off / chachaBlockBytes
+		inner := off % chachaBlockBytes
+		st := p.state(nonce, chachaIdx)
+		chachaCore(&st, &out)
+		n := copy(dst, out[inner:])
+		dst = dst[n:]
+		off += uint64(n)
+	}
+}
+
+func (p *chachaPRF) Uint64(nonce, idx uint64) uint64 {
+	return genericUint64(nonce, idx, p.blockAt)
+}

@@ -1,0 +1,96 @@
+// Package refmath provides the high-precision reference arithmetic the
+// paper obtains from MPFR/GMP: 1024-bit big.Float accumulation used as
+// ground truth when measuring HFP's precision loss (Figure 3) and the
+// libhear validation numbers (§6).
+package refmath
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Precision is the reference mantissa precision in bits, matching the
+// paper's "sum obtained using 1024 bits of precision".
+const Precision = 1024
+
+// Accumulator is a 1024-bit running sum or product.
+type Accumulator struct {
+	val  *big.Float
+	mode rune // '+' or '*'
+}
+
+// NewSum returns a zero-initialized 1024-bit summation accumulator.
+func NewSum() *Accumulator {
+	return &Accumulator{val: big.NewFloat(0).SetPrec(Precision), mode: '+'}
+}
+
+// NewProd returns a one-initialized 1024-bit product accumulator.
+func NewProd() *Accumulator {
+	return &Accumulator{val: big.NewFloat(1).SetPrec(Precision), mode: '*'}
+}
+
+// Add folds x into the accumulator with its operation.
+func (a *Accumulator) Add(x float64) {
+	t := new(big.Float).SetPrec(Precision).SetFloat64(x)
+	if a.mode == '+' {
+		a.val.Add(a.val, t)
+	} else {
+		a.val.Mul(a.val, t)
+	}
+}
+
+// Float64 rounds the reference value to float64.
+func (a *Accumulator) Float64() float64 {
+	f, _ := a.val.Float64()
+	return f
+}
+
+// RelErr returns |got − ref| / |ref| computed against the full-precision
+// reference (not its float64 rounding), the metric Figure 3 plots.
+func (a *Accumulator) RelErr(got float64) float64 {
+	ref := new(big.Float).SetPrec(Precision).Set(a.val)
+	diff := new(big.Float).SetPrec(Precision).SetFloat64(got)
+	diff.Sub(diff, ref)
+	diff.Abs(diff)
+	ref.Abs(ref)
+	if ref.Sign() == 0 {
+		f, _ := diff.Float64()
+		return f
+	}
+	diff.Quo(diff, ref)
+	out, _ := diff.Float64()
+	return out
+}
+
+// GeoMean returns the geometric mean of a sample of positive relative
+// errors — Figure 3's per-configuration summary statistic (errors span
+// orders of magnitude, so the geometric mean is the faithful average).
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("refmath: empty sample")
+	}
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			// exact results contribute the smallest representable error
+			x = 1e-300
+		}
+		sum += math.Log(x)
+		n++
+	}
+	return math.Exp(sum / float64(n)), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("refmath: empty sample")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}

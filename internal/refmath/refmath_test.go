@@ -1,0 +1,85 @@
+package refmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumMatchesExactArithmetic(t *testing.T) {
+	acc := NewSum()
+	for i := 1; i <= 100; i++ {
+		acc.Add(float64(i))
+	}
+	if got := acc.Float64(); got != 5050 {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+func TestProdMatchesExactArithmetic(t *testing.T) {
+	acc := NewProd()
+	for i := 1; i <= 10; i++ {
+		acc.Add(float64(i))
+	}
+	if got := acc.Float64(); got != 3628800 {
+		t.Errorf("10! = %g", got)
+	}
+}
+
+// The whole point of the 1024-bit reference: it must capture cancellation
+// that float64 loses.
+func TestReferenceBeatsFloat64(t *testing.T) {
+	acc := NewSum()
+	big := 1e20
+	acc.Add(big)
+	acc.Add(1)
+	acc.Add(-big)
+	if got := acc.Float64(); got != 1 {
+		t.Errorf("1e20 + 1 - 1e20 = %g at 1024 bits, want exactly 1", got)
+	}
+	// float64 gets 0 here.
+	if f := big + 1 - big; f == 1 {
+		t.Skip("platform float64 unexpectedly exact; reference comparison moot")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	acc := NewSum()
+	acc.Add(4)
+	if got := acc.RelErr(4); got != 0 {
+		t.Errorf("exact value has relerr %g", got)
+	}
+	if got := acc.RelErr(5); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("relerr(5 vs 4) = %g, want 0.25", got)
+	}
+	zero := NewSum()
+	if got := zero.RelErr(0.5); got != 0.5 {
+		t.Errorf("relerr against zero reference = %g, want abs value", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1e-6, 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1e-7)/1e-7 > 1e-9 {
+		t.Errorf("geomean = %g, want 1e-7", got)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// Zero entries are clamped, not fatal (exact results happen).
+	if _, err := GeoMean([]float64{0, 1e-7}); err != nil {
+		t.Errorf("zero entry rejected: %v", err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3})
+	if err != nil || got != 2 {
+		t.Errorf("mean = %g, %v", got, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

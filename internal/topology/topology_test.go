@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	n, err := FatTree(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Hosts()); got != 16 {
+		t.Errorf("hosts = %d", got)
+	}
+	if got := n.NumSwitches(); got != 6 {
+		t.Errorf("switches = %d, want 4 leaves + 2 spines", got)
+	}
+	// host links + leaf-spine links
+	if got := len(n.Links); got != 16+4*2 {
+		t.Errorf("links = %d", got)
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	if _, err := FatTree(0, 4, 2); err == nil {
+		t.Error("0 leaves accepted")
+	}
+	if _, err := Dragonfly(1, 2, 2); err == nil {
+		t.Error("1-group dragonfly accepted")
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	n, err := FatTree(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same leaf: host-leaf-host = 2 hops.
+	if h, _ := n.Hops(0, 1); h != 2 {
+		t.Errorf("same-leaf hops = %d, want 2", h)
+	}
+	// Cross leaf: host-leaf-spine-leaf-host = 4 hops.
+	if h, _ := n.Hops(0, 5); h != 4 {
+		t.Errorf("cross-leaf hops = %d, want 4", h)
+	}
+	if _, err := n.Hops(0, 999); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	n, err := Dragonfly(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Hosts()); got != 24 {
+		t.Errorf("hosts = %d", got)
+	}
+	if got := n.NumSwitches(); got != 12 {
+		t.Errorf("routers = %d", got)
+	}
+	// Every pair of hosts must be connected (global links join all groups).
+	hosts := n.Hosts()
+	if _, err := n.ShortestPath(hosts[0], hosts[len(hosts)-1]); err != nil {
+		t.Errorf("cross-group path missing: %v", err)
+	}
+	// Dragonfly diameter is small: host-router, intra, global, intra, router-host.
+	maxHops := 0
+	for i, a := range hosts {
+		for _, b := range hosts[i+1:] {
+			h, err := n.Hops(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	if maxHops > 5 {
+		t.Errorf("dragonfly diameter %d, want <= 5", maxHops)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	n, _ := FatTree(2, 2, 1)
+	p, err := n.ShortestPath(0, 0)
+	if err != nil || len(p) != 1 {
+		t.Errorf("self path = %v (%v)", p, err)
+	}
+}
+
+func TestLinkLoadsConservation(t *testing.T) {
+	n, _ := FatTree(2, 2, 1)
+	flows := []Flow{{From: 0, To: 3, Bytes: 100}} // cross-leaf: 4 links
+	loads, total, err := n.LinkLoads(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 400 {
+		t.Errorf("total link-bytes = %d, want 100 × 4 hops", total)
+	}
+	nonZero := 0
+	for _, l := range loads {
+		if l > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 4 {
+		t.Errorf("%d links loaded, want 4", nonZero)
+	}
+	if _, _, err := n.LinkLoads([]Flow{{From: 0, To: 1, Bytes: -5}}); err == nil {
+		t.Error("negative flow accepted")
+	}
+}
+
+func TestMaxLoadAndAverageHops(t *testing.T) {
+	if MaxLoad([]int64{3, 9, 1}) != 9 {
+		t.Error("MaxLoad wrong")
+	}
+	n, _ := FatTree(2, 2, 1)
+	avg, err := n.AverageHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 same-leaf pairs at 2 hops, 4 cross-leaf pairs at 4 hops: (2·2+4·4)/6.
+	want := (2.0*2 + 4.0*4) / 6
+	if avg != want {
+		t.Errorf("average hops = %g, want %g", avg, want)
+	}
+}
+
+func TestRingAllreduceFlows(t *testing.T) {
+	hosts := []int{0, 1, 2, 3}
+	flows := RingAllreduceFlows(hosts, 1000)
+	if len(flows) != 4 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	for _, f := range flows {
+		if f.Bytes != 1500 { // 2·(P−1)/P·M = 2·3/4·1000
+			t.Errorf("flow bytes = %d, want 1500", f.Bytes)
+		}
+	}
+	if RingAllreduceFlows([]int{0}, 10) != nil {
+		t.Error("1-host ring should be empty")
+	}
+}
+
+// The aggregation property: INC link loads never exceed 2·msgBytes per
+// link no matter how many hosts share the path.
+func TestINCLinkLoadsAggregation(t *testing.T) {
+	n, _ := FatTree(4, 8, 2) // 32 hosts
+	loads, total, err := n.INCLinkLoads(n.Hosts(), n.Hosts()[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range loads {
+		if l > 2000 {
+			t.Errorf("link %d carries %d B — aggregation did not merge", i, l)
+		}
+	}
+	if total == 0 {
+		t.Error("no INC traffic")
+	}
+}
+
+// The headline number: on realistic fabrics, host-based ring traffic is
+// about 2x the in-network aggregation traffic — the paper's INC bandwidth
+// motivation, computed from the graph rather than cited.
+func TestReductionFactorNearTwo(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  func() (*Network, error)
+	}{
+		{"fat-tree 4x8", func() (*Network, error) { return FatTree(4, 8, 2) }},
+		{"fat-tree 8x4", func() (*Network, error) { return FatTree(8, 4, 4) }},
+		{"dragonfly 4x3x2", func() (*Network, error) { return Dragonfly(4, 3, 2) }},
+	} {
+		n, err := tc.net()
+		if err != nil {
+			t.Fatal(err)
+		}
+		factor, err := n.ReductionFactor(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factor < 1.2 || factor > 4.0 {
+			t.Errorf("%s: reduction factor %.2f outside the ~2x ballpark", tc.name, factor)
+		}
+	}
+}
+
+func TestTreeAggregationFlowsShape(t *testing.T) {
+	flows := TreeAggregationFlows([]int{0, 1, 2}, 0, 500)
+	if len(flows) != 4 { // 2 hosts × 2 directions
+		t.Errorf("%d flows", len(flows))
+	}
+}

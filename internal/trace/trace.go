@@ -1,0 +1,198 @@
+// Package trace provides the phase timers behind Figure 4's critical-path
+// breakdown: one Allreduce call decomposes into mem_alloc, encrypt, comm,
+// decrypt, and mem_free, and the breakdown reports each phase's share of
+// the total. The paper samples x86 RDTSC; we sample the monotonic clock
+// and convert to cycles at a nominal frequency for like-for-like plots.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase names in critical-path order, matching Figure 4's legend.
+const (
+	PhaseMemAlloc = "mem_alloc"
+	PhaseEncrypt  = "encrypt"
+	PhaseComm     = "comm"
+	PhaseDecrypt  = "decrypt"
+	PhaseMemFree  = "mem_free"
+)
+
+// PhaseOrder is the canonical rendering order.
+var PhaseOrder = []string{PhaseMemAlloc, PhaseEncrypt, PhaseComm, PhaseDecrypt, PhaseMemFree}
+
+// NominalGHz converts durations to the paper's cycle axis (the testbed's
+// Xeon E5-2695 v4 runs at 2.10 GHz).
+const NominalGHz = 2.10
+
+// Breakdown accumulates per-phase durations over many iterations.
+type Breakdown struct {
+	totals map[string]time.Duration
+	counts map[string]int
+	// KeepSamples retains every duration so Median is available — the
+	// robust statistic for noisy (virtualized, time-shared) hosts where a
+	// single multi-second stall would poison a mean.
+	KeepSamples bool
+	samples     map[string][]time.Duration
+}
+
+// NewBreakdown returns an empty accumulator.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{
+		totals:  map[string]time.Duration{},
+		counts:  map[string]int{},
+		samples: map[string][]time.Duration{},
+	}
+}
+
+// Timer measures one phase; obtain with Start, finish with Stop.
+type Timer struct {
+	b     *Breakdown
+	phase string
+	t0    time.Time
+}
+
+// Start begins timing a phase.
+func (b *Breakdown) Start(phase string) Timer {
+	return Timer{b: b, phase: phase, t0: time.Now()}
+}
+
+// Stop records the elapsed time into the breakdown.
+func (t Timer) Stop() {
+	t.b.AddDuration(t.phase, time.Since(t.t0))
+}
+
+// AddDuration records an externally measured duration.
+func (b *Breakdown) AddDuration(phase string, d time.Duration) {
+	b.totals[phase] += d
+	b.counts[phase]++
+	if b.KeepSamples {
+		b.samples[phase] = append(b.samples[phase], d)
+	}
+}
+
+// Median returns the median duration of a phase. It requires KeepSamples;
+// without samples it falls back to the mean.
+func (b *Breakdown) Median(phase string) time.Duration {
+	s := b.samples[phase]
+	if len(s) == 0 {
+		return b.Mean(phase)
+	}
+	sorted := make([]time.Duration, len(s))
+	copy(sorted, s)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// MedianCycles converts Median to cycles at the nominal frequency.
+func (b *Breakdown) MedianCycles(phase string) float64 {
+	return b.Median(phase).Seconds() * NominalGHz * 1e9
+}
+
+// MedianOverheadPercent is OverheadPercent on medians.
+func (b *Breakdown) MedianOverheadPercent() float64 {
+	comm := b.Median(PhaseComm)
+	if comm == 0 {
+		return 0
+	}
+	var other time.Duration
+	for _, p := range b.Phases() {
+		if p != PhaseComm {
+			other += b.Median(p)
+		}
+	}
+	return 100 * float64(other) / float64(comm)
+}
+
+// MedianString renders the median breakdown as a Figure 4-style row.
+func (b *Breakdown) MedianString() string {
+	var sb strings.Builder
+	var total float64
+	for i, p := range b.Phases() {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		c := b.MedianCycles(p)
+		total += c
+		fmt.Fprintf(&sb, "%s=%.0fcy", p, c)
+	}
+	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%.1f%%", total, b.MedianOverheadPercent())
+	return sb.String()
+}
+
+// Mean returns the average duration of one phase iteration.
+func (b *Breakdown) Mean(phase string) time.Duration {
+	n := b.counts[phase]
+	if n == 0 {
+		return 0
+	}
+	return b.totals[phase] / time.Duration(n)
+}
+
+// MeanCycles converts Mean to cycles at the nominal frequency.
+func (b *Breakdown) MeanCycles(phase string) float64 {
+	return b.Mean(phase).Seconds() * NominalGHz * 1e9
+}
+
+// Total returns the mean end-to-end critical path per iteration.
+func (b *Breakdown) Total() time.Duration {
+	var sum time.Duration
+	for _, p := range b.Phases() {
+		sum += b.Mean(p)
+	}
+	return sum
+}
+
+// OverheadPercent returns the non-comm share relative to comm — the
+// percentage annotations of Figure 4 ("7.1%" for AES-NI, "75.5%" for
+// SHA1).
+func (b *Breakdown) OverheadPercent() float64 {
+	comm := b.Mean(PhaseComm)
+	if comm == 0 {
+		return 0
+	}
+	var other time.Duration
+	for _, p := range b.Phases() {
+		if p != PhaseComm {
+			other += b.Mean(p)
+		}
+	}
+	return 100 * float64(other) / float64(comm)
+}
+
+// Phases lists recorded phases in canonical order, then any extras sorted.
+func (b *Breakdown) Phases() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range PhaseOrder {
+		if b.counts[p] > 0 {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	var extra []string
+	for p := range b.counts {
+		if !seen[p] {
+			extra = append(extra, p)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// String renders the breakdown as a Figure 4-style row.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, p := range b.Phases() {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s=%.0fcy", p, b.MeanCycles(p))
+	}
+	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%.1f%%",
+		b.Total().Seconds()*NominalGHz*1e9, b.OverheadPercent())
+	return sb.String()
+}

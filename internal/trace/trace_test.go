@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseEncrypt, 100*time.Microsecond)
+	b.AddDuration(PhaseEncrypt, 300*time.Microsecond)
+	b.AddDuration(PhaseComm, 1*time.Millisecond)
+	if got := b.Mean(PhaseEncrypt); got != 200*time.Microsecond {
+		t.Errorf("mean encrypt = %v", got)
+	}
+	if got := b.Mean(PhaseComm); got != time.Millisecond {
+		t.Errorf("mean comm = %v", got)
+	}
+	if got := b.Mean("nonexistent"); got != 0 {
+		t.Errorf("mean of unrecorded phase = %v", got)
+	}
+}
+
+func TestTimerMeasuresElapsed(t *testing.T) {
+	b := NewBreakdown()
+	tm := b.Start(PhaseDecrypt)
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if b.Mean(PhaseDecrypt) < time.Millisecond {
+		t.Errorf("timer measured %v, slept 2ms", b.Mean(PhaseDecrypt))
+	}
+}
+
+func TestOverheadPercent(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseComm, 1000*time.Microsecond)
+	b.AddDuration(PhaseEncrypt, 50*time.Microsecond)
+	b.AddDuration(PhaseDecrypt, 21*time.Microsecond)
+	got := b.OverheadPercent()
+	if got < 7.0 || got > 7.2 {
+		t.Errorf("overhead = %.2f%%, want 7.1%%", got)
+	}
+	empty := NewBreakdown()
+	if empty.OverheadPercent() != 0 {
+		t.Error("empty breakdown has non-zero overhead")
+	}
+}
+
+func TestPhasesCanonicalOrder(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseMemFree, time.Microsecond)
+	b.AddDuration(PhaseEncrypt, time.Microsecond)
+	b.AddDuration("custom", time.Microsecond)
+	b.AddDuration(PhaseMemAlloc, time.Microsecond)
+	got := b.Phases()
+	want := []string{PhaseMemAlloc, PhaseEncrypt, PhaseMemFree, "custom"}
+	if len(got) != len(want) {
+		t.Fatalf("phases = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeanCyclesUsesNominalFrequency(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseComm, time.Microsecond)
+	if got := b.MeanCycles(PhaseComm); got < 2090 || got > 2110 {
+		t.Errorf("1 µs at 2.1 GHz = %f cycles, want 2100", got)
+	}
+}
+
+func TestMedianRequiresSamples(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseComm, 10*time.Microsecond)
+	b.AddDuration(PhaseComm, 20*time.Microsecond)
+	// Without KeepSamples, Median falls back to the mean.
+	if got := b.Median(PhaseComm); got != 15*time.Microsecond {
+		t.Errorf("fallback median = %v, want mean 15µs", got)
+	}
+}
+
+func TestMedianRobustToOutlier(t *testing.T) {
+	b := NewBreakdown()
+	b.KeepSamples = true
+	for i := 0; i < 9; i++ {
+		b.AddDuration(PhaseComm, time.Microsecond)
+	}
+	b.AddDuration(PhaseComm, time.Minute) // the virtualized-host stall
+	if got := b.Median(PhaseComm); got != time.Microsecond {
+		t.Errorf("median = %v; an outlier moved it", got)
+	}
+	if b.Mean(PhaseComm) < time.Second {
+		t.Error("mean should be poisoned by the outlier (that is the point)")
+	}
+}
+
+func TestMedianCyclesAndOverhead(t *testing.T) {
+	b := NewBreakdown()
+	b.KeepSamples = true
+	b.AddDuration(PhaseComm, time.Microsecond)
+	b.AddDuration(PhaseEncrypt, 100*time.Nanosecond)
+	if got := b.MedianCycles(PhaseComm); got < 2090 || got > 2110 {
+		t.Errorf("median cycles = %g", got)
+	}
+	if got := b.MedianOverheadPercent(); got < 9.9 || got > 10.1 {
+		t.Errorf("median overhead = %g%%, want 10%%", got)
+	}
+	empty := NewBreakdown()
+	if empty.MedianOverheadPercent() != 0 {
+		t.Error("empty breakdown overhead != 0")
+	}
+}
+
+func TestMedianStringRenders(t *testing.T) {
+	b := NewBreakdown()
+	b.KeepSamples = true
+	b.AddDuration(PhaseEncrypt, time.Microsecond)
+	b.AddDuration(PhaseComm, 2*time.Microsecond)
+	s := b.MedianString()
+	for _, want := range []string{"encrypt", "comm", "total", "overhead"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("MedianString() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTotal(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseEncrypt, 3*time.Microsecond)
+	b.AddDuration(PhaseComm, 7*time.Microsecond)
+	if got := b.Total(); got != 10*time.Microsecond {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestStringRendersAllPhases(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseEncrypt, time.Microsecond)
+	b.AddDuration(PhaseComm, time.Microsecond)
+	s := b.String()
+	for _, want := range []string{"encrypt", "comm", "total", "overhead"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

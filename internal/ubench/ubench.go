@@ -1,0 +1,200 @@
+// Package ubench is an OSU-micro-benchmark-style measurement library for
+// the bundled runtime — the paper evaluates libhear with "OSU
+// micro-benchmarks (v7.1)", and this package reproduces that harness's
+// conventions: warmup iterations excluded from timing, per-iteration
+// samples, min/mean/median/max/stddev statistics, and the standard
+// latency / bandwidth / allreduce drivers.
+package ubench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hear/internal/mpi"
+)
+
+// Config mirrors the OSU runtime options.
+type Config struct {
+	// Warmup iterations are executed but not timed (OSU default: 10–200
+	// depending on size class).
+	Warmup int
+	// Iterations are timed (OSU default: 100–10000 depending on size).
+	Iterations int
+}
+
+// DefaultConfig scales warmup/iterations by message size the way OSU does:
+// many iterations for small messages, few for large.
+func DefaultConfig(msgBytes int) Config {
+	switch {
+	case msgBytes <= 1<<13:
+		return Config{Warmup: 200, Iterations: 10000}
+	case msgBytes <= 1<<17:
+		return Config{Warmup: 50, Iterations: 1000}
+	default:
+		return Config{Warmup: 10, Iterations: 100}
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Iterations < 1 {
+		return fmt.Errorf("ubench: iterations %d < 1", c.Iterations)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("ubench: negative warmup")
+	}
+	return nil
+}
+
+// Stats summarizes per-iteration samples.
+type Stats struct {
+	Samples           int
+	Min, Mean, Median time.Duration
+	Max               time.Duration
+	Stddev            time.Duration
+}
+
+// NewStats computes the summary of a non-empty sample set.
+func NewStats(samples []time.Duration) (Stats, error) {
+	if len(samples) == 0 {
+		return Stats{}, fmt.Errorf("ubench: no samples")
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	mean := sum / time.Duration(len(sorted))
+	var varSum float64
+	for _, s := range sorted {
+		d := float64(s - mean)
+		varSum += d * d
+	}
+	return Stats{
+		Samples: len(sorted),
+		Min:     sorted[0],
+		Mean:    mean,
+		Median:  sorted[len(sorted)/2],
+		Max:     sorted[len(sorted)-1],
+		Stddev:  time.Duration(math.Sqrt(varSum / float64(len(sorted)))),
+	}, nil
+}
+
+// BandwidthGBs converts a per-iteration duration into GB/s for msgBytes.
+func BandwidthGBs(d time.Duration, msgBytes int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(msgBytes) / d.Seconds() / 1e9
+}
+
+// Latency runs the osu_latency pattern between ranks 0 and 1: a ping-pong
+// of msgBytes messages, reporting the one-way latency (half the round
+// trip), measured on rank 0. Other ranks return a zero Stats.
+func Latency(c *mpi.Comm, msgBytes int, cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if c.Size() < 2 {
+		return Stats{}, fmt.Errorf("ubench: latency needs >= 2 ranks")
+	}
+	if c.Rank() > 1 {
+		return Stats{}, nil // spectators, like OSU
+	}
+	buf := make([]byte, msgBytes)
+	const tag = 77
+	run := func() error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, tag, buf); err != nil {
+				return err
+			}
+			_, _, err := c.Recv(1, tag, buf)
+			return err
+		}
+		if _, _, err := c.Recv(0, tag, buf); err != nil {
+			return err
+		}
+		return c.Send(0, tag, buf)
+	}
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := run(); err != nil {
+			return Stats{}, err
+		}
+	}
+	samples := make([]time.Duration, 0, cfg.Iterations)
+	for i := 0; i < cfg.Iterations; i++ {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return Stats{}, err
+		}
+		samples = append(samples, time.Since(t0)/2) // one-way
+	}
+	if c.Rank() != 0 {
+		return Stats{}, nil
+	}
+	return NewStats(samples)
+}
+
+// Allreduce runs the osu_allreduce pattern: timed collective iterations
+// over the whole communicator. Every rank gets its own Stats (OSU reports
+// the average across ranks; callers can combine).
+func Allreduce(c *mpi.Comm, msgBytes int, algo mpi.Algorithm, op mpi.Op, cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if msgBytes < 8 {
+		return Stats{}, fmt.Errorf("ubench: message %d B below one element", msgBytes)
+	}
+	buf := make([]byte, msgBytes)
+	count := msgBytes / 8
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := c.AllreduceAlgo(algo, buf, buf, count, mpi.Uint64, op); err != nil {
+			return Stats{}, err
+		}
+	}
+	samples := make([]time.Duration, 0, cfg.Iterations)
+	for i := 0; i < cfg.Iterations; i++ {
+		t0 := time.Now()
+		if err := c.AllreduceAlgo(algo, buf, buf, count, mpi.Uint64, op); err != nil {
+			return Stats{}, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	return NewStats(samples)
+}
+
+// AllreduceFunc times an arbitrary collective closure (the hook the HEAR
+// benchmarks use to run the encrypted path under OSU conventions).
+func AllreduceFunc(cfg Config, call func() error) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	for i := 0; i < cfg.Warmup; i++ {
+		if err := call(); err != nil {
+			return Stats{}, err
+		}
+	}
+	samples := make([]time.Duration, 0, cfg.Iterations)
+	for i := 0; i < cfg.Iterations; i++ {
+		t0 := time.Now()
+		if err := call(); err != nil {
+			return Stats{}, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	return NewStats(samples)
+}
+
+// SizeSweep returns the OSU power-of-two message size series in
+// [minBytes, maxBytes].
+func SizeSweep(minBytes, maxBytes int) []int {
+	var out []int
+	for s := minBytes; s <= maxBytes; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package ubench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hear/internal/mpi"
+)
+
+const testTimeout = 60 * time.Second
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Iterations: 0}).Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if err := (Config{Iterations: 1, Warmup: -1}).Validate(); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestDefaultConfigScalesWithSize(t *testing.T) {
+	small := DefaultConfig(16)
+	large := DefaultConfig(16 << 20)
+	if small.Iterations <= large.Iterations {
+		t.Errorf("small-message iterations (%d) should exceed large-message (%d)",
+			small.Iterations, large.Iterations)
+	}
+}
+
+func TestNewStats(t *testing.T) {
+	if _, err := NewStats(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	s, err := NewStats([]time.Duration{3, 1, 2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 1 || s.Max != 10 || s.Median != 3 || s.Samples != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Mean != 4 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	if got := BandwidthGBs(time.Second, 1e9); got != 1.0 {
+		t.Errorf("1 GB in 1 s = %g GB/s", got)
+	}
+	if got := BandwidthGBs(0, 100); got != 0 {
+		t.Errorf("zero duration = %g", got)
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	s := SizeSweep(4, 64)
+	want := []int{4, 8, 16, 32, 64}
+	if len(s) != len(want) {
+		t.Fatalf("sweep = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sweep = %v", s)
+		}
+	}
+}
+
+func TestLatencyPingPong(t *testing.T) {
+	w := mpi.NewWorld(3) // rank 2 is a spectator like in OSU
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		st, err := Latency(c, 64, Config{Warmup: 5, Iterations: 50})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if st.Samples != 50 || st.Min <= 0 || st.Min > st.Median || st.Median > st.Max {
+				return fmt.Errorf("malformed stats %+v", st)
+			}
+		} else if st.Samples != 0 {
+			return fmt.Errorf("rank %d got stats", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyNeedsTwoRanks(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		if _, err := Latency(c, 8, Config{Iterations: 1}); err == nil {
+			return fmt.Errorf("1-rank latency accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDriver(t *testing.T) {
+	w := mpi.NewWorld(4)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		st, err := Allreduce(c, 1024, mpi.AlgoAuto, mpi.SumInt64, Config{Warmup: 3, Iterations: 20})
+		if err != nil {
+			return err
+		}
+		if st.Samples != 20 || st.Mean <= 0 {
+			return fmt.Errorf("stats %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRejectsTinyMessage(t *testing.T) {
+	w := mpi.NewWorld(2)
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		if _, err := Allreduce(c, 4, mpi.AlgoAuto, mpi.SumInt64, Config{Iterations: 1}); err == nil {
+			return fmt.Errorf("4 B message accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFuncCountsCalls(t *testing.T) {
+	calls := 0
+	st, err := AllreduceFunc(Config{Warmup: 2, Iterations: 5}, func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("calls = %d, want warmup+iters = 7", calls)
+	}
+	if st.Samples != 5 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+}
+
+func TestAllreduceFuncPropagatesError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	if _, err := AllreduceFunc(Config{Iterations: 3}, func() error { return boom }); err == nil {
+		t.Error("error swallowed")
+	}
+}

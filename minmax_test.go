@@ -1,0 +1,67 @@
+package hear
+
+import (
+	"fmt"
+	"testing"
+
+	"hear/internal/mpi"
+)
+
+func TestAllreduceMaxMinViaSecureGather(t *testing.T) {
+	const p = 5
+	w, ctxs := initWorld(t, p, Options{EnableP2P: true})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		// rank r contributes [r*10-20, -(r*3), 7]
+		send := []int64{int64(c.Rank()*10 - 20), int64(-c.Rank() * 3), 7}
+		maxOut := make([]int64, 3)
+		if err := ctx.AllreduceMaxInt64(c, 2, send, maxOut); err != nil {
+			return err
+		}
+		if maxOut[0] != 20 || maxOut[1] != 0 || maxOut[2] != 7 {
+			return fmt.Errorf("max = %v", maxOut)
+		}
+		minOut := make([]int64, 3)
+		if err := ctx.AllreduceMinInt64(c, 0, send, minOut); err != nil {
+			return err
+		}
+		if minOut[0] != -20 || minOut[1] != -12 || minOut[2] != 7 {
+			return fmt.Errorf("min = %v", minOut)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRequiresP2PKeys(t *testing.T) {
+	w, ctxs := initWorld(t, 2, Options{})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		err := ctxs[c.Rank()].AllreduceMaxInt64(c, 0, []int64{1}, make([]int64, 1))
+		if err == nil {
+			return fmt.Errorf("max without pairwise keys accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxValidation(t *testing.T) {
+	w, ctxs := initWorld(t, 2, Options{EnableP2P: true})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		if err := ctx.AllreduceMaxInt64(c, 5, []int64{1}, make([]int64, 1)); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		if err := ctx.AllreduceMaxInt64(c, 0, nil, nil); err == nil {
+			return fmt.Errorf("empty vector accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package hear
+
+// Encrypted MPI_Reduce. The paper singles out "Allreduce, together with
+// the related Reduce collective" as the most commonly invoked operations;
+// Reduce rides the same schemes — every rank encrypts, the reduction runs
+// over ciphertexts (host tree or INC), and only the root decrypts. The
+// telescoped noise F(k_s_0 + k_c + j) is removable by any rank holding
+// rank 0's key, which per §5's key generation is every rank — so the root
+// may be arbitrary.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hear/internal/core"
+	"hear/internal/mpi"
+)
+
+// reduce is the common encrypted Reduce path: recvPlain is written on the
+// root only (and may be nil elsewhere).
+func (c *Context) reduce(comm *mpi.Comm, s core.Scheme, root int, plain, recvPlain []byte, n int) error {
+	if err := c.checkComm(comm); err != nil {
+		return err
+	}
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("hear: reduce root %d outside communicator", root)
+	}
+	if n <= 0 || len(plain) < n*s.PlainSize() {
+		return fmt.Errorf("hear: reduce: bad count %d or buffer %d B", n, len(plain))
+	}
+	if c.rank == root && len(recvPlain) < n*s.PlainSize() {
+		return fmt.Errorf("hear: reduce: root receive buffer %d B < %d", len(recvPlain), n*s.PlainSize())
+	}
+	c.st.Advance()
+	cipher := make([]byte, n*s.CipherSize())
+	if err := s.Encrypt(c.st, plain, cipher, n); err != nil {
+		return err
+	}
+	op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+	ct := mpi.CipherType(s.CipherSize())
+	var out []byte
+	if c.rank == root {
+		out = make([]byte, n*s.CipherSize())
+	}
+	if err := comm.Reduce(root, cipher, out, n, ct, op); err != nil {
+		return fmt.Errorf("hear: reduce: %w", err)
+	}
+	if c.rank != root {
+		return nil
+	}
+	return s.Decrypt(c.st, out, recvPlain, n)
+}
+
+// ReduceInt64Sum reduces the element-wise wrapping sum to root; recv is
+// written on root only (nil elsewhere is fine).
+func (c *Context) ReduceInt64Sum(comm *mpi.Comm, root int, send []int64, recv []int64) error {
+	s, err := c.intSum(64)
+	if err != nil {
+		return err
+	}
+	buf := marshal64(send)
+	var out []byte
+	if c.rank == root {
+		if len(recv) < len(send) {
+			return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+		}
+		out = make([]byte, len(buf))
+	}
+	if err := c.reduce(comm, s, root, buf, out, len(send)); err != nil {
+		return err
+	}
+	if c.rank == root {
+		unmarshal64(out, recv[:len(send)])
+	}
+	return nil
+}
+
+// ReduceFloat32Sum reduces the element-wise float sum (v1 scheme) to root.
+func (c *Context) ReduceFloat32Sum(comm *mpi.Comm, root int, send []float32, recv []float32) error {
+	s, err := c.Scheme(Float32Sum)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	var out []byte
+	if c.rank == root {
+		if len(recv) < len(send) {
+			return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+		}
+		out = make([]byte, len(buf))
+	}
+	if err := c.reduce(comm, s, root, buf, out, len(send)); err != nil {
+		return err
+	}
+	if c.rank == root {
+		for i := range send {
+			recv[i] = math.Float32frombits(binary.LittleEndian.Uint32(out[i*4:]))
+		}
+	}
+	return nil
+}
+
+// ReduceUint64Prod reduces the element-wise wrapping product to root.
+func (c *Context) ReduceUint64Prod(comm *mpi.Comm, root int, send []uint64, recv []uint64) error {
+	s, err := c.intProd(64)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	var out []byte
+	if c.rank == root {
+		if len(recv) < len(send) {
+			return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+		}
+		out = make([]byte, len(buf))
+	}
+	if err := c.reduce(comm, s, root, buf, out, len(send)); err != nil {
+		return err
+	}
+	if c.rank == root {
+		for i := range send {
+			recv[i] = binary.LittleEndian.Uint64(out[i*8:])
+		}
+	}
+	return nil
+}

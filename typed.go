@@ -1,0 +1,295 @@
+package hear
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hear/internal/core"
+	"hear/internal/hfp"
+	"hear/internal/mpi"
+)
+
+// This file provides the typed entry points mirroring the (datatype, op)
+// pairs libhear intercepts: MPI_INT/MPI_SUM, MPI_FLOAT/MPI_SUM, and the
+// rest of Table 2. Each call is collective: every rank of the communicator
+// must call the same method with the same element count in the same order.
+
+func marshal64(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return buf
+}
+
+func unmarshal64(buf []byte, out []int64) {
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}
+
+// AllreduceInt64Sum computes the element-wise wrapping sum of send across
+// all ranks into recv (which may alias send) under the integer SUM scheme
+// (§5.1.1).
+func (c *Context) AllreduceInt64Sum(comm *mpi.Comm, send, recv []int64) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intSum(64)
+	if err != nil {
+		return err
+	}
+	buf := marshal64(send)
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	unmarshal64(buf, recv[:len(send)])
+	return nil
+}
+
+// AllreduceInt32Sum is the 32-bit variant (MPI_INT + MPI_SUM).
+func (c *Context) AllreduceInt32Sum(comm *mpi.Comm, send, recv []int32) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intSum(32)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	for i := range send {
+		recv[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return nil
+}
+
+// AllreduceUint64Prod computes the element-wise wrapping product (§5.1.2).
+func (c *Context) AllreduceUint64Prod(comm *mpi.Comm, send, recv []uint64) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intProd(64)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	for i := range send {
+		recv[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return nil
+}
+
+// AllreduceUint64Xor computes the element-wise XOR (§5.1.3, MPI_BXOR).
+func (c *Context) AllreduceUint64Xor(comm *mpi.Comm, send, recv []uint64) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intXor(64)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	for i := range send {
+		recv[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return nil
+}
+
+// AllreduceFloat32Sum computes the element-wise float sum under the v1
+// addition scheme (§5.3.3: temporal and local safety; choose γ via
+// Options.Gamma). This is the MPI_FLOAT + MPI_SUM pair of the paper's DNN
+// experiments.
+func (c *Context) AllreduceFloat32Sum(comm *mpi.Comm, send, recv []float32) error {
+	return c.float32Op(comm, send, recv, func() (core.Scheme, error) { return c.floatSum(hfp.FP32) })
+}
+
+// AllreduceFloat32SumV2 uses the alternative log-space addition (§5.3.4),
+// which restores global safety at the cost of precision and dynamic range.
+func (c *Context) AllreduceFloat32SumV2(comm *mpi.Comm, send, recv []float32) error {
+	return c.float32Op(comm, send, recv, func() (core.Scheme, error) { return c.floatSumV2(hfp.FP32) })
+}
+
+// AllreduceFloat32Prod computes the element-wise float product (§5.3.2).
+func (c *Context) AllreduceFloat32Prod(comm *mpi.Comm, send, recv []float32) error {
+	return c.float32Op(comm, send, recv, func() (core.Scheme, error) { return c.floatProd(hfp.FP32) })
+}
+
+func (c *Context) float32Op(comm *mpi.Comm, send, recv []float32, mk func() (core.Scheme, error)) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := mk()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	for i := range send {
+		recv[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return nil
+}
+
+// AllreduceFloat64Sum is the FP64 v1 addition scheme.
+func (c *Context) AllreduceFloat64Sum(comm *mpi.Comm, send, recv []float64) error {
+	return c.float64Op(comm, send, recv, func() (core.Scheme, error) { return c.floatSum(hfp.FP64) })
+}
+
+// AllreduceFloat64Prod is the FP64 multiplication scheme.
+func (c *Context) AllreduceFloat64Prod(comm *mpi.Comm, send, recv []float64) error {
+	return c.float64Op(comm, send, recv, func() (core.Scheme, error) { return c.floatProd(hfp.FP64) })
+}
+
+// AllreduceFloat64SumV2 is the FP64 log-space addition.
+func (c *Context) AllreduceFloat64SumV2(comm *mpi.Comm, send, recv []float64) error {
+	return c.float64Op(comm, send, recv, func() (core.Scheme, error) { return c.floatSumV2(hfp.FP64) })
+}
+
+// AllreduceFixedSum sums real values on the shared fixed point grid (§5.2);
+// inputs must be within the codec's range.
+func (c *Context) AllreduceFixedSum(comm *mpi.Comm, send, recv []float64) error {
+	return c.float64Op(comm, send, recv, c.fixedSum)
+}
+
+// AllreduceFixedProd multiplies real values on the fixed point grid; the
+// output scale is corrected by the communicator size per §5.2.
+func (c *Context) AllreduceFixedProd(comm *mpi.Comm, send, recv []float64) error {
+	return c.float64Op(comm, send, recv, c.fixedProd)
+}
+
+func (c *Context) float64Op(comm *mpi.Comm, send, recv []float64, mk func() (core.Scheme, error)) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := mk()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(send))
+	for i, v := range send {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	for i := range send {
+		recv[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+// AllreduceBoolOr computes element-wise logical OR via the counting
+// encoding of §5.4 (OR/AND have no inverse and cannot be encrypted
+// directly; the count ride the SUM scheme at O(log₂P) extra bits).
+func (c *Context) AllreduceBoolOr(comm *mpi.Comm, send, recv []bool) error {
+	return c.boolOp(comm, send, recv, true)
+}
+
+// AllreduceBoolAnd computes element-wise logical AND via the same encoding.
+func (c *Context) AllreduceBoolAnd(comm *mpi.Comm, send, recv []bool) error {
+	return c.boolOp(comm, send, recv, false)
+}
+
+func (c *Context) boolOp(comm *mpi.Comm, send, recv []bool, isOr bool) error {
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intSum(32)
+	if err != nil {
+		return err
+	}
+	bc := core.BoolCodec{P: c.size}
+	buf := make([]byte, 4*len(send))
+	if err := bc.EncodeBools(send, buf); err != nil {
+		return err
+	}
+	if err := c.allreduce(comm, s, buf, len(send)); err != nil {
+		return err
+	}
+	if isOr {
+		return bc.DecodeOr(buf, recv[:len(send)])
+	}
+	return bc.DecodeAnd(buf, recv[:len(send)])
+}
+
+// AllreduceRaw runs the encrypted collective directly on a wire-format
+// buffer of n elements for the given scheme — the zero-marshalling path
+// used by the throughput benchmarks. The scheme must come from this
+// context's rank (use Scheme).
+func (c *Context) AllreduceRaw(comm *mpi.Comm, s core.Scheme, buf []byte, n int) error {
+	return c.allreduce(comm, s, buf, n)
+}
+
+// SchemeKind names a scheme for Scheme lookups.
+type SchemeKind string
+
+// Scheme kinds accepted by Scheme.
+const (
+	Int32Sum     SchemeKind = "int32-sum"
+	Int64Sum     SchemeKind = "int64-sum"
+	Int64Prod    SchemeKind = "int64-prod"
+	Int64Xor     SchemeKind = "int64-xor"
+	Float32Sum   SchemeKind = "float32-sum"
+	Float32Prod  SchemeKind = "float32-prod"
+	Float32SumV2 SchemeKind = "float32-sum-v2"
+	Float64Sum   SchemeKind = "float64-sum"
+	Float64Prod  SchemeKind = "float64-prod"
+	FixedSum     SchemeKind = "fixed-sum"
+	FixedProd    SchemeKind = "fixed-prod"
+)
+
+// Scheme returns this rank's instance of the named scheme, creating it on
+// first use. Instances are cached per context, matching libhear's per-rank
+// state.
+func (c *Context) Scheme(kind SchemeKind) (core.Scheme, error) {
+	switch kind {
+	case Int32Sum:
+		return c.intSum(32)
+	case Int64Sum:
+		return c.intSum(64)
+	case Int64Prod:
+		return c.intProd(64)
+	case Int64Xor:
+		return c.intXor(64)
+	case Float32Sum:
+		return c.floatSum(hfp.FP32)
+	case Float32Prod:
+		return c.floatProd(hfp.FP32)
+	case Float32SumV2:
+		return c.floatSumV2(hfp.FP32)
+	case Float64Sum:
+		return c.floatSum(hfp.FP64)
+	case Float64Prod:
+		return c.floatProd(hfp.FP64)
+	case FixedSum:
+		return c.fixedSum()
+	case FixedProd:
+		return c.fixedProd()
+	default:
+		return nil, fmt.Errorf("hear: unknown scheme kind %q", kind)
+	}
+}

@@ -1,0 +1,148 @@
+package hear
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hear/internal/homac"
+	"hear/internal/mpi"
+)
+
+// ErrVerificationFailed reports a failed HoMAC check: some network element
+// tampered with the aggregation (§5.5).
+type ErrVerificationFailed struct {
+	Element int
+}
+
+func (e *ErrVerificationFailed) Error() string {
+	return fmt.Sprintf("hear: result verification failed at element %d: the network modified the aggregate", e.Element)
+}
+
+// AllreduceInt64SumVerified is AllreduceInt64Sum with homomorphic result
+// authentication (§5.5): each ciphertext is paired with a HoMAC tag, the
+// network sums both lanes, and every rank checks Σs == c_t + σ_t·Z before
+// trusting the decryption. The tag lane doubles the traffic — the >200%
+// inflation the paper quotes for 64-bit p — which is why verification is a
+// separate opt-in call.
+//
+// verifier must be shared by all ranks (built from the same (p, Z) inside
+// the secure environment; see NewVerifier).
+func (c *Context) AllreduceInt64SumVerified(comm *mpi.Comm, verifier *homac.Vector, send, recv []int64) error {
+	if verifier == nil {
+		return fmt.Errorf("hear: nil verifier")
+	}
+	if c.opts.INC != nil && c.opts.INCTags == nil {
+		// The data tree folds mod 2^64, which breaks the mod-p tag
+		// arithmetic. In-network verification needs a second tree whose
+		// fold is TagFold (Options.INCTags).
+		return fmt.Errorf("hear: verified allreduce over INC needs a mod-p tag tree (Options.INCTags)")
+	}
+	if len(recv) < len(send) {
+		return fmt.Errorf("hear: recv %d < send %d", len(recv), len(send))
+	}
+	s, err := c.intSum(64)
+	if err != nil {
+		return err
+	}
+	n := len(send)
+	c.st.Advance()
+
+	// Encrypt the data lane.
+	buf := marshal64(send)
+	cipher := make([]byte, n*8)
+	if err := s.Encrypt(c.st, buf, cipher, n); err != nil {
+		return err
+	}
+	// Tag the ciphertext lane.
+	lanes := make([]uint64, n)
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(cipher[i*8:])
+	}
+	tags := make([]uint64, n)
+	if err := verifier.Tag(c.st, lanes, tags); err != nil {
+		return err
+	}
+	tagBytes := make([]byte, n*8)
+	for i, t := range tags {
+		binary.LittleEndian.PutUint64(tagBytes[i*8:], t)
+	}
+
+	// The network reduces both lanes: data mod 2^64, tags mod p. With INC
+	// hardware these ride as a (c, σ) pair; here they are two collectives
+	// over the same communicator.
+	dataOp := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+	tagOp := mpi.OpFrom("hear/homac-sum", func(dst, src []byte, k int) {
+		for j := 0; j < k; j++ {
+			a := binary.LittleEndian.Uint64(dst[j*8:])
+			b := binary.LittleEndian.Uint64(src[j*8:])
+			binary.LittleEndian.PutUint64(dst[j*8:], addModP(a, b))
+		}
+	})
+	if c.opts.INC != nil {
+		if err := c.opts.INC.Allreduce(c.rank, cipher); err != nil {
+			return fmt.Errorf("hear: INC data lane: %w", err)
+		}
+		if err := c.opts.INCTags.Allreduce(c.rank, tagBytes); err != nil {
+			return fmt.Errorf("hear: INC tag lane: %w", err)
+		}
+	} else {
+		if err := comm.AllreduceAlgo(c.opts.Algorithm, cipher, cipher, n, mpi.Uint64, dataOp); err != nil {
+			return fmt.Errorf("hear: data lane: %w", err)
+		}
+		if err := comm.AllreduceAlgo(c.opts.Algorithm, tagBytes, tagBytes, n, mpi.Uint64, tagOp); err != nil {
+			return fmt.Errorf("hear: tag lane: %w", err)
+		}
+	}
+	if c.faultInjector != nil {
+		c.faultInjector(cipher)
+	}
+
+	// Verify before decrypting.
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(cipher[i*8:])
+		tags[i] = binary.LittleEndian.Uint64(tagBytes[i*8:])
+	}
+	if bad := verifier.Verify(c.st, lanes, tags, c.size); bad >= 0 {
+		return &ErrVerificationFailed{Element: bad}
+	}
+	if err := s.Decrypt(c.st, cipher, buf, n); err != nil {
+		return err
+	}
+	unmarshal64(buf, recv[:n])
+	return nil
+}
+
+// SetFaultInjector installs (or clears, with nil) a hook that corrupts
+// this rank's view of the reduced ciphertext before verification — the
+// test and demo stand-in for a tampering network element on this rank's
+// ejection path. Only verification-enabled calls consult it.
+func (c *Context) SetFaultInjector(f func(reducedCipher []byte)) {
+	c.faultInjector = f
+}
+
+// addModP adds two residues of the HoMAC field.
+func addModP(a, b uint64) uint64 {
+	s := a + b // p < 2^61, so no uint64 overflow for reduced inputs
+	if s >= HoMACPrime {
+		s -= HoMACPrime
+	}
+	return s
+}
+
+// NewVerifier builds the shared HoMAC verifier from the communicator's
+// secret verification key Z. All ranks must pass the same z (shared during
+// initialization inside the secure environment).
+func NewVerifier(z uint64) (*homac.Vector, error) {
+	return homac.New(HoMACPrime, z)
+}
+
+// TagFold is the INC switch fold for the HoMAC tag lane: 64-bit lanes
+// added mod the verification prime. Build the Options.INCTags tree with
+// it; the switch still needs no keys — the modulus is public.
+func TagFold(dst, src []byte) {
+	for o := 0; o+8 <= len(dst); o += 8 {
+		a := binary.LittleEndian.Uint64(dst[o:])
+		b := binary.LittleEndian.Uint64(src[o:])
+		binary.LittleEndian.PutUint64(dst[o:], addModP(a, b))
+	}
+}

@@ -1,0 +1,120 @@
+package hear
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hear/internal/inc"
+	"hear/internal/mpi"
+)
+
+func sumFold64(dst, src []byte) {
+	for o := 0; o+8 <= len(dst); o += 8 {
+		binary.LittleEndian.PutUint64(dst[o:],
+			binary.LittleEndian.Uint64(dst[o:])+binary.LittleEndian.Uint64(src[o:]))
+	}
+}
+
+// Verified Allreduce fully in-network: the data tree folds mod 2^64, the
+// tag tree folds mod p, and verification passes for honest switches.
+func TestVerifiedAllreduceOverINC(t *testing.T) {
+	const p = 4
+	dataTree, err := inc.NewTree(p, 2, sumFold64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagTree, err := inc.NewTree(p, 2, TagFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ctxs := initWorld(t, p, Options{INC: dataTree, INCTags: tagTree})
+	verifier, err := NewVerifier(0xABCDEF01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(testTimeout, func(c *mpi.Comm) error {
+		data := []int64{int64(c.Rank() * 2), -3, 1 << 40}
+		out := make([]int64, 3)
+		if err := ctxs[c.Rank()].AllreduceInt64SumVerified(c, verifier, data, out); err != nil {
+			return err
+		}
+		if out[0] != 12 || out[1] != -12 || out[2] != 4<<40 {
+			return fmt.Errorf("verified INC sum = %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A tampering switch in the DATA tree must be caught by every rank.
+func TestVerifiedINCDetectsMaliciousSwitch(t *testing.T) {
+	const p = 4
+	// The malicious fold flips a bit of the aggregate at the root level.
+	calls := 0
+	evilFold := func(dst, src []byte) {
+		sumFold64(dst, src)
+		calls++
+		if calls == p-1 { // the final fold — the root switch
+			dst[0] ^= 1
+		}
+	}
+	dataTree, err := inc.NewTree(p, 2, evilFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagTree, err := inc.NewTree(p, 2, TagFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ctxs := initWorld(t, p, Options{INC: dataTree, INCTags: tagTree})
+	verifier, err := NewVerifier(0x5EC0DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := make([]bool, p)
+	err = w.Run(testTimeout, func(c *mpi.Comm) error {
+		data := []int64{int64(c.Rank()) + 100}
+		out := make([]int64, 1)
+		err := ctxs[c.Rank()].AllreduceInt64SumVerified(c, verifier, data, out)
+		var vf *ErrVerificationFailed
+		if errors.As(err, &vf) {
+			detected[c.Rank()] = true
+			return nil
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, d := range detected {
+		if !d {
+			t.Errorf("rank %d accepted a tampered in-network aggregate", r)
+		}
+	}
+}
+
+func TestVerifiedINCWithoutTagTreeFailsFast(t *testing.T) {
+	dataTree, err := inc.NewTree(2, 2, sumFold64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ctxs := initWorld(t, 2, Options{INC: dataTree})
+	verifier, err := NewVerifier(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(testTimeout, func(c *mpi.Comm) error {
+		err := ctxs[c.Rank()].AllreduceInt64SumVerified(c, verifier, []int64{1}, make([]int64, 1))
+		if err == nil {
+			return fmt.Errorf("verified INC without tag tree accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
