@@ -1,0 +1,49 @@
+// hearagg is the secure aggregation gateway daemon and its load-test
+// client (internal/aggsvc served as a standalone binary):
+//
+//	hearagg serve  -addr :7100 -group 8                 run the gateway
+//	hearagg client -addr host:7100 -conns 8 -rounds 10  drive rounds
+//	hearagg client -stats                               dump gateway counters
+//
+// The server is key-blind: the serve path executes only internal/aggsvc's
+// fold kernels and holds no key material. The client side hosts the HEAR
+// contexts — it seals, verifies, and decrypts, and doubles as a load-test
+// harness reporting round latency and fold throughput.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "client":
+		err = runClient(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hearagg: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hearagg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hearagg serve  [flags]   run the aggregation gateway
+  hearagg client [flags]   run N clients against a gateway (load test)
+run "hearagg serve -h" or "hearagg client -h" for flags`)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hear/internal/aggsvc"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("hearagg serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7100", "TCP listen address")
+	group := fs.Int("group", 8, "clients aggregated per round")
+	elems := fs.Int("elems", 0, "pin the vector length (0 = per-round, fixed by the first HELLO)")
+	deadline := fs.Duration("deadline", aggsvc.DefaultRoundTimeout, "round deadline; stragglers abort the round")
+	chunk := fs.Int("chunk", aggsvc.DefaultChunkBytes, "SUBMIT chunk bytes (fold parallelism unit)")
+	workers := fs.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
+	maxFrame := fs.Int("max-frame", aggsvc.DefaultMaxFrameBytes, "reject frames larger than this")
+	quiet := fs.Bool("quiet", false, "suppress per-round log lines")
+	fs.Parse(args)
+
+	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	s, err := aggsvc.NewServer(aggsvc.Config{
+		Group:         *group,
+		Elems:         *elems,
+		RoundTimeout:  *deadline,
+		ChunkBytes:    *chunk,
+		Workers:       *workers,
+		MaxFrameBytes: *maxFrame,
+		Logf:          logf,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The "listening" line goes to stdout so scripts (and the CI smoke test)
+	// can wait for readiness by watching for it.
+	fmt.Printf("hearagg: listening on %s (group=%d deadline=%s chunk=%dB)\n",
+		l.Addr(), *group, *deadline, *chunk)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		fmt.Println("hearagg: shutting down")
+		s.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+		}
+		return nil
+	}
+}

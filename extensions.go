@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hear/internal/homac"
 	"hear/internal/mpi"
 )
 
@@ -237,5 +238,113 @@ func (c *Context) checkComm(comm *mpi.Comm) error {
 		return fmt.Errorf("hear: context for rank %d/%d used with communicator rank %d/%d",
 			c.rank, c.size, comm.Rank(), comm.Size())
 	}
+	return nil
+}
+
+// --- Aggregation-gateway hooks -------------------------------------------
+//
+// The secure aggregation gateway (internal/aggsvc, cmd/hearagg) moves the
+// untrusted aggregator out of process: remote clients seal vectors, a
+// key-blind TCP service folds the ciphertext (and HoMAC tag) lanes, and the
+// clients verify and open the aggregate. GatewaySealer exposes exactly the
+// per-round encrypt/tag/verify/decrypt steps a gateway client needs from a
+// Context, without the client ever touching key material directly. It
+// implements aggsvc.Sealer structurally so the root package need not import
+// the gateway.
+
+// GatewaySealer adapts one rank's Context to the gateway client's
+// seal/open cycle under the int64 SUM scheme. A nil verifier disables the
+// HoMAC tag lane (Seal returns nil tags and Verify accepts anything), which
+// trades integrity for halving the upload.
+//
+// Every participant of a gateway round must hold a Context from the same
+// Init world (sized to the round group) and seal exactly once per round:
+// Seal advances the collective key, so the group stays in lockstep the same
+// way Allreduce callers do.
+type GatewaySealer struct {
+	ctx      *Context
+	verifier *homac.Vector
+}
+
+// NewGatewaySealer builds the gateway adapter for this context. verifier
+// may be nil to skip result verification; otherwise all participants must
+// share it (same (p, Z), see NewVerifier).
+func (c *Context) NewGatewaySealer(verifier *homac.Vector) *GatewaySealer {
+	return &GatewaySealer{ctx: c, verifier: verifier}
+}
+
+// Seal advances the collective key and encrypts vals under the int64 SUM
+// scheme, returning the ciphertext lane and, when verification is enabled,
+// the HoMAC tag lane (both little-endian 64-bit lanes).
+func (g *GatewaySealer) Seal(vals []int64) (cipher, tags []byte, err error) {
+	s, err := g.ctx.intSum(64)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(vals)
+	g.ctx.st.Advance()
+	cipher = make([]byte, n*8)
+	if err := s.Encrypt(g.ctx.st, marshal64(vals), cipher, n); err != nil {
+		return nil, nil, err
+	}
+	if g.verifier == nil {
+		return cipher, nil, nil
+	}
+	lanes := make([]uint64, n)
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(cipher[i*8:])
+	}
+	sigma := make([]uint64, n)
+	if err := g.verifier.Tag(g.ctx.st, lanes, sigma); err != nil {
+		return nil, nil, err
+	}
+	tags = make([]byte, n*8)
+	for i, t := range sigma {
+		binary.LittleEndian.PutUint64(tags[i*8:], t)
+	}
+	return cipher, tags, nil
+}
+
+// Verify checks a reduced (ciphertext, tag) lane pair against this rank's
+// keys before the aggregate is trusted. With verification disabled it is a
+// no-op; with it enabled, missing tags are an error — a gateway must not be
+// able to strip verification.
+func (g *GatewaySealer) Verify(reducedCipher, reducedTags []byte) error {
+	if g.verifier == nil {
+		return nil
+	}
+	n := len(reducedCipher) / 8
+	if len(reducedTags) < n*8 {
+		return fmt.Errorf("hear: reduced tag lane %d B < %d elements", len(reducedTags), n)
+	}
+	lanes := make([]uint64, n)
+	sigma := make([]uint64, n)
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(reducedCipher[i*8:])
+		sigma[i] = binary.LittleEndian.Uint64(reducedTags[i*8:])
+	}
+	if bad := g.verifier.Verify(g.ctx.st, lanes, sigma, g.ctx.size); bad >= 0 {
+		return &ErrVerificationFailed{Element: bad}
+	}
+	return nil
+}
+
+// Open decrypts a reduced ciphertext lane into out. It must pair the most
+// recent Seal call (decryption uses the collective key that call advanced
+// to), exactly as Allreduce decryption follows its own encryption.
+func (g *GatewaySealer) Open(reduced []byte, out []int64) error {
+	s, err := g.ctx.intSum(64)
+	if err != nil {
+		return err
+	}
+	n := len(reduced) / 8
+	if len(out) < n {
+		return fmt.Errorf("hear: out %d < %d elements", len(out), n)
+	}
+	buf := make([]byte, n*8)
+	if err := s.Decrypt(g.ctx.st, reduced, buf, n); err != nil {
+		return err
+	}
+	unmarshal64(buf, out[:n])
 	return nil
 }

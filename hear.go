@@ -22,6 +22,8 @@
 package hear
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -78,6 +80,12 @@ func (o *Options) fill() {
 	if o.FixedPointFrac == 0 {
 		o.FixedPointFrac = 20
 	}
+	if o.Rand == nil {
+		// Default exactly as internal/keys does: nil means the system CSPRNG.
+		// Init reads from o.Rand directly for the §8 pairwise matrix, so a
+		// nil reader would otherwise crash EnableP2P initialization.
+		o.Rand = rand.Reader
+	}
 }
 
 // Context is one rank's HEAR state: its key material and scheme instances.
@@ -130,7 +138,7 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 				if _, err := io.ReadFull(opts.Rand, b[:]); err != nil {
 					return nil, fmt.Errorf("hear: drawing pairwise key: %w", err)
 				}
-				k := binaryLittleUint64(b[:])
+				k := binary.LittleEndian.Uint64(b[:])
 				matrix[i][j] = k
 				matrix[j][i] = k
 			}
@@ -162,16 +170,6 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 		ctxs[i] = ctx
 	}
 	return ctxs, nil
-}
-
-// binaryLittleUint64 decodes 8 little-endian bytes (avoids importing
-// encoding/binary twice across files for one call site).
-func binaryLittleUint64(b []byte) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[i]) << (8 * i)
-	}
-	return v
 }
 
 // Rank returns the context's rank.

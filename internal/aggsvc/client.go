@@ -1,0 +1,204 @@
+package aggsvc
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Sealer is the key-holding side of a gateway round: it seals a vector
+// into opaque lanes before upload and verifies/opens the reduced lanes the
+// gateway returns. hear.Context implements it via NewGatewaySealer; this
+// package deliberately depends only on the interface, never on key
+// material.
+type Sealer interface {
+	// Seal encrypts vals for one round; tags is nil when verification is
+	// disabled. Each Seal advances the collective key, so every round
+	// participant must seal exactly once per round.
+	Seal(vals []int64) (cipher, tags []byte, err error)
+	// Verify checks the reduced lanes before they are trusted.
+	Verify(reducedCipher, reducedTags []byte) error
+	// Open decrypts the reduced data lane into out.
+	Open(reduced []byte, out []int64) error
+}
+
+// ClientOptions tunes a gateway client.
+type ClientOptions struct {
+	// MaxFrameBytes bounds incoming frames (default DefaultMaxFrameBytes).
+	MaxFrameBytes int
+	// ChunkBytes, when non-zero, caps the SUBMIT chunk below the size the
+	// gateway advertises in JOIN.
+	ChunkBytes int
+	// Timeout bounds one whole Aggregate call (0 = no deadline). Without
+	// it a dead gateway blocks the client forever.
+	Timeout time.Duration
+}
+
+func (o *ClientOptions) fill() {
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+}
+
+// Client drives gateway rounds over one connection. It is not safe for
+// concurrent use — like a Context, it belongs to one participant.
+type Client struct {
+	conn   net.Conn
+	sealer Sealer
+	opt    ClientOptions
+}
+
+// NewClient wraps an established connection (TCP, net.Pipe, ...).
+func NewClient(conn net.Conn, sealer Sealer, opt ClientOptions) *Client {
+	opt.fill()
+	return &Client{conn: conn, sealer: sealer, opt: opt}
+}
+
+// Dial connects to a gateway over TCP.
+func Dial(addr string, sealer Sealer, opt ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, sealer, opt), nil
+}
+
+// Round describes a completed aggregation round.
+type Round struct {
+	ID      uint64
+	Slot    int
+	Group   int
+	Elapsed time.Duration
+}
+
+// Aggregate runs one round: seal vals, HELLO/JOIN, stream the lanes,
+// await the reduced aggregate, verify it, and open it into out (len(out)
+// >= len(vals)). A gateway-side failure surfaces as *AbortError; a
+// verification failure surfaces from the Sealer before anything is
+// decrypted.
+func (c *Client) Aggregate(vals, out []int64) (Round, error) {
+	start := time.Now()
+	if c.opt.Timeout > 0 {
+		c.conn.SetDeadline(start.Add(c.opt.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if len(out) < len(vals) {
+		return Round{}, fmt.Errorf("aggsvc: out %d < %d elements", len(out), len(vals))
+	}
+	cipher, tags, err := c.sealer.Seal(vals)
+	if err != nil {
+		return Round{}, fmt.Errorf("aggsvc: seal: %w", err)
+	}
+	var flags uint8
+	if tags != nil {
+		flags |= FlagTagged
+	}
+	hello := helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: flags, Elems: len(vals)}
+	if err := writeFrame(c.conn, FrameHello, encodeHello(hello)); err != nil {
+		return Round{}, fmt.Errorf("aggsvc: hello: %w", err)
+	}
+
+	t, p, err := readFrame(c.conn, c.opt.MaxFrameBytes)
+	if err != nil {
+		return Round{}, fmt.Errorf("aggsvc: awaiting JOIN: %w", err)
+	}
+	if t == FrameAbort {
+		return Round{}, c.abortError(p)
+	}
+	if t != FrameJoin {
+		return Round{}, fmt.Errorf("aggsvc: expected JOIN, got %s", t)
+	}
+	join, err := decodeJoin(p)
+	if err != nil {
+		return Round{}, err
+	}
+	chunk := join.ChunkBytes
+	if c.opt.ChunkBytes > 0 && c.opt.ChunkBytes < chunk {
+		chunk = c.opt.ChunkBytes
+	}
+	if chunk <= 0 {
+		return Round{}, fmt.Errorf("aggsvc: gateway advertised chunk %d B", chunk)
+	}
+	if err := c.submitLane(join.Round, LaneData, cipher, chunk); err != nil {
+		return Round{}, err
+	}
+	if tags != nil {
+		if err := c.submitLane(join.Round, LaneTag, tags, chunk); err != nil {
+			return Round{}, err
+		}
+	}
+
+	t, p, err = readFrame(c.conn, c.opt.MaxFrameBytes)
+	if err != nil {
+		return Round{}, fmt.Errorf("aggsvc: awaiting RESULT: %w", err)
+	}
+	if t == FrameAbort {
+		return Round{}, c.abortError(p)
+	}
+	if t != FrameResult {
+		return Round{}, fmt.Errorf("aggsvc: expected RESULT, got %s", t)
+	}
+	round, data, rtags, err := decodeResult(p)
+	if err != nil {
+		return Round{}, err
+	}
+	if round != join.Round {
+		return Round{}, fmt.Errorf("aggsvc: RESULT for round %d, joined round %d", round, join.Round)
+	}
+	if len(data) != len(cipher) {
+		return Round{}, fmt.Errorf("aggsvc: reduced lane %d B, submitted %d B", len(data), len(cipher))
+	}
+	// Verify before trusting: a tampering (or tag-stripping) gateway must
+	// fail here, not decrypt to silently wrong values.
+	if err := c.sealer.Verify(data, rtags); err != nil {
+		return Round{}, err
+	}
+	if err := c.sealer.Open(data, out[:len(vals)]); err != nil {
+		return Round{}, err
+	}
+	return Round{ID: join.Round, Slot: join.Slot, Group: join.Group, Elapsed: time.Since(start)}, nil
+}
+
+func (c *Client) submitLane(round uint64, lane uint8, buf []byte, chunk int) error {
+	for off := 0; off < len(buf); off += chunk {
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		hdr := encodeSubmitHeader(submitHeader{Round: round, Lane: lane, Offset: off})
+		if err := writeFrame(c.conn, FrameSubmit, hdr, buf[off:end]); err != nil {
+			return fmt.Errorf("aggsvc: submit lane %d at %d: %w", lane, off, err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) abortError(payload []byte) error {
+	e, err := decodeAbort(payload)
+	if err != nil {
+		return err
+	}
+	return e
+}
+
+// ServerStats fetches the gateway's counters over this connection.
+func (c *Client) ServerStats() (map[string]uint64, error) {
+	if c.opt.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opt.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.conn, FrameStatsReq); err != nil {
+		return nil, err
+	}
+	t, p, err := readFrame(c.conn, c.opt.MaxFrameBytes)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameStats {
+		return nil, fmt.Errorf("aggsvc: expected STATS, got %s", t)
+	}
+	return decodeStats(p)
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }

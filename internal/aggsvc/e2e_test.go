@@ -1,0 +1,186 @@
+package aggsvc_test
+
+import (
+	"errors"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hear"
+	"hear/internal/aggsvc"
+	"hear/internal/homac"
+	"hear/internal/mpi"
+)
+
+// setupGroup builds a gateway group of real HEAR participants sharing a
+// world and a HoMAC verification key.
+func setupGroup(t *testing.T, size int, seed uint64) []*hear.GatewaySealer {
+	t.Helper()
+	w := mpi.NewWorld(size)
+	ctxs, err := hear.Init(w, hear.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verifier *homac.Vector
+	if seed != 0 {
+		verifier, err = hear.NewVerifier(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealers := make([]*hear.GatewaySealer, size)
+	for i, c := range ctxs {
+		sealers[i] = c.NewGatewaySealer(verifier)
+	}
+	return sealers
+}
+
+// TestEndToEndTCP is the acceptance scenario: 8 clients × 8192 int64
+// elements (64 KiB lanes) complete verified SUM rounds over real TCP
+// loopback; every decrypted aggregate matches the plaintext reference. The
+// gateway only ever sees sealed lanes — it runs in this process but links
+// no key material (see TestServerKeyBlind).
+func TestEndToEndTCP(t *testing.T) {
+	const group, elems, rounds = 8, 8192, 2
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	s, err := aggsvc.NewServer(aggsvc.Config{Group: group, Elems: elems, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	addr := l.Addr().String()
+
+	sealers := setupGroup(t, group, 0xe2e)
+	inputs := make([][]int64, group)
+	want := make([]int64, elems)
+	for i := range inputs {
+		inputs[i] = make([]int64, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = int64((i+1)*(j+1)) - 17
+			want[j] += inputs[i][j]
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, group)
+	for i := 0; i < group; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := aggsvc.Dial(addr, sealers[i], aggsvc.ClientOptions{Timeout: 30 * time.Second})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			out := make([]int64, elems)
+			for r := 0; r < rounds; r++ {
+				info, err := c.Aggregate(inputs[i], out)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if info.Group != group {
+					errs[i] = errors.New("wrong group size in round info")
+					return
+				}
+				for j := range out {
+					if out[j] != want[j] {
+						t.Errorf("client %d round %d elem %d = %d, want %d", i, r, j, out[j], want[j])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+// A gateway that tampers with the aggregate must be caught by HoMAC
+// verification on the client, not decrypted into silently wrong values.
+// tamperConn flips one ciphertext bit of the RESULT frame in flight.
+type tamperConn struct {
+	net.Conn
+	tampered bool
+}
+
+func (c *tamperConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 40 && !c.tampered { // a RESULT payload, past the lane length prefix
+		p[40] ^= 0x01
+		c.tampered = true
+	}
+	return n, err
+}
+
+func TestEndToEndTamperDetected(t *testing.T) {
+	const group, elems = 2, 64
+	s, err := aggsvc.NewServer(aggsvc.Config{Group: group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := aggsvc.NewPipeListener()
+	go s.Serve(l)
+	defer s.Close()
+
+	sealers := setupGroup(t, group, 0xbad)
+	var wg sync.WaitGroup
+	errs := make([]error, group)
+	for i := 0; i < group; i++ {
+		wg.Add(1)
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			conn = &tamperConn{Conn: conn}
+		}
+		c := aggsvc.NewClient(conn, sealers[i], aggsvc.ClientOptions{Timeout: 10 * time.Second})
+		go func(i int) {
+			defer wg.Done()
+			defer c.Close()
+			out := make([]int64, elems)
+			_, errs[i] = c.Aggregate(make([]int64, elems), out)
+		}(i)
+	}
+	wg.Wait()
+	var vf *hear.ErrVerificationFailed
+	if !errors.As(errs[0], &vf) {
+		t.Errorf("tampered client got %v, want *hear.ErrVerificationFailed", errs[0])
+	}
+	if errs[1] != nil {
+		t.Errorf("untampered client: %v", errs[1])
+	}
+}
+
+// TestServerKeyBlind pins the gateway's central security property at the
+// package level: internal/aggsvc must not depend on any key material — not
+// the hear root package (contexts, sealers) and not internal/keys. A client
+// links keys; the server never can.
+func TestServerKeyBlind(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	out, err := exec.Command(goBin, "list", "-deps", "hear/internal/aggsvc").Output()
+	if err != nil {
+		t.Fatalf("go list -deps: %v", err)
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		if dep == "hear" || dep == "hear/internal/keys" || dep == "hear/internal/homac" {
+			t.Errorf("internal/aggsvc depends on key-bearing package %q", dep)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package aggsvc is the secure aggregation gateway: HEAR's §4 in-network
+// aggregation served over TCP. Remote clients seal vectors with their own
+// keys (hear.GatewaySealer), the gateway folds the opaque ciphertext and
+// HoMAC-tag lanes with the keyless kernels of internal/core/fold, and the
+// clients verify and decrypt the aggregate. The server is key-blind by
+// construction: this package imports no key material and cannot decrypt,
+// forge, or selectively modify a verified aggregate — exactly the trust the
+// paper places in an untrusted switch.
+//
+// The wire protocol is a versioned, length-prefixed binary framing:
+//
+//	| u32 length (LE) | u8 type | payload ... |
+//
+// where length counts the type byte plus the payload. Frame types: a client
+// opens a round with HELLO and is admitted with JOIN; it streams its lanes
+// in SUBMIT chunks; the gateway answers every participant with RESULT, or
+// with a typed ABORT — HEAR's telescoping noises need every participant, so
+// a partial aggregate is cryptographically meaningless and the round fails
+// closed. STATS exposes the gateway's counters and phase timings.
+package aggsvc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire protocol version carried in every HELLO.
+const ProtocolVersion uint16 = 1
+
+// FrameType identifies a protocol frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameHello    FrameType = 1 // client → server: request admission to a round
+	FrameJoin     FrameType = 2 // server → client: admission (round, slot, group, deadline, chunk)
+	FrameSubmit   FrameType = 3 // client → server: one chunk of a lane
+	FrameResult   FrameType = 4 // server → client: the reduced lanes
+	FrameAbort    FrameType = 5 // either direction: the round failed, typed
+	FrameStatsReq FrameType = 6 // client → server: request counters
+	FrameStats    FrameType = 7 // server → client: counters and phase timings
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameJoin:
+		return "JOIN"
+	case FrameSubmit:
+		return "SUBMIT"
+	case FrameResult:
+		return "RESULT"
+	case FrameAbort:
+		return "ABORT"
+	case FrameStatsReq:
+		return "STATSREQ"
+	case FrameStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Lanes of a SUBMIT frame.
+const (
+	LaneData = 0 // ciphertext, folded mod 2^64
+	LaneTag  = 1 // HoMAC tags, folded mod the verification prime
+)
+
+// Scheme identifiers carried in HELLO. The gateway folds lanes with the
+// advertised scheme's keyless kernels; it never learns the datatype beyond
+// the lane width.
+const (
+	SchemeInt64Sum uint8 = 1
+)
+
+// HELLO flag bits.
+const (
+	FlagTagged uint8 = 1 << 0 // the client submits a HoMAC tag lane
+)
+
+// DefaultMaxFrameBytes bounds a single frame (length prefix included);
+// larger frames are rejected before their payload is read.
+const DefaultMaxFrameBytes = 16 << 20
+
+const (
+	frameHeaderBytes  = 5 // u32 length + u8 type
+	helloPayloadBytes = 8
+	joinPayloadBytes  = 24
+	submitHeaderBytes = 13 // round u64 + lane u8 + offset u32
+)
+
+// AbortCode classifies why a round failed.
+type AbortCode uint16
+
+// Abort codes.
+const (
+	AbortProtocol AbortCode = 1 + iota // malformed or out-of-order frame
+	AbortVersion                       // client/server protocol version mismatch
+	AbortMismatch                      // HELLO parameters incompatible with the open round
+	AbortOversize                      // a frame exceeded the size limit
+	AbortDeadline                      // the round deadline expired with stragglers
+	AbortPeerLost                      // another participant disconnected mid-round
+	AbortShutdown                      // the gateway is shutting down
+)
+
+func (c AbortCode) String() string {
+	switch c {
+	case AbortProtocol:
+		return "protocol-violation"
+	case AbortVersion:
+		return "version-mismatch"
+	case AbortMismatch:
+		return "round-mismatch"
+	case AbortOversize:
+		return "oversized-frame"
+	case AbortDeadline:
+		return "deadline-expired"
+	case AbortPeerLost:
+		return "participant-lost"
+	case AbortShutdown:
+		return "server-shutdown"
+	}
+	return fmt.Sprintf("abort(%d)", uint16(c))
+}
+
+// AbortError is the typed failure a round participant receives. It is the
+// error returned by Client.Aggregate when the gateway aborts.
+type AbortError struct {
+	Round uint64
+	Code  AbortCode
+	Msg   string
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("aggsvc: round %d aborted (%s): %s", e.Round, e.Code, e.Msg)
+}
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the limit;
+// the payload is never read.
+type ErrFrameTooLarge struct {
+	Declared, Limit int
+}
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("aggsvc: frame of %d B exceeds the %d B limit", e.Declared, e.Limit)
+}
+
+// writeFrame emits one frame. payload may be split across two slices so
+// callers can prepend a header without copying the body.
+func writeFrame(w io.Writer, t FrameType, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(total+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range payload {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrameHeader reads the fixed header and returns the frame type and
+// payload length, validating it against max before any payload byte is
+// consumed — oversized frames are rejected without buffering them.
+func readFrameHeader(r io.Reader, max int) (FrameType, int, error) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	ln := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if ln < 1 {
+		return 0, 0, fmt.Errorf("aggsvc: frame with zero-length body")
+	}
+	if ln+4 > max {
+		return FrameType(hdr[4]), ln - 1, &ErrFrameTooLarge{Declared: ln + 4, Limit: max}
+	}
+	return FrameType(hdr[4]), ln - 1, nil
+}
+
+// readFrame reads a whole frame into a fresh buffer (client-side path; the
+// server reads SUBMIT payloads into pooled blocks instead).
+func readFrame(r io.Reader, max int) (FrameType, []byte, error) {
+	t, n, err := readFrameHeader(r, max)
+	if err != nil {
+		return t, nil, err
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return t, nil, err
+	}
+	return t, p, nil
+}
+
+// helloFrame is the decoded HELLO payload.
+type helloFrame struct {
+	Version uint16
+	Scheme  uint8
+	Flags   uint8
+	Elems   int
+}
+
+func (h helloFrame) tagged() bool { return h.Flags&FlagTagged != 0 }
+
+func encodeHello(h helloFrame) []byte {
+	p := make([]byte, helloPayloadBytes)
+	binary.LittleEndian.PutUint16(p[0:], h.Version)
+	p[2] = h.Scheme
+	p[3] = h.Flags
+	binary.LittleEndian.PutUint32(p[4:], uint32(h.Elems))
+	return p
+}
+
+func decodeHello(p []byte) (helloFrame, error) {
+	if len(p) != helloPayloadBytes {
+		return helloFrame{}, fmt.Errorf("aggsvc: HELLO payload %d B, want %d", len(p), helloPayloadBytes)
+	}
+	return helloFrame{
+		Version: binary.LittleEndian.Uint16(p[0:]),
+		Scheme:  p[2],
+		Flags:   p[3],
+		Elems:   int(binary.LittleEndian.Uint32(p[4:])),
+	}, nil
+}
+
+// joinFrame is the decoded JOIN payload: the admission ticket.
+type joinFrame struct {
+	Round      uint64
+	Slot       int
+	Group      int
+	DeadlineMS uint32 // time remaining until the round deadline
+	ChunkBytes int    // the gateway's SUBMIT chunk granularity
+}
+
+func encodeJoin(j joinFrame) []byte {
+	p := make([]byte, joinPayloadBytes)
+	binary.LittleEndian.PutUint64(p[0:], j.Round)
+	binary.LittleEndian.PutUint32(p[8:], uint32(j.Slot))
+	binary.LittleEndian.PutUint32(p[12:], uint32(j.Group))
+	binary.LittleEndian.PutUint32(p[16:], j.DeadlineMS)
+	binary.LittleEndian.PutUint32(p[20:], uint32(j.ChunkBytes))
+	return p
+}
+
+func decodeJoin(p []byte) (joinFrame, error) {
+	if len(p) != joinPayloadBytes {
+		return joinFrame{}, fmt.Errorf("aggsvc: JOIN payload %d B, want %d", len(p), joinPayloadBytes)
+	}
+	return joinFrame{
+		Round:      binary.LittleEndian.Uint64(p[0:]),
+		Slot:       int(binary.LittleEndian.Uint32(p[8:])),
+		Group:      int(binary.LittleEndian.Uint32(p[12:])),
+		DeadlineMS: binary.LittleEndian.Uint32(p[16:]),
+		ChunkBytes: int(binary.LittleEndian.Uint32(p[20:])),
+	}, nil
+}
+
+// submitHeader is the fixed prefix of a SUBMIT payload; the chunk bytes
+// follow it.
+type submitHeader struct {
+	Round  uint64
+	Lane   uint8
+	Offset int // byte offset of this chunk within the lane
+}
+
+func encodeSubmitHeader(h submitHeader) []byte {
+	p := make([]byte, submitHeaderBytes)
+	binary.LittleEndian.PutUint64(p[0:], h.Round)
+	p[8] = h.Lane
+	binary.LittleEndian.PutUint32(p[9:], uint32(h.Offset))
+	return p
+}
+
+func decodeSubmitHeader(p []byte) (submitHeader, error) {
+	if len(p) < submitHeaderBytes {
+		return submitHeader{}, fmt.Errorf("aggsvc: SUBMIT payload %d B < %d B header", len(p), submitHeaderBytes)
+	}
+	return submitHeader{
+		Round:  binary.LittleEndian.Uint64(p[0:]),
+		Lane:   p[8],
+		Offset: int(binary.LittleEndian.Uint32(p[9:])),
+	}, nil
+}
+
+// encodeResult frames the reduced lanes: round, then each lane with a u32
+// length prefix (the tag lane is empty for unverified rounds).
+func encodeResult(round uint64, data, tags []byte) []byte {
+	p := make([]byte, 8+4+len(data)+4+len(tags))
+	binary.LittleEndian.PutUint64(p[0:], round)
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(data)))
+	copy(p[12:], data)
+	binary.LittleEndian.PutUint32(p[12+len(data):], uint32(len(tags)))
+	copy(p[16+len(data):], tags)
+	return p
+}
+
+func decodeResult(p []byte) (round uint64, data, tags []byte, err error) {
+	if len(p) < 16 {
+		return 0, nil, nil, fmt.Errorf("aggsvc: RESULT payload %d B too short", len(p))
+	}
+	round = binary.LittleEndian.Uint64(p[0:])
+	dn := int(binary.LittleEndian.Uint32(p[8:]))
+	if 12+dn+4 > len(p) {
+		return 0, nil, nil, fmt.Errorf("aggsvc: RESULT data lane %d B overruns payload", dn)
+	}
+	data = p[12 : 12+dn]
+	tn := int(binary.LittleEndian.Uint32(p[12+dn:]))
+	if 16+dn+tn > len(p) {
+		return 0, nil, nil, fmt.Errorf("aggsvc: RESULT tag lane %d B overruns payload", tn)
+	}
+	tags = p[16+dn : 16+dn+tn]
+	if tn == 0 {
+		tags = nil
+	}
+	return round, data, tags, nil
+}
+
+func encodeAbort(e *AbortError) []byte {
+	msg := e.Msg
+	if len(msg) > 1<<12 {
+		msg = msg[:1<<12]
+	}
+	p := make([]byte, 12+len(msg))
+	binary.LittleEndian.PutUint64(p[0:], e.Round)
+	binary.LittleEndian.PutUint16(p[8:], uint16(e.Code))
+	binary.LittleEndian.PutUint16(p[10:], uint16(len(msg)))
+	copy(p[12:], msg)
+	return p
+}
+
+func decodeAbort(p []byte) (*AbortError, error) {
+	if len(p) < 12 {
+		return nil, fmt.Errorf("aggsvc: ABORT payload %d B too short", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[10:]))
+	if 12+n > len(p) {
+		n = len(p) - 12
+	}
+	return &AbortError{
+		Round: binary.LittleEndian.Uint64(p[0:]),
+		Code:  AbortCode(binary.LittleEndian.Uint16(p[8:])),
+		Msg:   string(p[12 : 12+n]),
+	}, nil
+}
+
+// encodeStats serializes named counters as (u8 name length, name, u64
+// value) entries, sorted by key so the wire form is deterministic.
+func encodeStats(stats map[string]uint64, keys []string) []byte {
+	p := make([]byte, 2)
+	binary.LittleEndian.PutUint16(p, uint16(len(keys)))
+	for _, k := range keys {
+		name := k
+		if len(name) > 255 {
+			name = name[:255]
+		}
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], stats[k])
+		p = append(p, byte(len(name)))
+		p = append(p, name...)
+		p = append(p, v[:]...)
+	}
+	return p
+}
+
+func decodeStats(p []byte) (map[string]uint64, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("aggsvc: STATS payload %d B too short", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	out := make(map[string]uint64, n)
+	off := 2
+	for i := 0; i < n; i++ {
+		if off >= len(p) {
+			return nil, fmt.Errorf("aggsvc: STATS entry %d overruns payload", i)
+		}
+		nl := int(p[off])
+		off++
+		if off+nl+8 > len(p) {
+			return nil, fmt.Errorf("aggsvc: STATS entry %d overruns payload", i)
+		}
+		name := string(p[off : off+nl])
+		out[name] = binary.LittleEndian.Uint64(p[off+nl:])
+		off += nl + 8
+	}
+	return out, nil
+}

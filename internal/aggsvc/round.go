@@ -1,0 +1,211 @@
+package aggsvc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// foldStripes is the number of stripe locks guarding a round's
+// accumulators: chunks at different stripes fold concurrently across the
+// worker pool, chunks landing on the same stripe serialize.
+const foldStripes = 64
+
+// roundParams are the properties every participant of a round must agree
+// on; they are fixed by the first HELLO that opens the round.
+type roundParams struct {
+	scheme uint8
+	elems  int
+	tagged bool
+}
+
+// participant is one admitted client of a round.
+type participant struct {
+	slot      int
+	conn      net.Conn // read-deadline poked on abort to unblock its reader
+	dataGot   int      // bytes accepted on the data lane (in-order)
+	tagGot    int      // bytes accepted on the tag lane
+	submitted bool
+}
+
+// roundState is one aggregation round: N participants, two lane
+// accumulators, a deadline, and a single outcome — RESULT for everyone or
+// a typed ABORT for everyone.
+type roundState struct {
+	id     uint64
+	params roundParams
+	group  int
+
+	deadline time.Time
+	timer    *time.Timer
+
+	// Lane accumulators. Folding happens under per-stripe locks so chunks
+	// from different regions proceed concurrently; all folds are commutative
+	// and associative with identity 0, so arrival order is irrelevant.
+	data    []byte
+	tags    []byte
+	stripes [foldStripes]sync.Mutex
+	chunk   int
+
+	mu       sync.Mutex
+	parts    []*participant
+	finished int // participants that submitted every lane byte
+	tasks    int // outstanding fold tasks
+	done     bool
+	abortErr *AbortError
+	doneCh   chan struct{}
+	endOnce  sync.Once // server-side end-of-round bookkeeping
+}
+
+// laneSize returns the byte length of one lane.
+func (r *roundState) laneSize() int { return r.params.elems * 8 }
+
+// stripe returns the lock guarding the accumulator region of a chunk that
+// starts at byte offset off.
+func (r *roundState) stripe(off int) *sync.Mutex {
+	return &r.stripes[(off/r.chunk)%foldStripes]
+}
+
+// taskAdded registers an outstanding fold task. It returns false when the
+// round already ended (late chunks are dropped, not folded).
+func (r *roundState) taskAdded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return false
+	}
+	r.tasks++
+	return true
+}
+
+// taskDone retires a fold task, completing the round if it was the last
+// obligation.
+func (r *roundState) taskDone() {
+	r.mu.Lock()
+	r.tasks--
+	r.maybeCompleteLocked()
+	r.mu.Unlock()
+}
+
+// submitted marks a participant as fully delivered.
+func (r *roundState) submitted(p *participant) {
+	r.mu.Lock()
+	if !p.submitted {
+		p.submitted = true
+		r.finished++
+		r.maybeCompleteLocked()
+	}
+	r.mu.Unlock()
+}
+
+func (r *roundState) maybeCompleteLocked() {
+	if r.done || r.finished < r.group || r.tasks > 0 || len(r.parts) < r.group {
+		return
+	}
+	r.done = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	close(r.doneCh)
+}
+
+// abort fails the round with a typed error. The first abort wins; every
+// participant's pending read is interrupted so its handler can deliver the
+// ABORT frame promptly instead of blocking until its own deadline.
+func (r *roundState) abort(code AbortCode, format string, args ...any) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.abortErr = &AbortError{Round: r.id, Code: code, Msg: fmt.Sprintf(format, args...)}
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	parts := make([]*participant, len(r.parts))
+	copy(parts, r.parts)
+	close(r.doneCh)
+	r.mu.Unlock()
+	past := time.Unix(1, 0)
+	for _, p := range parts {
+		p.conn.SetReadDeadline(past)
+	}
+}
+
+// outcome blocks until the round ends and returns its abort error (nil
+// means the aggregate in r.data/r.tags is complete).
+func (r *roundState) outcome() *AbortError {
+	<-r.doneCh
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.abortErr
+}
+
+// aborted reports whether the round ended in failure.
+func (r *roundState) aborted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done && r.abortErr != nil
+}
+
+// roundManager groups arriving HELLOs into rounds of exactly group
+// participants.
+type roundManager struct {
+	group   int
+	timeout time.Duration
+	chunk   int
+
+	mu     sync.Mutex
+	nextID uint64
+	open   *roundState // collecting participants; nil when none or sealed
+}
+
+// join admits a client into the open round (creating one if needed) and
+// returns its participant record. A HELLO whose parameters disagree with
+// the open round is refused without poisoning that round.
+func (m *roundManager) join(conn net.Conn, params roundParams) (*roundState, *participant, *AbortError) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.open
+	if r != nil && (r.params != params || r.aborted()) {
+		if r.aborted() {
+			// The open round died (deadline) before filling; start fresh.
+			m.open = nil
+			r = nil
+		} else {
+			return nil, nil, &AbortError{Round: r.id, Code: AbortMismatch,
+				Msg: fmt.Sprintf("open round %d has %d-element tagged=%v frames", r.id, r.params.elems, r.params.tagged)}
+		}
+	}
+	if r == nil {
+		r = &roundState{
+			id:       m.nextID,
+			params:   params,
+			group:    m.group,
+			deadline: time.Now().Add(m.timeout),
+			data:     make([]byte, params.elems*8),
+			chunk:    m.chunk,
+			doneCh:   make(chan struct{}),
+		}
+		m.nextID++
+		if params.tagged {
+			r.tags = make([]byte, params.elems*8)
+		}
+		r.timer = time.AfterFunc(m.timeout, func() {
+			r.abort(AbortDeadline, "round %d deadline (%s) expired before all %d participants finished",
+				r.id, m.timeout, r.group)
+		})
+		m.open = r
+	}
+	p := &participant{slot: len(r.parts), conn: conn}
+	r.mu.Lock()
+	r.parts = append(r.parts, p)
+	full := len(r.parts) == r.group
+	r.mu.Unlock()
+	if full {
+		m.open = nil // sealed: it no longer accepts joiners
+	}
+	return r, p, nil
+}

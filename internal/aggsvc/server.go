@@ -1,0 +1,543 @@
+package aggsvc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hear/internal/core/fold"
+	"hear/internal/inc"
+	"hear/internal/mempool"
+	"hear/internal/trace"
+)
+
+// laneFolds maps a HELLO scheme id onto the keyless kernels the gateway
+// executes. The folds are typed as internal/inc's Fold: the gateway is that
+// package's switch contract served over TCP — opaque lanes in, the same
+// lanes folded out, no keys anywhere.
+var laneFolds = map[uint8]struct{ data, tag inc.Fold }{
+	SchemeInt64Sum: {data: fold.SumUint64, tag: fold.SumMod61},
+}
+
+// Server phase names reported through STATS (internal/trace timings).
+const (
+	PhaseRecv = "recv" // reading SUBMIT payloads off connections
+	PhaseFold = "fold" // worker-pool lane folding
+	PhaseWait = "wait" // handlers parked until their round resolves
+	PhaseSend = "send" // writing RESULT frames
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultRoundTimeout = 10 * time.Second
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultChunkBytes   = 64 << 10
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("aggsvc: server closed")
+
+// Config configures a gateway server.
+type Config struct {
+	// Group is the number of clients aggregated per round (required).
+	Group int
+	// Elems, when non-zero, pins the vector length; zero accepts any
+	// length, fixed per round by the first HELLO.
+	Elems int
+	// RoundTimeout bounds a round from its first JOIN to its last SUBMIT
+	// byte; stragglers abort the round for everyone (default 10s).
+	RoundTimeout time.Duration
+	// WriteTimeout bounds any single outgoing frame so one stuck client
+	// cannot wedge a handler (default 30s).
+	WriteTimeout time.Duration
+	// MaxFrameBytes rejects larger frames before reading their payload
+	// (default 16 MiB). It must accommodate the RESULT frame.
+	MaxFrameBytes int
+	// ChunkBytes is the SUBMIT granularity, advertised to clients in JOIN
+	// and the unit of fold parallelism (default 64 KiB).
+	ChunkBytes int
+	// Workers sizes the fold worker pool (default GOMAXPROCS).
+	Workers int
+	// PoolBlocks caps the pooled SUBMIT buffers (default 4×Workers); an
+	// exhausted pool throttles intake instead of growing.
+	PoolBlocks int
+	// Logf, when non-nil, receives one line per round outcome and
+	// connection error.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Group < 1 {
+		return fmt.Errorf("aggsvc: group size %d < 1", c.Group)
+	}
+	if c.Elems < 0 {
+		return fmt.Errorf("aggsvc: negative vector length %d", c.Elems)
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = DefaultRoundTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = DefaultChunkBytes
+	}
+	if c.ChunkBytes+submitHeaderBytes+frameHeaderBytes > c.MaxFrameBytes {
+		return fmt.Errorf("aggsvc: chunk %d B does not fit the %d B frame limit", c.ChunkBytes, c.MaxFrameBytes)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PoolBlocks <= 0 {
+		c.PoolBlocks = 4 * c.Workers
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// foldTask is one pooled SUBMIT chunk awaiting aggregation.
+type foldTask struct {
+	r     *roundState
+	lane  uint8
+	off   int
+	n     int
+	block []byte // pooled; chunk bytes at [submitHeaderBytes, submitHeaderBytes+n)
+	fold  inc.Fold
+}
+
+// Server is the aggregation gateway daemon. It is safe for concurrent use;
+// one Server may serve several listeners.
+type Server struct {
+	cfg    Config
+	rm     roundManager
+	pool   *mempool.Pool
+	tasks  chan foldTask
+	phases *trace.SyncBreakdown
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	workerWG  sync.WaitGroup
+
+	connsAccepted   atomic.Uint64
+	clientsJoined   atomic.Uint64
+	roundsStarted   atomic.Uint64
+	roundsCompleted atomic.Uint64
+	roundsAborted   atomic.Uint64
+	chunksFolded    atomic.Uint64
+	bytesFolded     atomic.Uint64
+	statsServed     atomic.Uint64
+	framesRejected  atomic.Uint64
+	activeRounds    atomic.Int64
+}
+
+// NewServer validates cfg, starts the fold worker pool, and returns a
+// server ready for Serve.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	pool, err := mempool.New(cfg.ChunkBytes+submitHeaderBytes, cfg.PoolBlocks, cfg.PoolBlocks)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		rm:        roundManager{group: cfg.Group, timeout: cfg.RoundTimeout, chunk: cfg.ChunkBytes},
+		pool:      pool,
+		tasks:     make(chan foldTask, 2*cfg.Workers),
+		phases:    trace.NewSyncBreakdown(),
+		closed:    make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ListenAndServe binds a TCP listener and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections from l until Close (or a listener error) and
+// handles each on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		s.connsAccepted.Add(1)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listeners, drops every connection (aborting in-flight
+// rounds), and retires the worker pool.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		for l := range s.listeners {
+			l.Close()
+		}
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.workerWG.Wait()
+	})
+	return nil
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case t := <-s.tasks:
+			s.foldChunk(t)
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// foldChunk folds one pooled chunk into its round accumulator under the
+// chunk's stripe lock, returns the block, and retires the task.
+func (s *Server) foldChunk(t foldTask) {
+	stop := s.phases.Start(PhaseFold)
+	acc := t.r.data
+	f := t.fold
+	if t.lane == LaneTag {
+		acc = t.r.tags
+	}
+	m := t.r.stripe(t.off)
+	m.Lock()
+	f(acc[t.off:t.off+t.n], t.block[submitHeaderBytes:submitHeaderBytes+t.n])
+	m.Unlock()
+	stop()
+	s.chunksFolded.Add(1)
+	s.bytesFolded.Add(uint64(t.n))
+	s.pool.Put(t.block[:cap(t.block)])
+	t.r.taskDone()
+}
+
+// handle runs one connection: any number of HELLO→round cycles plus STATS
+// queries, until the peer drops or violates the protocol.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		t, plen, err := readFrameHeader(conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			var tooBig *ErrFrameTooLarge
+			if errors.As(err, &tooBig) {
+				s.framesRejected.Add(1)
+				s.writeAbort(conn, &AbortError{Code: AbortOversize, Msg: tooBig.Error()})
+			}
+			return
+		}
+		switch t {
+		case FrameStatsReq:
+			if err := discard(conn, plen); err != nil {
+				return
+			}
+			s.statsServed.Add(1)
+			if err := s.writeStats(conn); err != nil {
+				return
+			}
+		case FrameHello:
+			if plen != helloPayloadBytes {
+				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: "malformed HELLO"})
+				return
+			}
+			p := make([]byte, plen)
+			if _, err := io.ReadFull(conn, p); err != nil {
+				return
+			}
+			h, err := decodeHello(p)
+			if err != nil {
+				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: err.Error()})
+				return
+			}
+			if !s.serveRound(conn, h) {
+				return
+			}
+		default:
+			s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: "expected HELLO or STATSREQ, got " + t.String()})
+			return
+		}
+	}
+}
+
+// admit validates a HELLO against this gateway's configuration.
+func (s *Server) admit(h helloFrame) *AbortError {
+	if h.Version != ProtocolVersion {
+		return &AbortError{Code: AbortVersion,
+			Msg: fmt.Sprintf("client speaks protocol v%d, server v%d", h.Version, ProtocolVersion)}
+	}
+	if _, ok := laneFolds[h.Scheme]; !ok {
+		return &AbortError{Code: AbortMismatch, Msg: fmt.Sprintf("unknown scheme %d", h.Scheme)}
+	}
+	if h.Elems <= 0 {
+		return &AbortError{Code: AbortProtocol, Msg: fmt.Sprintf("non-positive vector length %d", h.Elems)}
+	}
+	if s.cfg.Elems > 0 && h.Elems != s.cfg.Elems {
+		return &AbortError{Code: AbortMismatch,
+			Msg: fmt.Sprintf("gateway aggregates %d-element vectors, client offered %d", s.cfg.Elems, h.Elems)}
+	}
+	lanes := 1
+	if h.tagged() {
+		lanes = 2
+	}
+	if resultBytes := frameHeaderBytes + 16 + h.Elems*8*lanes; resultBytes > s.cfg.MaxFrameBytes {
+		return &AbortError{Code: AbortMismatch,
+			Msg: fmt.Sprintf("RESULT frame (%d B) would exceed the %d B frame limit", resultBytes, s.cfg.MaxFrameBytes)}
+	}
+	return nil
+}
+
+// serveRound drives one admitted client through a round. It reports
+// whether the connection is still healthy enough to serve another HELLO.
+func (s *Server) serveRound(conn net.Conn, h helloFrame) bool {
+	if aerr := s.admit(h); aerr != nil {
+		s.writeAbort(conn, aerr)
+		return false
+	}
+	folds := laneFolds[h.Scheme]
+	r, part, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()})
+	if aerr != nil {
+		s.writeAbort(conn, aerr)
+		return false
+	}
+	if part.slot == 0 {
+		s.roundsStarted.Add(1)
+		s.activeRounds.Add(1)
+	}
+	s.clientsJoined.Add(1)
+	join := joinFrame{
+		Round:      r.id,
+		Slot:       part.slot,
+		Group:      r.group,
+		DeadlineMS: uint32(time.Until(r.deadline).Milliseconds()),
+		ChunkBytes: r.chunk,
+	}
+	if err := s.writeWithDeadline(conn, FrameJoin, encodeJoin(join)); err != nil {
+		r.abort(AbortPeerLost, "slot %d unreachable at JOIN: %v", part.slot, err)
+		s.finishRound(conn, r)
+		return false
+	}
+
+	healthy := s.receiveLanes(conn, r, part, folds)
+	s.finishRound(conn, r)
+	// After an abort the framing may be mid-stream; a healthy client that
+	// wants another round re-HELLOs on the same connection and the handler
+	// resynchronizes or rejects — either way the conn outlives the round.
+	return healthy
+}
+
+// receiveLanes reads the participant's SUBMIT stream, folding chunks
+// through the worker pool, until the participant has delivered every lane
+// byte or the round fails. It reports whether the connection survived.
+func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, folds struct{ data, tag inc.Fold }) bool {
+	ls := r.laneSize()
+	violated := func(code AbortCode, format string, args ...any) bool {
+		r.abort(code, format, args...)
+		return true // conn itself still healthy; the round is not
+	}
+	for !part.submitted {
+		t, plen, err := readFrameHeader(conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if r.aborted() {
+				return true // interrupted by the round's own abort poke
+			}
+			var tooBig *ErrFrameTooLarge
+			if errors.As(err, &tooBig) {
+				s.framesRejected.Add(1)
+				return violated(AbortOversize, "slot %d: %v", part.slot, err)
+			}
+			r.abort(AbortPeerLost, "slot %d disconnected mid-submit: %v", part.slot, err)
+			return false
+		}
+		if t != FrameSubmit {
+			return violated(AbortProtocol, "slot %d sent %s during submission", part.slot, t)
+		}
+		if plen < submitHeaderBytes+1 || plen > s.pool.BlockSize() {
+			return violated(AbortProtocol, "slot %d chunk payload %d B outside (%d, %d]",
+				part.slot, plen, submitHeaderBytes, s.pool.BlockSize())
+		}
+		stopRecv := s.phases.Start(PhaseRecv)
+		block := s.pool.GetWait()
+		_, err = io.ReadFull(conn, block[:plen])
+		stopRecv()
+		if err != nil {
+			s.pool.Put(block)
+			if r.aborted() {
+				return true
+			}
+			r.abort(AbortPeerLost, "slot %d disconnected mid-chunk: %v", part.slot, err)
+			return false
+		}
+		hd, err := decodeSubmitHeader(block[:plen])
+		n := plen - submitHeaderBytes
+		bad := ""
+		switch {
+		case err != nil:
+			bad = err.Error()
+		case hd.Round != r.id:
+			bad = fmt.Sprintf("chunk for round %d during round %d", hd.Round, r.id)
+		case hd.Lane != LaneData && hd.Lane != LaneTag:
+			bad = fmt.Sprintf("unknown lane %d", hd.Lane)
+		case hd.Lane == LaneTag && !r.params.tagged:
+			bad = "tag chunk in an untagged round"
+		case hd.Offset+n > ls:
+			bad = fmt.Sprintf("chunk [%d, %d) overruns the %d B lane", hd.Offset, hd.Offset+n, ls)
+		case hd.Lane == LaneData && hd.Offset != part.dataGot:
+			bad = fmt.Sprintf("data chunk at %d, expected %d (in-order)", hd.Offset, part.dataGot)
+		case hd.Lane == LaneTag && hd.Offset != part.tagGot:
+			bad = fmt.Sprintf("tag chunk at %d, expected %d (in-order)", hd.Offset, part.tagGot)
+		}
+		if bad != "" {
+			s.pool.Put(block)
+			return violated(AbortProtocol, "slot %d: %s", part.slot, bad)
+		}
+		f := folds.data
+		if hd.Lane == LaneTag {
+			part.tagGot += n
+			f = folds.tag
+		} else {
+			part.dataGot += n
+		}
+		if r.taskAdded() {
+			s.tasks <- foldTask{r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
+		} else {
+			s.pool.Put(block) // round already over; drop the late chunk
+		}
+		if part.dataGot == ls && (!r.params.tagged || part.tagGot == ls) {
+			r.submitted(part)
+		}
+	}
+	return true
+}
+
+// finishRound waits for the round outcome and delivers RESULT or ABORT to
+// this participant. It reports whether the round aborted.
+func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
+	stopWait := s.phases.Start(PhaseWait)
+	aerr := r.outcome()
+	stopWait()
+	conn.SetReadDeadline(time.Time{}) // clear the abort poke, if any
+	r.endOnce.Do(func() {
+		s.activeRounds.Add(-1)
+		if aerr != nil {
+			s.roundsAborted.Add(1)
+			s.cfg.Logf("aggsvc: round %d aborted: %s: %s", r.id, aerr.Code, aerr.Msg)
+		} else {
+			s.roundsCompleted.Add(1)
+			s.cfg.Logf("aggsvc: round %d complete (%d × %d B)", r.id, r.group, r.laneSize())
+		}
+	})
+	if aerr != nil {
+		s.writeAbort(conn, aerr)
+		return true
+	}
+	stopSend := s.phases.Start(PhaseSend)
+	err := s.writeWithDeadline(conn, FrameResult, encodeResult(r.id, r.data, r.tags))
+	stopSend()
+	if err != nil {
+		s.cfg.Logf("aggsvc: round %d: result undeliverable: %v", r.id, err)
+	}
+	return false
+}
+
+func (s *Server) writeWithDeadline(conn net.Conn, t FrameType, payload ...[]byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	return writeFrame(conn, t, payload...)
+}
+
+func (s *Server) writeAbort(conn net.Conn, e *AbortError) {
+	if err := s.writeWithDeadline(conn, FrameAbort, encodeAbort(e)); err != nil {
+		s.cfg.Logf("aggsvc: abort undeliverable: %v", err)
+	}
+}
+
+// StatsMap snapshots the gateway's counters: round and traffic totals,
+// memory-pool behavior, and per-phase timings (phase_ns_*/phase_n_* pairs
+// from internal/trace).
+func (s *Server) StatsMap() map[string]uint64 {
+	hits, misses, allocated := s.pool.Stats()
+	m := map[string]uint64{
+		"conns_accepted":   s.connsAccepted.Load(),
+		"clients_joined":   s.clientsJoined.Load(),
+		"rounds_started":   s.roundsStarted.Load(),
+		"rounds_completed": s.roundsCompleted.Load(),
+		"rounds_aborted":   s.roundsAborted.Load(),
+		"rounds_active":    uint64(s.activeRounds.Load()),
+		"chunks_folded":    s.chunksFolded.Load(),
+		"bytes_folded":     s.bytesFolded.Load(),
+		"stats_served":     s.statsServed.Load(),
+		"frames_rejected":  s.framesRejected.Load(),
+		"pool_hits":        hits,
+		"pool_misses":      misses,
+		"pool_blocks":      uint64(allocated),
+		"pool_waits":       s.pool.Waits(),
+	}
+	snap := s.phases.Snapshot()
+	for _, ph := range snap.Phases() {
+		m["phase_ns_"+ph] = uint64(snap.Sum(ph).Nanoseconds())
+		m["phase_n_"+ph] = uint64(snap.Count(ph))
+	}
+	return m
+}
+
+func (s *Server) writeStats(conn net.Conn) error {
+	m := s.StatsMap()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return s.writeWithDeadline(conn, FrameStats, encodeStats(m, keys))
+}
+
+func discard(r io.Reader, n int) error {
+	_, err := io.CopyN(io.Discard, r, int64(n))
+	return err
+}

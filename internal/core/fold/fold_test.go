@@ -1,0 +1,101 @@
+package fold
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hear/internal/ring"
+)
+
+func lanes64(vals ...uint64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+func TestSumUint64Wraps(t *testing.T) {
+	dst := lanes64(^uint64(0), 7)
+	SumUint64(dst, lanes64(2, 3))
+	if got := binary.LittleEndian.Uint64(dst); got != 1 {
+		t.Errorf("wrap lane = %d, want 1", got)
+	}
+	if got := binary.LittleEndian.Uint64(dst[8:]); got != 10 {
+		t.Errorf("sum lane = %d, want 10", got)
+	}
+}
+
+func TestSumUint64PartialLane(t *testing.T) {
+	// A trailing partial lane must be left untouched, and src shorter than
+	// dst bounds the fold.
+	dst := append(lanes64(5), 0xAA, 0xBB)
+	src := lanes64(6)
+	SumUint64(dst, src)
+	if got := binary.LittleEndian.Uint64(dst); got != 11 {
+		t.Errorf("lane = %d, want 11", got)
+	}
+	if dst[8] != 0xAA || dst[9] != 0xBB {
+		t.Errorf("partial lane modified: % x", dst[8:])
+	}
+	SumUint64(dst[:8], lanes64(1, 2)) // src longer than dst
+	if got := binary.LittleEndian.Uint64(dst); got != 12 {
+		t.Errorf("lane = %d, want 12", got)
+	}
+}
+
+func TestSumMod61(t *testing.T) {
+	const p = ring.MersennePrime61
+	dst := lanes64(p-1, 3)
+	SumMod61(dst, lanes64(1, 4))
+	if got := binary.LittleEndian.Uint64(dst); got != 0 {
+		t.Errorf("mod lane = %d, want 0", got)
+	}
+	if got := binary.LittleEndian.Uint64(dst[8:]); got != 7 {
+		t.Errorf("sum lane = %d, want 7", got)
+	}
+}
+
+func TestXor(t *testing.T) {
+	dst := []byte{0xF0, 0x0F}
+	Xor(dst, []byte{0xFF, 0xFF, 0x12})
+	if dst[0] != 0x0F || dst[1] != 0xF0 {
+		t.Errorf("xor = % x", dst)
+	}
+}
+
+func TestSumWidths(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		f := Sum(width)
+		dst := make([]byte, 2*width)
+		src := make([]byte, 2*width)
+		w := word{size: width}
+		w.store(dst, 0, 200)
+		w.store(dst, 1, 1)
+		w.store(src, 0, 100)
+		w.store(src, 1, 2)
+		f(dst, src)
+		mask := uint64(1)<<(8*width) - 1
+		if width == 8 {
+			mask = ^uint64(0)
+		}
+		if got := w.load(dst, 0); got != 300&mask {
+			t.Errorf("width %d lane 0 = %d, want %d", width, got, 300&mask)
+		}
+		if got := w.load(dst, 1); got != 3 {
+			t.Errorf("width %d lane 1 = %d, want 3", width, got)
+		}
+	}
+}
+
+func TestProd(t *testing.T) {
+	f := Prod(64)
+	dst := lanes64(6, 1<<63)
+	f(dst, lanes64(7, 2))
+	if got := binary.LittleEndian.Uint64(dst); got != 42 {
+		t.Errorf("prod lane = %d, want 42", got)
+	}
+	if got := binary.LittleEndian.Uint64(dst[8:]); got != 0 {
+		t.Errorf("wrap lane = %d, want 0 (mod 2^64)", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hear/internal/core/fold"
 	"hear/internal/keys"
 	"hear/internal/ring"
 )
@@ -28,6 +29,7 @@ import (
 type IntProd struct {
 	width    int
 	r        ring.Z2
+	fold     fold.Func
 	ks1, ks2 []byte
 }
 
@@ -36,7 +38,7 @@ func NewIntProd(widthBits int) (*IntProd, error) {
 	if err := checkWidth("core: int-prod", widthBits); err != nil {
 		return nil, err
 	}
-	return &IntProd{width: widthBits / 8, r: ring.NewZ2(uint(widthBits))}, nil
+	return &IntProd{width: widthBits / 8, r: ring.NewZ2(uint(widthBits)), fold: fold.Prod(widthBits)}, nil
 }
 
 func (s *IntProd) Name() string {
@@ -104,8 +106,7 @@ func (s *IntProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int
 	return nil
 }
 
+// Reduce delegates to the shared keyless kernel (internal/core/fold).
 func (s *IntProd) Reduce(dst, src []byte, n int) {
-	for j := 0; j < n; j++ {
-		s.store(dst, j, s.r.Mul(s.load(dst, j), s.load(src, j)))
-	}
+	s.fold(dst[:n*s.width], src[:n*s.width])
 }

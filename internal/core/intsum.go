@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hear/internal/core/fold"
 	"hear/internal/keys"
 )
 
@@ -20,6 +21,7 @@ import (
 // paper cites). Subtraction rides the same scheme via two's complement.
 type IntSum struct {
 	width    int // element width in bytes: 4 or 8
+	fold     fold.Func
 	ks1, ks2 []byte
 }
 
@@ -30,7 +32,7 @@ func NewIntSum(widthBits int) (*IntSum, error) {
 	if err := checkWidth("core: int-sum", widthBits); err != nil {
 		return nil, err
 	}
-	return &IntSum{width: widthBits / 8}, nil
+	return &IntSum{width: widthBits / 8, fold: fold.Sum(widthBits / 8)}, nil
 }
 
 func checkWidth(prefix string, got int) error {
@@ -130,24 +132,8 @@ func (s *IntSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int)
 	return nil
 }
 
+// Reduce delegates to the shared keyless kernel (internal/core/fold), the
+// same code the INC switch and the aggregation gateway execute.
 func (s *IntSum) Reduce(dst, src []byte, n int) {
-	switch s.width {
-	case 4:
-		for j := 0; j < n; j++ {
-			o := j * 4
-			binary.LittleEndian.PutUint32(dst[o:],
-				binary.LittleEndian.Uint32(dst[o:])+binary.LittleEndian.Uint32(src[o:]))
-		}
-	case 8:
-		for j := 0; j < n; j++ {
-			o := j * 8
-			binary.LittleEndian.PutUint64(dst[o:],
-				binary.LittleEndian.Uint64(dst[o:])+binary.LittleEndian.Uint64(src[o:]))
-		}
-	default:
-		w := intWire{size: s.width}
-		for j := 0; j < n; j++ {
-			w.store(dst, j, w.load(dst, j)+w.load(src, j))
-		}
-	}
+	s.fold(dst[:n*s.width], src[:n*s.width])
 }

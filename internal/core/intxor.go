@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hear/internal/core/fold"
 	"hear/internal/keys"
 )
 
@@ -81,9 +82,7 @@ func (s *IntXor) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int)
 	return nil
 }
 
+// Reduce delegates to the shared keyless kernel (internal/core/fold).
 func (s *IntXor) Reduce(dst, src []byte, n int) {
-	nb := n * s.width
-	for i := 0; i < nb; i++ {
-		dst[i] ^= src[i]
-	}
+	fold.Xor(dst[:n*s.width], src[:n*s.width])
 }

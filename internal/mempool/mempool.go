@@ -15,11 +15,13 @@ import (
 type Pool struct {
 	blockSize int
 	mu        sync.Mutex
+	freed     *sync.Cond // lazily initialized by GetWait; signaled by Put
 	free      [][]byte
 	allocated int
 	limit     int
 	hits      uint64
 	misses    uint64
+	waits     uint64
 }
 
 // New creates a pool of blockSize-byte blocks, pre-populating it with
@@ -62,6 +64,34 @@ func (p *Pool) Get() ([]byte, error) {
 	return make([]byte, p.blockSize), nil
 }
 
+// GetWait is Get with backpressure: when the pool is capped and exhausted
+// it blocks until another goroutine Puts a block back, instead of failing.
+// Bounded producers (the aggregation gateway's frame readers) use it so a
+// fixed pinned-memory budget throttles intake rather than dropping work.
+// Without a limit it never blocks — it grows exactly like Get.
+func (p *Pool) GetWait() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed == nil {
+		p.freed = sync.NewCond(&p.mu)
+	}
+	for {
+		if n := len(p.free); n > 0 {
+			b := p.free[n-1]
+			p.free = p.free[:n-1]
+			p.hits++
+			return b
+		}
+		if p.limit <= 0 || p.allocated < p.limit {
+			p.allocated++
+			p.misses++
+			return make([]byte, p.blockSize)
+		}
+		p.waits++
+		p.freed.Wait()
+	}
+}
+
 // Put returns a block. Foreign-sized blocks are rejected — accepting them
 // would corrupt the pool invariant.
 func (p *Pool) Put(b []byte) error {
@@ -70,6 +100,9 @@ func (p *Pool) Put(b []byte) error {
 	}
 	p.mu.Lock()
 	p.free = append(p.free, b)
+	if p.freed != nil {
+		p.freed.Signal()
+	}
 	p.mu.Unlock()
 	return nil
 }
@@ -80,4 +113,12 @@ func (p *Pool) Stats() (hits, misses uint64, allocated int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses, p.allocated
+}
+
+// Waits returns how many times GetWait blocked on an exhausted pool — the
+// backpressure counter the gateway's STATS frame reports.
+func (p *Pool) Waits() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waits
 }

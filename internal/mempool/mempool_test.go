@@ -3,6 +3,7 @@ package mempool
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -96,4 +97,44 @@ func TestConcurrentUse(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestGetWaitBlocksAtLimit(t *testing.T) {
+	p, err := New(64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := p.GetWait() // drains the only block
+	got := make(chan []byte)
+	go func() { got <- p.GetWait() }()
+	select {
+	case <-got:
+		t.Fatal("GetWait returned with the pool exhausted at its limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := p.Put(held); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if len(b) != 64 {
+			t.Errorf("block of %d B, want 64", len(b))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("GetWait did not wake after Put")
+	}
+	if p.Waits() == 0 {
+		t.Error("backpressure wait not counted")
+	}
+}
+
+func TestGetWaitGrowsWithoutLimit(t *testing.T) {
+	p, err := New(32, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.GetWait(), p.GetWait()
+	if len(a) != 32 || len(b) != 32 {
+		t.Errorf("blocks %d/%d B, want 32", len(a), len(b))
+	}
 }

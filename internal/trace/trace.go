@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -123,6 +124,12 @@ func (b *Breakdown) MedianString() string {
 	return sb.String()
 }
 
+// Sum returns the accumulated duration of a phase across all iterations.
+func (b *Breakdown) Sum(phase string) time.Duration { return b.totals[phase] }
+
+// Count returns how many samples a phase has accumulated.
+func (b *Breakdown) Count(phase string) int { return b.counts[phase] }
+
 // Mean returns the average duration of one phase iteration.
 func (b *Breakdown) Mean(phase string) time.Duration {
 	n := b.counts[phase]
@@ -181,6 +188,49 @@ func (b *Breakdown) Phases() []string {
 	}
 	sort.Strings(extra)
 	return append(out, extra...)
+}
+
+// SyncBreakdown is a Breakdown safe for concurrent recording. Long-lived
+// multi-goroutine services — the aggregation gateway's connection handlers
+// and fold workers — record into one SyncBreakdown and publish snapshots;
+// the per-rank Breakdown stays lock-free for the single-goroutine
+// benchmarking paths.
+type SyncBreakdown struct {
+	mu sync.Mutex
+	b  *Breakdown
+}
+
+// NewSyncBreakdown returns an empty concurrent accumulator.
+func NewSyncBreakdown() *SyncBreakdown {
+	return &SyncBreakdown{b: NewBreakdown()}
+}
+
+// AddDuration records an externally measured duration.
+func (s *SyncBreakdown) AddDuration(phase string, d time.Duration) {
+	s.mu.Lock()
+	s.b.AddDuration(phase, d)
+	s.mu.Unlock()
+}
+
+// Start begins timing a phase; call the returned stop function to record.
+func (s *SyncBreakdown) Start(phase string) func() {
+	t0 := time.Now()
+	return func() { s.AddDuration(phase, time.Since(t0)) }
+}
+
+// Snapshot returns an independent copy of the accumulated breakdown,
+// safe to read while recording continues.
+func (s *SyncBreakdown) Snapshot() *Breakdown {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := NewBreakdown()
+	for p, d := range s.b.totals {
+		c.totals[p] = d
+	}
+	for p, n := range s.b.counts {
+		c.counts[p] = n
+	}
+	return c
 }
 
 // String renders the breakdown as a Figure 4-style row.

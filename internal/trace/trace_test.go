@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -146,5 +147,48 @@ func TestStringRendersAllPhases(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() = %q missing %q", s, want)
 		}
+	}
+}
+
+func TestSumAndCount(t *testing.T) {
+	b := NewBreakdown()
+	b.AddDuration(PhaseEncrypt, 3*time.Microsecond)
+	b.AddDuration(PhaseEncrypt, 5*time.Microsecond)
+	if got := b.Sum(PhaseEncrypt); got != 8*time.Microsecond {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := b.Count(PhaseEncrypt); got != 2 {
+		t.Errorf("Count = %d", got)
+	}
+}
+
+func TestSyncBreakdownConcurrent(t *testing.T) {
+	s := NewSyncBreakdown()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.AddDuration("fold", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if got := snap.Count("fold"); got != 800 {
+		t.Errorf("Count = %d, want 800", got)
+	}
+	if got := snap.Sum("fold"); got != 800*time.Microsecond {
+		t.Errorf("Sum = %v", got)
+	}
+	// The snapshot is independent of later recording.
+	stop := s.Start("fold")
+	stop()
+	if got := snap.Count("fold"); got != 800 {
+		t.Errorf("snapshot mutated: Count = %d", got)
+	}
+	if s.Snapshot().Count("fold") != 801 {
+		t.Error("Start/stop did not record")
 	}
 }

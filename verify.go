@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hear/internal/core/fold"
 	"hear/internal/homac"
 	"hear/internal/mpi"
 )
@@ -72,11 +73,7 @@ func (c *Context) AllreduceInt64SumVerified(comm *mpi.Comm, verifier *homac.Vect
 	// over the same communicator.
 	dataOp := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
 	tagOp := mpi.OpFrom("hear/homac-sum", func(dst, src []byte, k int) {
-		for j := 0; j < k; j++ {
-			a := binary.LittleEndian.Uint64(dst[j*8:])
-			b := binary.LittleEndian.Uint64(src[j*8:])
-			binary.LittleEndian.PutUint64(dst[j*8:], addModP(a, b))
-		}
+		fold.SumMod61(dst[:k*8], src[:k*8])
 	})
 	if c.opts.INC != nil {
 		if err := c.opts.INC.Allreduce(c.rank, cipher); err != nil {
@@ -120,15 +117,6 @@ func (c *Context) SetFaultInjector(f func(reducedCipher []byte)) {
 	c.faultInjector = f
 }
 
-// addModP adds two residues of the HoMAC field.
-func addModP(a, b uint64) uint64 {
-	s := a + b // p < 2^61, so no uint64 overflow for reduced inputs
-	if s >= HoMACPrime {
-		s -= HoMACPrime
-	}
-	return s
-}
-
 // NewVerifier builds the shared HoMAC verifier from the communicator's
 // secret verification key Z. All ranks must pass the same z (shared during
 // initialization inside the secure environment).
@@ -137,12 +125,7 @@ func NewVerifier(z uint64) (*homac.Vector, error) {
 }
 
 // TagFold is the INC switch fold for the HoMAC tag lane: 64-bit lanes
-// added mod the verification prime. Build the Options.INCTags tree with
-// it; the switch still needs no keys — the modulus is public.
-func TagFold(dst, src []byte) {
-	for o := 0; o+8 <= len(dst); o += 8 {
-		a := binary.LittleEndian.Uint64(dst[o:])
-		b := binary.LittleEndian.Uint64(src[o:])
-		binary.LittleEndian.PutUint64(dst[o:], addModP(a, b))
-	}
-}
+// added mod the verification prime (the internal/core/fold kernel the
+// aggregation gateway also runs). Build the Options.INCTags tree with it;
+// the switch still needs no keys — the modulus is public.
+func TagFold(dst, src []byte) { fold.SumMod61(dst, src) }
