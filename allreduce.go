@@ -4,13 +4,49 @@ import (
 	"fmt"
 
 	"hear/internal/core"
+	"hear/internal/mempool"
 	"hear/internal/mpi"
 )
+
+// maxSyncCipherPool caps the pooled sync-path ciphertext buffer; larger
+// messages fall back to a transient allocation (at that size the copy
+// and crypto dominate mem_alloc anyway, and the cap keeps an occasional
+// huge allreduce from pinning its buffer in the context forever).
+const maxSyncCipherPool = 4 << 20
+
+// cipherBuf returns an n-byte ciphertext buffer for the sync data path
+// and the release function that recycles it. Buffers up to
+// maxSyncCipherPool come from a lazily sized per-context pool, so
+// repeated allreduces stop paying the mem_alloc/mem_free phases Figure 4
+// charges to every call; the pipelined path has its own block pool.
+func (c *Context) cipherBuf(n int) ([]byte, func()) {
+	if n > maxSyncCipherPool {
+		return make([]byte, n), func() {}
+	}
+	if c.syncPool == nil || c.syncPool.BlockSize() < n {
+		size := 4 << 10
+		for size < n {
+			size <<= 1
+		}
+		p, err := mempool.New(size, 1, 0)
+		if err != nil {
+			return make([]byte, n), func() {}
+		}
+		c.syncPool = p
+	}
+	pool := c.syncPool
+	b, err := pool.Get()
+	if err != nil {
+		return make([]byte, n), func() {}
+	}
+	return b[:n], func() { pool.Put(b[:cap(b)]) }
+}
 
 // allreduce is the common encrypted data path: advance k_c, encrypt,
 // reduce ciphertexts (host collectives, pipelined collectives, or the INC
 // tree), decrypt. plain is the wire representation of n elements and is
-// overwritten with the result.
+// overwritten with the result. Encrypt/decrypt/reduce run through the
+// shared multicore cipher engine; small messages take its serial path.
 func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) error {
 	if comm != nil && (comm.Rank() != c.rank || comm.Size() != c.size) {
 		return fmt.Errorf("hear: context for rank %d/%d used with communicator rank %d/%d",
@@ -31,8 +67,9 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 		}
 	}
 
-	cipher := make([]byte, n*s.CipherSize())
-	if err := s.Encrypt(c.st, plain, cipher, n); err != nil {
+	cipher, release := c.cipherBuf(n * s.CipherSize())
+	defer release()
+	if err := c.eng.Encrypt(s, c.st, plain, cipher, n); err != nil {
 		return err
 	}
 	if c.opts.INC != nil {
@@ -40,23 +77,27 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 			return fmt.Errorf("hear: INC reduction: %w", err)
 		}
 	} else {
-		op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+		op := mpi.OpFrom("hear/"+s.Name(), c.eng.ReduceFunc(s))
 		ct := mpi.CipherType(s.CipherSize())
 		if err := comm.AllreduceAlgo(c.opts.Algorithm, cipher, cipher, n, ct, op); err != nil {
 			return fmt.Errorf("hear: reduction: %w", err)
 		}
 	}
-	return s.Decrypt(c.st, cipher, plain, n)
+	return c.eng.Decrypt(s, c.st, cipher, plain, n)
 }
 
 // allreducePipelined is the §6 network-pipelining data path (Figure 6):
 // the buffer is split into ciphertext blocks; while block i is being
 // reduced by a non-blocking Iallreduce, block i+1 is encrypted and block
 // i−1 decrypted, overlapping crypto with communication. Blocks come from
-// the context's memory pool, so the steady state allocates nothing.
+// the context's memory pool, so the steady state allocates nothing. The
+// per-block crypto runs through the cipher engine, which shards large
+// blocks across the worker pool — the engine's global-offset sharding
+// composes with the pipeline's global-offset blocking, since both address
+// the same counter-mode streams.
 func (c *Context) allreducePipelined(comm *mpi.Comm, s core.Scheme, plain []byte, n, blockElems int) error {
 	ps, cs := s.PlainSize(), s.CipherSize()
-	op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+	op := mpi.OpFrom("hear/"+s.Name(), c.eng.ReduceFunc(s))
 
 	type inflight struct {
 		req   *mpi.Request
@@ -69,7 +110,7 @@ func (c *Context) allreducePipelined(comm *mpi.Comm, s core.Scheme, plain []byte
 		if err := f.req.Wait(); err != nil {
 			return fmt.Errorf("hear: pipelined reduction: %w", err)
 		}
-		if err := s.DecryptAt(c.st, f.buf[:f.elems*cs], plain[f.off*ps:], f.elems, f.off); err != nil {
+		if err := c.eng.DecryptAt(s, c.st, f.buf[:f.elems*cs], plain[f.off*ps:], f.elems, f.off); err != nil {
 			return err
 		}
 		return c.pool.Put(f.buf[:cap(f.buf)])
@@ -90,7 +131,7 @@ func (c *Context) allreducePipelined(comm *mpi.Comm, s core.Scheme, plain []byte
 		// EncryptAt keeps stream indices global across blocks: element j of
 		// this block uses noise index off+j, so no index is ever reused
 		// within one collective call (local safety holds across blocks).
-		if err := s.EncryptAt(c.st, plain[off*ps:], block[:elems*cs], elems, off); err != nil {
+		if err := c.eng.EncryptAt(s, c.st, plain[off*ps:], block[:elems*cs], elems, off); err != nil {
 			return err
 		}
 		req, err := comm.Iallreduce(block[:elems*cs], block[:elems*cs], elems, mpi.CipherType(cs), op)

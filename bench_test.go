@@ -12,6 +12,7 @@ import (
 	"hear/internal/baseline"
 	"hear/internal/core"
 	"hear/internal/dnn"
+	"hear/internal/engine"
 	"hear/internal/hfp"
 	"hear/internal/homac"
 	"hear/internal/keys"
@@ -213,6 +214,47 @@ func BenchmarkFig5IntProdEncryptAES(b *testing.B) {
 
 func BenchmarkFig5IntXorEncryptAES(b *testing.B) {
 	benchmarkFig5Encrypt(b, prf.BackendAESFast, func() (core.Scheme, error) { return core.NewIntXor(64) }, 8)
+}
+
+// benchmarkFig5EngineEncDec measures the multicore cipher engine's
+// encrypt+decrypt throughput on a 4 MiB message. The engine is sized to
+// GOMAXPROCS, which the -cpu flag controls, so
+//
+//	go test -bench 'Fig5.*Engine' -cpu 1,2,4,8
+//
+// produces the parallel-scaling curve; the sharded output is bit-identical
+// to the serial path (internal/engine's cross-check tests), so this is
+// pure speedup, not a relaxed code path.
+func benchmarkFig5EngineEncDec(b *testing.B, mk func() (core.Scheme, error)) {
+	states := benchKeys(b, prf.BackendAESFast, 2)
+	s, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(0)
+	defer eng.Close()
+	n := (4 << 20) / s.PlainSize()
+	plain := make([]byte, n*s.PlainSize())
+	cipher := make([]byte, n*s.CipherSize())
+	states[0].Advance()
+	b.SetBytes(int64(2 * n * s.PlainSize())) // one encrypt + one decrypt pass
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Encrypt(s, states[0], plain, cipher, n); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Decrypt(s, states[0], cipher, plain, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5IntSumEngineEncDec(b *testing.B) {
+	benchmarkFig5EngineEncDec(b, func() (core.Scheme, error) { return core.NewIntSum(64) })
+}
+
+func BenchmarkFig5FloatSumEngineEncDec(b *testing.B) {
+	benchmarkFig5EngineEncDec(b, func() (core.Scheme, error) { return core.NewFloatSum(hfp.FP32, 0) })
 }
 
 // --- Figure 6: pipelined vs sync data path ---

@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"hear/internal/core"
+	"hear/internal/engine"
 	"hear/internal/fixedpoint"
 	"hear/internal/hfp"
 	"hear/internal/inc"
@@ -36,6 +37,7 @@ import (
 	"hear/internal/mpi"
 	"hear/internal/prf"
 	"hear/internal/ring"
+	"hear/internal/trace"
 )
 
 // Options configures a HEAR communicator.
@@ -65,6 +67,13 @@ type Options struct {
 	// Algorithm selects the host-based Allreduce algorithm (AlgoAuto
 	// default); ignored when INC is set.
 	Algorithm mpi.Algorithm
+	// Workers sizes the multicore cipher engine that shards encryption,
+	// decryption, and ciphertext reduction over element ranges
+	// (internal/engine; counter-mode noise offsets keep the sharded
+	// result bit-identical to the serial path). 0 selects GOMAXPROCS;
+	// 1 forces the serial path. The engine is shared by every context of
+	// the communicator, mirroring one worker pool per node.
+	Workers int
 	// EnableP2P generates the §8 pairwise key matrix at initialization,
 	// enabling SendEncrypted/RecvEncrypted and the encrypted non-reducing
 	// collectives. Costs Θ(N) key space per rank instead of Θ(1).
@@ -98,6 +107,12 @@ type Context struct {
 	opts    Options
 	schemes map[string]core.Scheme
 	pool    *mempool.Pool
+	eng     *engine.Engine // shared multicore cipher engine (Options.Workers)
+
+	// syncPool lazily caches the sync data path's ciphertext buffer so
+	// repeated allreduces stop paying mem_alloc/mem_free (Fig. 4) per
+	// call; see cipherBuf in allreduce.go.
+	syncPool *mempool.Pool
 
 	// faultInjector, when set, corrupts the reduced ciphertext before
 	// HoMAC verification (testing/demo hook; see SetFaultInjector).
@@ -145,6 +160,10 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 		}
 	}
 
+	// One cipher engine for all contexts: rank goroutines of one world
+	// share the node's cores, so a shared pool avoids oversubscription.
+	eng := engine.New(opts.Workers)
+
 	ctxs := make([]*Context, w.Size())
 	for i := range ctxs {
 		var pool *mempool.Pool
@@ -162,6 +181,7 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 			opts:    opts,
 			schemes: make(map[string]core.Scheme),
 			pool:    pool,
+			eng:     eng,
 		}
 		if matrix != nil {
 			ctx.pairKeys = matrix[i]
@@ -174,6 +194,14 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 
 // Rank returns the context's rank.
 func (c *Context) Rank() int { return c.rank }
+
+// Workers returns the worker count of the shared cipher engine.
+func (c *Context) Workers() int { return c.eng.Workers() }
+
+// EngineBreakdown snapshots the cipher engine's per-shard phase timings
+// (encrypt_shard/decrypt_shard/reduce_shard; one sample per shard). The
+// accumulator is shared across all contexts of the communicator.
+func (c *Context) EngineBreakdown() *trace.Breakdown { return c.eng.Phases().Snapshot() }
 
 // Size returns the communicator size.
 func (c *Context) Size() int { return c.size }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"hear/internal/engine"
 	"hear/internal/keys"
 	"hear/internal/mempool"
 	"hear/internal/mpi"
@@ -96,6 +97,10 @@ func InitOverComm(comm *mpi.Comm, opts Options, rng io.Reader) (*Context, error)
 		st:      st,
 		opts:    opts,
 		schemes: make(map[string]corepkg.Scheme),
+		// Per-communicator engine: unlike Init, the members of comm are
+		// (conceptually) separate nodes, so each context runs its own
+		// worker pool. Idle workers cost nothing.
+		eng: engine.New(opts.Workers),
 	}
 	if opts.PipelineBlockBytes > 0 {
 		pool, err := mempool.New(opts.PipelineBlockBytes, 3, 0)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hear/internal/core/fold"
+	enginepool "hear/internal/engine/pool"
 	"hear/internal/inc"
 	"hear/internal/mempool"
 	"hear/internal/trace"
@@ -62,7 +63,9 @@ type Config struct {
 	// ChunkBytes is the SUBMIT granularity, advertised to clients in JOIN
 	// and the unit of fold parallelism (default 64 KiB).
 	ChunkBytes int
-	// Workers sizes the fold worker pool (default GOMAXPROCS).
+	// Workers sizes the fold worker pool — the same key-blind
+	// run-to-completion pool (internal/engine/pool) that backs the rank
+	// side's multicore cipher engine (default GOMAXPROCS).
 	Workers int
 	// PoolBlocks caps the pooled SUBMIT buffers (default 4×Workers); an
 	// exhausted pool throttles intake instead of growing.
@@ -122,7 +125,7 @@ type Server struct {
 	cfg    Config
 	rm     roundManager
 	pool   *mempool.Pool
-	tasks  chan foldTask
+	fold   *enginepool.Pool
 	phases *trace.SyncBreakdown
 
 	closed    chan struct{}
@@ -130,7 +133,6 @@ type Server struct {
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
-	workerWG  sync.WaitGroup
 
 	connsAccepted   atomic.Uint64
 	clientsJoined   atomic.Uint64
@@ -158,15 +160,11 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		rm:        roundManager{group: cfg.Group, timeout: cfg.RoundTimeout, chunk: cfg.ChunkBytes},
 		pool:      pool,
-		tasks:     make(chan foldTask, 2*cfg.Workers),
+		fold:      enginepool.New(cfg.Workers),
 		phases:    trace.NewSyncBreakdown(),
 		closed:    make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
-	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
 	}
 	return s, nil
 }
@@ -217,21 +215,11 @@ func (s *Server) Close() error {
 			c.Close()
 		}
 		s.mu.Unlock()
-		s.workerWG.Wait()
+		// Drains still-queued folds inline, so every accepted task retires
+		// and no round's completion accounting is left dangling.
+		s.fold.Close()
 	})
 	return nil
-}
-
-func (s *Server) worker() {
-	defer s.workerWG.Done()
-	for {
-		select {
-		case t := <-s.tasks:
-			s.foldChunk(t)
-		case <-s.closed:
-			return
-		}
-	}
 }
 
 // foldChunk folds one pooled chunk into its round accumulator under the
@@ -445,7 +433,13 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			part.dataGot += n
 		}
 		if r.taskAdded() {
-			s.tasks <- foldTask{r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
+			t := foldTask{r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
+			if !s.fold.Submit(func() { s.foldChunk(t) }) {
+				// Server closing: retire the task ourselves so the round's
+				// completion accounting stays balanced.
+				s.pool.Put(block)
+				t.r.taskDone()
+			}
 		} else {
 			s.pool.Put(block) // round already over; drop the late chunk
 		}

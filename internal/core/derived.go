@@ -86,8 +86,7 @@ func (b BoolCodec) CounterBits() int {
 // environment before encryption; the network still only ever executes the
 // additive reduce.
 type ParitySum struct {
-	inner   *IntSum
-	scratch []byte
+	inner *IntSum
 }
 
 // NewParitySum builds the scheme for 32- or 64-bit integers.
@@ -112,15 +111,16 @@ func (s *ParitySum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off i
 		return s.inner.EncryptAt(st, plain, cipher, n, off)
 	}
 	// Odd rank: negate (two's complement) before encrypting.
-	s.scratch = grow(s.scratch, n*s.inner.width)
-	w := intWire{size: s.inner.width}
 	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
+	p1, scratch := getScratch(n * s.inner.width)
+	defer putScratch(p1)
+	w := intWire{size: s.inner.width}
 	for j := 0; j < n; j++ {
-		w.store(s.scratch, j, -w.load(plain, j))
+		w.store(scratch, j, -w.load(plain, j))
 	}
-	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+	return s.inner.EncryptAt(st, scratch, cipher, n, off)
 }
 
 func (s *ParitySum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {

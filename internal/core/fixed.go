@@ -13,9 +13,8 @@ import (
 // is exactly the quantization of the codec; the encryption itself is
 // lossless and IND-CPA like the integer scheme it wraps.
 type FixedSum struct {
-	codec   fixedpoint.Codec
-	inner   *IntSum
-	scratch []byte
+	codec fixedpoint.Codec
+	inner *IntSum
 }
 
 // NewFixedSum builds the scheme with the given codec. The codec's width
@@ -43,15 +42,16 @@ func (s *FixedSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off in
 	}
 	w := floatWire{size: 8}
 	iw := intWire{size: s.inner.width}
-	s.scratch = grow(s.scratch, n*s.inner.width)
+	p1, scratch := getScratch(n * s.inner.width)
+	defer putScratch(p1)
 	for j := 0; j < n; j++ {
 		word, err := s.codec.Encode(w.load(plain, j))
 		if err != nil {
 			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
 		}
-		iw.store(s.scratch, j, word)
+		iw.store(scratch, j, word)
 	}
-	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+	return s.inner.EncryptAt(st, scratch, cipher, n, off)
 }
 
 func (s *FixedSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
@@ -62,14 +62,15 @@ func (s *FixedSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off in
 	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
-	s.scratch = grow(s.scratch, n*s.inner.width)
-	if err := s.inner.DecryptAt(st, cipher, s.scratch, n, off); err != nil {
+	p1, scratch := getScratch(n * s.inner.width)
+	defer putScratch(p1)
+	if err := s.inner.DecryptAt(st, cipher, scratch, n, off); err != nil {
 		return err
 	}
 	w := floatWire{size: 8}
 	iw := intWire{size: s.inner.width}
 	for j := 0; j < n; j++ {
-		w.store(plain, j, s.codec.DecodeSum(iw.load(s.scratch, j)))
+		w.store(plain, j, s.codec.DecodeSum(iw.load(scratch, j)))
 	}
 	return nil
 }
@@ -82,9 +83,8 @@ func (s *FixedSum) Reduce(dst, src []byte, n int) { s.inner.Reduce(dst, src, n) 
 // number of involved processes can be used to obtain the correct output
 // scaling factor").
 type FixedProd struct {
-	codec   fixedpoint.Codec
-	inner   *IntProd
-	scratch []byte
+	codec fixedpoint.Codec
+	inner *IntProd
 }
 
 // NewFixedProd builds the multiplicative fixed point scheme.
@@ -110,15 +110,16 @@ func (s *FixedProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off i
 	}
 	w := floatWire{size: 8}
 	iw := intWire{size: s.inner.width}
-	s.scratch = grow(s.scratch, n*s.inner.width)
+	p1, scratch := getScratch(n * s.inner.width)
+	defer putScratch(p1)
 	for j := 0; j < n; j++ {
 		word, err := s.codec.Encode(w.load(plain, j))
 		if err != nil {
 			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
 		}
-		iw.store(s.scratch, j, word)
+		iw.store(scratch, j, word)
 	}
-	return s.inner.EncryptAt(st, s.scratch, cipher, n, off)
+	return s.inner.EncryptAt(st, scratch, cipher, n, off)
 }
 
 func (s *FixedProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error {
@@ -129,14 +130,15 @@ func (s *FixedProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off i
 	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
-	s.scratch = grow(s.scratch, n*s.inner.width)
-	if err := s.inner.DecryptAt(st, cipher, s.scratch, n, off); err != nil {
+	p1, scratch := getScratch(n * s.inner.width)
+	defer putScratch(p1)
+	if err := s.inner.DecryptAt(st, cipher, scratch, n, off); err != nil {
 		return err
 	}
 	w := floatWire{size: 8}
 	iw := intWire{size: s.inner.width}
 	for j := 0; j < n; j++ {
-		w.store(plain, j, s.codec.DecodeProd(iw.load(s.scratch, j), st.Size))
+		w.store(plain, j, s.codec.DecodeProd(iw.load(scratch, j), st.Size))
 	}
 	return nil
 }

@@ -20,9 +20,9 @@ import (
 // adversary models. Division by encrypted values rides the scheme by
 // multiplying with reciprocals prepared in the secure environment.
 type FloatProd struct {
-	f        hfp.Format
-	wire     floatWire
-	ks1, ks2 []byte // bulk noise keystream scratch
+	f    hfp.Format
+	wire floatWire
+	cell hfp.Cell // precomputed pack/unpack/noise codec (bulk fast path)
 }
 
 // NewFloatProd builds the multiplication scheme over base with inflation
@@ -33,7 +33,7 @@ func NewFloatProd(base hfp.Format, gamma uint) (*FloatProd, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("core: float-prod: %w", err)
 	}
-	return &FloatProd{f: f, wire: wireFor(base)}, nil
+	return &FloatProd{f: f, wire: wireFor(base), cell: f.Cell()}, nil
 }
 
 // Format exposes the underlying HFP format.
@@ -57,22 +57,26 @@ func (s *FloatProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off i
 	cs := s.CipherSize()
 	last := st.IsLast()
 	byteOff := uint64(off) * hfp.NoiseBytes
-	s.ks1 = grow(s.ks1, n*hfp.NoiseBytes)
-	st.Enc.Keystream(s.ks1, st.SelfNonce(), byteOff)
+	p1, ks1 := getScratch(n * hfp.NoiseBytes)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.SelfNonce(), byteOff)
+	var ks2 []byte
 	if !last {
-		s.ks2 = grow(s.ks2, n*hfp.NoiseBytes)
-		st.Enc.Keystream(s.ks2, st.NextNonce(), byteOff)
+		p2, b := getScratch(n * hfp.NoiseBytes)
+		defer putScratch(p2)
+		ks2 = b
+		st.Enc.Keystream(ks2, st.NextNonce(), byteOff)
 	}
 	for j := 0; j < n; j++ {
 		v, err := s.f.Encode(s.wire.load(plain, j))
 		if err != nil {
 			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
 		}
-		noise := s.f.NoiseFromBytes(s.ks1[j*hfp.NoiseBytes:])
+		noise := s.cell.Noise(ks1[j*hfp.NoiseBytes:])
 		if !last {
-			noise = s.f.Div(noise, s.f.NoiseFromBytes(s.ks2[j*hfp.NoiseBytes:]))
+			noise = s.f.Div(noise, s.cell.Noise(ks2[j*hfp.NoiseBytes:]))
 		}
-		s.f.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+		s.cell.Pack(s.f.Mul(v, noise), cipher[j*cs:])
 	}
 	return nil
 }
@@ -86,21 +90,18 @@ func (s *FloatProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off i
 		return err
 	}
 	cs := s.CipherSize()
-	s.ks1 = grow(s.ks1, n*hfp.NoiseBytes)
-	st.Enc.Keystream(s.ks1, st.RootNonce(), uint64(off)*hfp.NoiseBytes)
+	p1, ks1 := getScratch(n * hfp.NoiseBytes)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.RootNonce(), uint64(off)*hfp.NoiseBytes)
 	for j := 0; j < n; j++ {
-		c := s.f.Unpack(cipher[j*cs:])
-		noise := s.f.NoiseFromBytes(s.ks1[j*hfp.NoiseBytes:])
+		c := s.cell.Unpack(cipher[j*cs:])
+		noise := s.cell.Noise(ks1[j*hfp.NoiseBytes:])
 		s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
 	}
 	return nil
 }
 
+// Reduce runs the fused ⊗ fold kernel (hfp.Format.FoldMul).
 func (s *FloatProd) Reduce(dst, src []byte, n int) {
-	cs := s.CipherSize()
-	for j := 0; j < n; j++ {
-		a := s.f.Unpack(dst[j*cs:])
-		b := s.f.Unpack(src[j*cs:])
-		s.f.Pack(s.f.Mul(a, b), dst[j*cs:])
-	}
+	s.f.FoldMul(dst[:n*s.CipherSize()], src, n)
 }

@@ -50,7 +50,7 @@ func (w floatWire) store(buf []byte, j int, x float64) {
 type FloatSum struct {
 	f    hfp.Format
 	wire floatWire
-	ks   []byte // bulk noise keystream scratch
+	cell hfp.Cell // precomputed pack/unpack/noise codec (bulk fast path)
 }
 
 // NewFloatSum builds the v1 addition scheme over base (hfp.FP16/FP32/FP64)
@@ -60,7 +60,7 @@ func NewFloatSum(base hfp.Format, gamma uint) (*FloatSum, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("core: float-sum: %w", err)
 	}
-	return &FloatSum{f: f, wire: wireFor(base)}, nil
+	return &FloatSum{f: f, wire: wireFor(base), cell: f.Cell()}, nil
 }
 
 // Format exposes the underlying HFP format (used by precision experiments).
@@ -82,15 +82,16 @@ func (s *FloatSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off in
 		return err
 	}
 	cs := s.CipherSize()
-	s.ks = grow(s.ks, n*hfp.NoiseBytes)
-	st.Enc.Keystream(s.ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
+	p1, ks := getScratch(n * hfp.NoiseBytes)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
 	for j := 0; j < n; j++ {
 		v, err := s.f.Encode(s.wire.load(plain, j))
 		if err != nil {
 			return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
 		}
-		noise := s.f.NoiseFromBytes(s.ks[j*hfp.NoiseBytes:])
-		s.f.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+		noise := s.cell.Noise(ks[j*hfp.NoiseBytes:])
+		s.cell.Pack(s.f.Mul(v, noise), cipher[j*cs:])
 	}
 	return nil
 }
@@ -104,21 +105,18 @@ func (s *FloatSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off in
 		return err
 	}
 	cs := s.CipherSize()
-	s.ks = grow(s.ks, n*hfp.NoiseBytes)
-	st.Enc.Keystream(s.ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
+	p1, ks := getScratch(n * hfp.NoiseBytes)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes)
 	for j := 0; j < n; j++ {
-		c := s.f.Unpack(cipher[j*cs:])
-		noise := s.f.NoiseFromBytes(s.ks[j*hfp.NoiseBytes:])
+		c := s.cell.Unpack(cipher[j*cs:])
+		noise := s.cell.Noise(ks[j*hfp.NoiseBytes:])
 		s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
 	}
 	return nil
 }
 
+// Reduce runs the fused ⊞ fold kernel (hfp.Format.FoldAdd).
 func (s *FloatSum) Reduce(dst, src []byte, n int) {
-	cs := s.CipherSize()
-	for j := 0; j < n; j++ {
-		a := s.f.Unpack(dst[j*cs:])
-		b := s.f.Unpack(src[j*cs:])
-		s.f.Pack(s.f.Add(a, b), dst[j*cs:])
-	}
+	s.f.FoldAdd(dst[:n*s.CipherSize()], src, n)
 }

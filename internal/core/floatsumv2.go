@@ -62,7 +62,8 @@ func (s *FloatSumV2) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off 
 	}
 	// Encode x -> e^x into a scratch plaintext buffer, then run the
 	// multiplicative scheme over it.
-	scratch := make([]byte, n*s.PlainSize())
+	p1, scratch := getScratch(n * s.PlainSize())
+	defer putScratch(p1)
 	for j := 0; j < n; j++ {
 		x := s.wire.load(plain, j)
 		a := math.Exp(x)

@@ -27,10 +27,9 @@ import (
 // Encryption and decryption each cost one O(log d) modular exponentiation
 // per element (§5.1.4), implemented with the 2^4-ary method.
 type IntProd struct {
-	width    int
-	r        ring.Z2
-	fold     fold.Func
-	ks1, ks2 []byte
+	width int
+	r     ring.Z2
+	fold  fold.Func
 }
 
 // NewIntProd returns the PROD scheme for 8-, 16-, 32-, or 64-bit integers.
@@ -72,17 +71,21 @@ func (s *IntProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int
 	}
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.SelfNonce(), byteOff)
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.SelfNonce(), byteOff)
 	cancel := !st.IsLast()
+	var ks2 []byte
 	if cancel {
-		s.ks2 = grow(s.ks2, nb)
-		st.Enc.Keystream(s.ks2, st.NextNonce(), byteOff)
+		p2, b := getScratch(nb)
+		defer putScratch(p2)
+		ks2 = b
+		st.Enc.Keystream(ks2, st.NextNonce(), byteOff)
 	}
 	for j := 0; j < n; j++ {
-		noise := s.r.PowG(s.noiseExp(s.ks1, j))
+		noise := s.r.PowG(s.noiseExp(ks1, j))
 		if cancel {
-			noise = s.r.Mul(noise, s.r.InvPowG(s.noiseExp(s.ks2, j)))
+			noise = s.r.Mul(noise, s.r.InvPowG(s.noiseExp(ks2, j)))
 		}
 		s.store(cipher, j, s.r.Mul(s.load(plain, j), noise))
 	}
@@ -98,10 +101,11 @@ func (s *IntProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int
 		return err
 	}
 	nb := n * s.width
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.RootNonce(), uint64(off)*uint64(s.width))
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.RootNonce(), uint64(off)*uint64(s.width))
 	for j := 0; j < n; j++ {
-		s.store(plain, j, s.r.Mul(s.load(cipher, j), s.r.InvPowG(s.noiseExp(s.ks1, j))))
+		s.store(plain, j, s.r.Mul(s.load(cipher, j), s.r.InvPowG(s.noiseExp(ks1, j))))
 	}
 	return nil
 }

@@ -20,9 +20,8 @@ import (
 // of the noise give IND-CPA security (the Castelluccia et al. argument the
 // paper cites). Subtraction rides the same scheme via two's complement.
 type IntSum struct {
-	width    int // element width in bytes: 4 or 8
-	fold     fold.Func
-	ks1, ks2 []byte
+	width int // element width in bytes: 4 or 8
+	fold  fold.Func
 }
 
 // NewIntSum returns the SUM scheme for 8-, 16-, 32-, or 64-bit integers
@@ -60,38 +59,42 @@ func (s *IntSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int)
 	}
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.SelfNonce(), byteOff)
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.SelfNonce(), byteOff)
 	cancel := !st.IsLast()
+	var ks2 []byte
 	if cancel {
-		s.ks2 = grow(s.ks2, nb)
-		st.Enc.Keystream(s.ks2, st.NextNonce(), byteOff)
+		p2, b := getScratch(nb)
+		defer putScratch(p2)
+		ks2 = b
+		st.Enc.Keystream(ks2, st.NextNonce(), byteOff)
 	}
 	switch s.width {
 	case 4:
 		for j := 0; j < n; j++ {
 			o := j * 4
-			c := binary.LittleEndian.Uint32(plain[o:]) + binary.LittleEndian.Uint32(s.ks1[o:])
+			c := binary.LittleEndian.Uint32(plain[o:]) + binary.LittleEndian.Uint32(ks1[o:])
 			if cancel {
-				c -= binary.LittleEndian.Uint32(s.ks2[o:])
+				c -= binary.LittleEndian.Uint32(ks2[o:])
 			}
 			binary.LittleEndian.PutUint32(cipher[o:], c)
 		}
 	case 8:
 		for j := 0; j < n; j++ {
 			o := j * 8
-			c := binary.LittleEndian.Uint64(plain[o:]) + binary.LittleEndian.Uint64(s.ks1[o:])
+			c := binary.LittleEndian.Uint64(plain[o:]) + binary.LittleEndian.Uint64(ks1[o:])
 			if cancel {
-				c -= binary.LittleEndian.Uint64(s.ks2[o:])
+				c -= binary.LittleEndian.Uint64(ks2[o:])
 			}
 			binary.LittleEndian.PutUint64(cipher[o:], c)
 		}
 	default: // 1- and 2-byte datatypes via the generic word codec
 		w := intWire{size: s.width}
 		for j := 0; j < n; j++ {
-			c := w.load(plain, j) + w.load(s.ks1, j)
+			c := w.load(plain, j) + w.load(ks1, j)
 			if cancel {
-				c -= w.load(s.ks2, j)
+				c -= w.load(ks2, j)
 			}
 			w.store(cipher, j, c)
 		}
@@ -108,25 +111,26 @@ func (s *IntSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int)
 		return err
 	}
 	nb := n * s.width
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.RootNonce(), uint64(off)*uint64(s.width))
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.RootNonce(), uint64(off)*uint64(s.width))
 	switch s.width {
 	case 4:
 		for j := 0; j < n; j++ {
 			o := j * 4
 			binary.LittleEndian.PutUint32(plain[o:],
-				binary.LittleEndian.Uint32(cipher[o:])-binary.LittleEndian.Uint32(s.ks1[o:]))
+				binary.LittleEndian.Uint32(cipher[o:])-binary.LittleEndian.Uint32(ks1[o:]))
 		}
 	case 8:
 		for j := 0; j < n; j++ {
 			o := j * 8
 			binary.LittleEndian.PutUint64(plain[o:],
-				binary.LittleEndian.Uint64(cipher[o:])-binary.LittleEndian.Uint64(s.ks1[o:]))
+				binary.LittleEndian.Uint64(cipher[o:])-binary.LittleEndian.Uint64(ks1[o:]))
 		}
 	default:
 		w := intWire{size: s.width}
 		for j := 0; j < n; j++ {
-			w.store(plain, j, w.load(cipher, j)-w.load(s.ks1, j))
+			w.store(plain, j, w.load(cipher, j)-w.load(ks1, j))
 		}
 	}
 	return nil

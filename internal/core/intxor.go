@@ -19,8 +19,7 @@ import (
 // MPI_BXOR on raw words both ride this scheme; the width parameter only
 // fixes the wire element size.
 type IntXor struct {
-	width    int
-	ks1, ks2 []byte
+	width int
 }
 
 // NewIntXor returns the XOR scheme for 8-, 16-, 32-, or 64-bit words
@@ -49,18 +48,20 @@ func (s *IntXor) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int)
 	}
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.SelfNonce(), byteOff)
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.SelfNonce(), byteOff)
 	if st.IsLast() {
 		for i := 0; i < nb; i++ {
-			cipher[i] = plain[i] ^ s.ks1[i]
+			cipher[i] = plain[i] ^ ks1[i]
 		}
 		return nil
 	}
-	s.ks2 = grow(s.ks2, nb)
-	st.Enc.Keystream(s.ks2, st.NextNonce(), byteOff)
+	p2, ks2 := getScratch(nb)
+	defer putScratch(p2)
+	st.Enc.Keystream(ks2, st.NextNonce(), byteOff)
 	for i := 0; i < nb; i++ {
-		cipher[i] = plain[i] ^ s.ks1[i] ^ s.ks2[i]
+		cipher[i] = plain[i] ^ ks1[i] ^ ks2[i]
 	}
 	return nil
 }
@@ -74,10 +75,11 @@ func (s *IntXor) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int)
 		return err
 	}
 	nb := n * s.width
-	s.ks1 = grow(s.ks1, nb)
-	st.Enc.Keystream(s.ks1, st.RootNonce(), uint64(off)*uint64(s.width))
+	p1, ks1 := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks1, st.RootNonce(), uint64(off)*uint64(s.width))
 	for i := 0; i < nb; i++ {
-		plain[i] = cipher[i] ^ s.ks1[i]
+		plain[i] = cipher[i] ^ ks1[i]
 	}
 	return nil
 }

@@ -21,7 +21,6 @@ import (
 type NaiveIntSum struct {
 	width       int
 	allStarting []uint64 // k_s_i for every rank, needed for Θ(P) decryption
-	ks          []byte
 }
 
 // NewNaiveIntSum builds the naive scheme. allStartingKeys must hold every
@@ -57,20 +56,21 @@ func (s *NaiveIntSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off
 		return err
 	}
 	nb := n * s.width
-	s.ks = grow(s.ks, nb)
-	st.Enc.Keystream(s.ks, st.SelfNonce(), uint64(off)*uint64(s.width))
+	p1, ks := getScratch(nb)
+	defer putScratch(p1)
+	st.Enc.Keystream(ks, st.SelfNonce(), uint64(off)*uint64(s.width))
 	if s.width == 4 {
 		for j := 0; j < n; j++ {
 			o := j * 4
 			binary.LittleEndian.PutUint32(cipher[o:],
-				binary.LittleEndian.Uint32(plain[o:])+binary.LittleEndian.Uint32(s.ks[o:]))
+				binary.LittleEndian.Uint32(plain[o:])+binary.LittleEndian.Uint32(ks[o:]))
 		}
 		return nil
 	}
 	for j := 0; j < n; j++ {
 		o := j * 8
 		binary.LittleEndian.PutUint64(cipher[o:],
-			binary.LittleEndian.Uint64(plain[o:])+binary.LittleEndian.Uint64(s.ks[o:]))
+			binary.LittleEndian.Uint64(plain[o:])+binary.LittleEndian.Uint64(ks[o:]))
 	}
 	return nil
 }
@@ -87,22 +87,23 @@ func (s *NaiveIntSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off
 		return fmt.Errorf("%s: scheme built for %d ranks, communicator has %d", s.Name(), len(s.allStarting), st.Size)
 	}
 	nb := n * s.width
-	s.ks = grow(s.ks, nb)
+	p1, ks := getScratch(nb)
+	defer putScratch(p1)
 	copy(plain[:nb], cipher[:nb])
 	// Θ(P): subtract every rank's noise stream.
 	for _, k := range s.allStarting {
-		st.Enc.Keystream(s.ks, k+st.Collective(), uint64(off)*uint64(s.width))
+		st.Enc.Keystream(ks, k+st.Collective(), uint64(off)*uint64(s.width))
 		if s.width == 4 {
 			for j := 0; j < n; j++ {
 				o := j * 4
 				binary.LittleEndian.PutUint32(plain[o:],
-					binary.LittleEndian.Uint32(plain[o:])-binary.LittleEndian.Uint32(s.ks[o:]))
+					binary.LittleEndian.Uint32(plain[o:])-binary.LittleEndian.Uint32(ks[o:]))
 			}
 		} else {
 			for j := 0; j < n; j++ {
 				o := j * 8
 				binary.LittleEndian.PutUint64(plain[o:],
-					binary.LittleEndian.Uint64(plain[o:])-binary.LittleEndian.Uint64(s.ks[o:]))
+					binary.LittleEndian.Uint64(plain[o:])-binary.LittleEndian.Uint64(ks[o:]))
 			}
 		}
 	}

@@ -20,8 +20,12 @@ import (
 )
 
 // Scheme is one HEAR encryption scheme bound to a datatype and reduction
-// operator. A Scheme instance belongs to a single rank (it holds scratch
-// buffers) and is not safe for concurrent use; ranks construct their own.
+// operator. Scheme instances are immutable after construction (per-call
+// scratch comes from a shared sync.Pool, not the instance), so all
+// methods are safe for concurrent use. In particular the multicore cipher
+// engine (internal/engine) shards one Encrypt/Decrypt/Reduce call over
+// element ranges and runs the shards concurrently on one instance —
+// counter-mode keystream offsets keep the shards independent.
 type Scheme interface {
 	// Name identifies the scheme, e.g. "int32-sum".
 	Name() string
@@ -66,12 +70,4 @@ func checkLen(name string, plain, cipher []byte, n, plainSize, cipherSize int) e
 		return fmt.Errorf("%s: ciphertext buffer %d B < %d elements × %d B", name, len(cipher), n, cipherSize)
 	}
 	return nil
-}
-
-// grow returns a scratch slice of at least n bytes, reusing buf's storage.
-func grow(buf []byte, n int) []byte {
-	if cap(buf) < n {
-		return make([]byte, n)
-	}
-	return buf[:n]
 }

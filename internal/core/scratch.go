@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// maxPooledScratch caps the per-call scratch buffers (keystream spans,
+// wire-conversion staging) kept in the shared pool. Before the pool,
+// every scheme instance grew private ks1/ks2 buffers and a single 16 MiB
+// allreduce pinned that much scratch in the instance forever; now scratch
+// at or below the cap is recycled through one process-wide sync.Pool and
+// anything larger is a transient allocation the GC reclaims when the call
+// returns. The cap also bounds what one engine shard may demand: the
+// engine's MaxShardBytes is sized so a shard's scratch never exceeds it.
+const maxPooledScratch = 1 << 20
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxPooledScratch)
+		return &b
+	},
+}
+
+// getScratch returns an n-byte scratch slice plus the pool token to hand
+// back to putScratch. The contents are unspecified; callers overwrite
+// before reading. Oversized requests return a nil token and a transient
+// allocation.
+func getScratch(n int) (*[]byte, []byte) {
+	if n > maxPooledScratch {
+		return nil, make([]byte, n)
+	}
+	p := scratchPool.Get().(*[]byte)
+	return p, (*p)[:n]
+}
+
+// putScratch recycles a scratch buffer obtained from getScratch. A nil
+// token (oversized transient buffer) is ignored.
+func putScratch(p *[]byte) {
+	if p != nil {
+		scratchPool.Put(p)
+	}
+}

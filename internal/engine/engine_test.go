@@ -1,0 +1,285 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"hear/internal/core"
+	"hear/internal/engine"
+	"hear/internal/fixedpoint"
+	"hear/internal/hfp"
+	"hear/internal/keys"
+	"hear/internal/prf"
+)
+
+// seqReader is the deterministic entropy source the repo's tests use.
+type seqReader struct{ next byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.next
+		r.next++
+	}
+	return len(p), nil
+}
+
+func testStates(t testing.TB, p int) []*keys.RankState {
+	t.Helper()
+	states, err := keys.Generate(p, keys.Config{Backend: prf.BackendAESFast, Rand: &seqReader{next: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// fillInts writes deterministic pseudo-random bytes (valid for every
+// integer-wire scheme).
+func fillInts(plain []byte, seed uint64) {
+	x := seed*2862933555777941757 + 3037000493
+	for i := range plain {
+		x = x*2862933555777941757 + 3037000493
+		plain[i] = byte(x >> 56)
+	}
+}
+
+// fillFloat32 / fillFloat64 write finite, moderate float values — the
+// float and fixed point schemes reject NaN/Inf/out-of-range plaintexts.
+func fillFloat32(plain []byte, seed uint64) {
+	for j := 0; j*4+4 <= len(plain); j++ {
+		v := float32(int(seed)+j%2011-1005) * 0.03125
+		binary.LittleEndian.PutUint32(plain[j*4:], math.Float32bits(v))
+	}
+}
+
+func fillFloat64(plain []byte, seed uint64) {
+	for j := 0; j*8+8 <= len(plain); j++ {
+		v := float64(int(seed)+j%2011-1005) * 0.03125
+		binary.LittleEndian.PutUint64(plain[j*8:], math.Float64bits(v))
+	}
+}
+
+type schemeCase struct {
+	name string
+	s    core.Scheme
+	fill func(plain []byte, seed uint64)
+}
+
+// testSchemes builds one instance of every scheme in the repo, so the
+// engine's bit-identity claim is pinned for each of them — including the
+// wide-cell FP64 ForAdd float path and the Θ(P) naive decrypt.
+func testSchemes(t testing.TB, states []*keys.RankState) []schemeCase {
+	t.Helper()
+	mk := func(s core.Scheme, err error) core.Scheme {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	codec, err := fixedpoint.NewCodec(64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starting := make([]uint64, len(states))
+	for i, st := range states {
+		starting[i] = st.SelfKey
+	}
+	return []schemeCase{
+		{"int32-sum", mk(core.NewIntSum(32)), fillInts},
+		{"int64-sum", mk(core.NewIntSum(64)), fillInts},
+		{"int64-prod", mk(core.NewIntProd(64)), fillInts},
+		{"int64-xor", mk(core.NewIntXor(64)), fillInts},
+		{"float32-sum-g0", mk(core.NewFloatSum(hfp.FP32, 0)), fillFloat32},
+		{"float32-sum-g2", mk(core.NewFloatSum(hfp.FP32, 2)), fillFloat32},
+		{"float64-sum-g2", mk(core.NewFloatSum(hfp.FP64, 2)), fillFloat64},
+		{"float32-prod-g0", mk(core.NewFloatProd(hfp.FP32, 0)), fillFloat32},
+		{"float32-sumv2-g2", mk(core.NewFloatSumV2(hfp.FP32, 2)), fillFloat32},
+		{"fixed-sum", mk(core.NewFixedSum(codec)), fillFloat64},
+		{"fixed-prod", mk(core.NewFixedProd(codec)), fillFloat64},
+		{"naive-int64-sum", mk(core.NewNaiveIntSum(64, starting)), fillInts},
+		{"parity-int64-sum", mk(core.NewParitySum(64)), fillInts},
+	}
+}
+
+// elems picks an odd element count big enough that the engine actually
+// shards (n·eb well past 2·MinShardBytes) with a ragged final shard.
+func elems(s core.Scheme) int {
+	eb := s.PlainSize()
+	if cs := s.CipherSize(); cs > eb {
+		eb = cs
+	}
+	n := 3*engine.MinShardBytes/eb + 13
+	return n | 1
+}
+
+// TestEngineBitIdenticalToSerial is the engine's contract test: for every
+// scheme, EncryptAt/DecryptAt/Reduce sharded over 4 workers produce the
+// same bytes as the serial scheme call, at several global offsets.
+func TestEngineBitIdenticalToSerial(t *testing.T) {
+	states := testStates(t, 4)
+	for _, st := range states {
+		st.Advance()
+	}
+	eng := engine.New(4)
+	defer eng.Close()
+	for _, tc := range testSchemes(t, states) {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.s
+			n := elems(s)
+			ps, cs := s.PlainSize(), s.CipherSize()
+			plainA := make([]byte, n*ps)
+			plainB := make([]byte, n*ps)
+			tc.fill(plainA, 17)
+			tc.fill(plainB, 99)
+			for _, off := range []int{0, 1, 129} {
+				st := states[1] // odd rank: covers ParitySum's negate path
+				cSerial := make([]byte, n*cs)
+				cEngine := make([]byte, n*cs)
+				if err := s.EncryptAt(st, plainA, cSerial, n, off); err != nil {
+					t.Fatalf("serial encrypt off=%d: %v", off, err)
+				}
+				if err := eng.EncryptAt(s, st, plainA, cEngine, n, off); err != nil {
+					t.Fatalf("engine encrypt off=%d: %v", off, err)
+				}
+				if !bytes.Equal(cSerial, cEngine) {
+					t.Fatalf("encrypt off=%d: engine differs from serial", off)
+				}
+
+				other := make([]byte, n*cs)
+				if err := s.EncryptAt(states[2], plainB, other, n, off); err != nil {
+					t.Fatalf("peer encrypt off=%d: %v", off, err)
+				}
+				rSerial := append([]byte(nil), cSerial...)
+				rEngine := append([]byte(nil), cSerial...)
+				s.Reduce(rSerial, other, n)
+				eng.Reduce(s, rEngine, other, n)
+				if !bytes.Equal(rSerial, rEngine) {
+					t.Fatalf("reduce off=%d: engine differs from serial", off)
+				}
+
+				pSerial := make([]byte, n*ps)
+				pEngine := make([]byte, n*ps)
+				if err := s.DecryptAt(st, rSerial, pSerial, n, off); err != nil {
+					t.Fatalf("serial decrypt off=%d: %v", off, err)
+				}
+				if err := eng.DecryptAt(s, st, rSerial, pEngine, n, off); err != nil {
+					t.Fatalf("engine decrypt off=%d: %v", off, err)
+				}
+				if !bytes.Equal(pSerial, pEngine) {
+					t.Fatalf("decrypt off=%d: engine differs from serial", off)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineSmallCallsMatchSerial pins the serial fallback: tiny and
+// odd-sized calls (including n so small no shard forms) round-trip
+// identically to direct scheme calls.
+func TestEngineSmallCallsMatchSerial(t *testing.T) {
+	states := testStates(t, 2)
+	states[0].Advance()
+	eng := engine.New(4)
+	defer eng.Close()
+	s, err := core.NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 17, 255} {
+		plain := make([]byte, n*8)
+		fillInts(plain, uint64(n))
+		cSerial := make([]byte, n*8)
+		cEngine := make([]byte, n*8)
+		if err := s.EncryptAt(states[0], plain, cSerial, n, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.EncryptAt(s, states[0], plain, cEngine, n, 7); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cSerial, cEngine) {
+			t.Fatalf("n=%d: small-call encrypt differs", n)
+		}
+	}
+}
+
+// TestEngineUndersizedBufferErrors checks the engine defers length
+// validation to the scheme instead of panicking on a short buffer.
+func TestEngineUndersizedBufferErrors(t *testing.T) {
+	states := testStates(t, 2)
+	states[0].Advance()
+	eng := engine.New(2)
+	defer eng.Close()
+	s, err := core.NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := elems(s)
+	plain := make([]byte, n*8-1) // one byte short
+	cipher := make([]byte, n*8)
+	if err := eng.EncryptAt(s, states[0], plain, cipher, n, 0); err == nil {
+		t.Fatal("undersized plaintext accepted")
+	}
+	if err := eng.DecryptAt(s, states[0], cipher, plain, n, 0); err == nil {
+		t.Fatal("undersized plaintext accepted on decrypt")
+	}
+}
+
+// TestEngineConcurrentUse drives one shared engine and one shared scheme
+// instance from many goroutines — the refactored schemes claim full
+// reentrancy (pooled scratch, no per-instance state), and this test under
+// `go test -race` is what holds them to it.
+func TestEngineConcurrentUse(t *testing.T) {
+	states := testStates(t, 4)
+	for _, st := range states {
+		st.Advance()
+	}
+	eng := engine.New(4)
+	defer eng.Close()
+	s, err := core.NewFloatSum(hfp.FP32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := elems(s)
+	ps, cs := s.PlainSize(), s.CipherSize()
+
+	plain := make([]byte, n*ps)
+	fillFloat32(plain, 7)
+	want := make([]byte, n*cs)
+	if err := s.EncryptAt(states[0], plain, want, n, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cipher := make([]byte, n*cs)
+			back := make([]byte, n*ps)
+			for i := 0; i < 4; i++ {
+				if err := eng.EncryptAt(s, states[0], plain, cipher, n, 0); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				if !bytes.Equal(cipher, want) {
+					errs <- fmt.Errorf("goroutine %d: concurrent encrypt diverged", g)
+					return
+				}
+				if err := eng.DecryptAt(s, states[0], cipher, back, n, 0); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

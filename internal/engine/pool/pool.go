@@ -1,0 +1,164 @@
+// Package pool is the shared run-to-completion worker pool under HEAR's
+// multicore cipher engine (internal/engine) and the aggregation gateway's
+// fold stage (internal/aggsvc). It is deliberately key-blind: the package
+// schedules opaque closures and records shard timings, nothing more, so
+// the gateway can share the infrastructure without key material entering
+// its dependency graph (internal/aggsvc's TestServerKeyBlind pins this at
+// the import level).
+//
+// The scheduling model is DPDK-style run-to-completion (the standard
+// recipe for counter-mode crypto sharding): a fixed set of workers, every
+// task executed once on whichever worker pops it, and no task ever blocks
+// on another task — so callers of Run may wait for their shards without
+// any deadlock risk, no matter how many callers overlap.
+package pool
+
+import (
+	"runtime"
+	"sync"
+
+	"hear/internal/trace"
+)
+
+// Pool is a fixed-size worker pool. It is safe for concurrent use.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	phases  *trace.SyncBreakdown
+
+	// mu orders Submit against Close: Submit enqueues under the read
+	// lock, Close flips closed under the write lock, so once Close holds
+	// the lock no further task can slip into the queue behind its drain
+	// sweep. A closed check alone (or selecting on quit) leaves a window
+	// where an accepted task is enqueued after the sweep and never runs.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts a pool of the given size; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), 4*workers),
+		quit:    make(chan struct{}),
+		phases:  trace.NewSyncBreakdown(),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Phases returns the pool's shard-timing accumulator. Run records one
+// sample per shard under the caller-supplied phase name; Submit callers
+// may record their own phases into it.
+func (p *Pool) Phases() *trace.SyncBreakdown { return p.phases }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Submit queues fn for execution on a worker. It reports false — without
+// running fn — once the pool is closed (or closing); callers own the
+// fallback (run inline, or unwind whatever bookkeeping the task carried).
+// A send on a full queue may block briefly, but the workers stay alive
+// for as long as any Submit is in flight (Close waits for the lock), so
+// the queue always drains.
+func (p *Pool) Submit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- fn
+	return true
+}
+
+// Close stops the workers and then runs any still-queued tasks inline, so
+// no accepted task is ever lost — the gateway's round bookkeeping depends
+// on every submitted fold eventually retiring. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// Run splits the index range [0, n) into shards of the given size and
+// executes fn(start, count) once per shard: the caller runs the first
+// shard itself (and any shard the pool refuses) while workers run the
+// rest, so a pool of W workers keeps at most W+1 cores busy per call with
+// no handoff latency on the serial tail. Run waits for every shard and
+// returns the first error; shards are independent, so all of them run
+// even when one fails. Each shard records one sample under phase in
+// Phases. shard >= n (or <= 0) degenerates to one inline call.
+func (p *Pool) Run(n, shard int, phase string, fn func(start, count int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if shard <= 0 || shard >= n {
+		return fn(0, n)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	runShard := func(start, count int) {
+		stop := p.phases.Start(phase)
+		err := fn(start, count)
+		stop()
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+	for start := shard; start < n; start += shard {
+		count := shard
+		if start+count > n {
+			count = n - start
+		}
+		s, c := start, count
+		wg.Add(1)
+		task := func() { defer wg.Done(); runShard(s, c) }
+		if !p.Submit(task) {
+			task() // pool closing: degrade to inline, never drop a shard
+		}
+	}
+	runShard(0, shard)
+	wg.Wait()
+	return firstErr
+}

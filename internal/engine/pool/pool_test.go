@@ -1,0 +1,150 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, shard int }{
+		{1, 1}, {7, 3}, {100, 7}, {100, 100}, {100, 1000}, {64, 16}, {5, 0},
+	} {
+		var mu sync.Mutex
+		hits := make([]int, tc.n)
+		err := p.Run(tc.n, tc.shard, "test", func(start, count int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := start; i < start+count; i++ {
+				hits[i]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Run(%d,%d): %v", tc.n, tc.shard, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("Run(%d,%d): index %d covered %d times", tc.n, tc.shard, i, h)
+			}
+		}
+	}
+}
+
+func TestRunEmptyRange(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	called := false
+	if err := p.Run(0, 4, "test", func(int, int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("Run(0, ...) invoked fn")
+	}
+}
+
+func TestRunFirstErrorWinsAndAllShardsRun(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := p.Run(40, 10, "test", func(start, count int) error {
+		ran.Add(1)
+		if start >= 20 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("%d shards ran, want 4 (errors must not cancel siblings)", got)
+	}
+}
+
+func TestRunRecordsOneSamplePerShard(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	if err := p.Run(10, 3, "timed", func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Phases().Snapshot().Count("timed"); got != 4 {
+		t.Fatalf("phase recorded %d samples, want 4", got)
+	}
+}
+
+func TestSubmitAfterCloseRefuses(t *testing.T) {
+	p := New(1)
+	p.Close()
+	if p.Submit(func() { t.Error("task ran after close") }) {
+		t.Fatal("Submit accepted a task on a closed pool")
+	}
+	p.Close() // idempotent
+}
+
+// TestCloseNeverDropsAcceptedTask hammers Submit concurrently with Close:
+// every task Submit accepted must run exactly once (the gateway's round
+// accounting relies on this), and every refused submission must not run.
+func TestCloseNeverDropsAcceptedTask(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		p := New(2)
+		var accepted, ran atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if p.Submit(func() { ran.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		if accepted.Load() != ran.Load() {
+			t.Fatalf("iter %d: accepted %d tasks but ran %d", iter, accepted.Load(), ran.Load())
+		}
+	}
+}
+
+func TestRunDuringCloseStillCompletes(t *testing.T) {
+	p := New(2)
+	var mu sync.Mutex
+	hits := make([]int, 64)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(64, 4, "test", func(start, count int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := start; i < start+count; i++ {
+				hits[i]++
+			}
+			return nil
+		})
+	}()
+	p.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times across Close", i, h)
+		}
+	}
+}
+
+func TestNewDefaultsToPositiveWorkerCount(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}

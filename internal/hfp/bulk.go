@@ -1,0 +1,128 @@
+package hfp
+
+import "encoding/binary"
+
+// This file is the bulk fast path of the software FPU. The per-element
+// Pack/Unpack in hfp.go assemble a generic 128-bit accumulator through
+// closures — correct for every format, but far too slow for the float
+// schemes' hot loops, where an FP32 ciphertext element costs two method
+// dispatches and ~30 branchy byte operations before any arithmetic runs.
+// Cell precomputes the format's bit-layout constants once and collapses
+// pack/unpack to a single 64-bit shift/mask sequence for every cell of at
+// most 8 bytes (all FP16/BF16/FP32 formats and the γ = 0 FP64 ForMul
+// format); wider cells fall back to the generic path. FoldAdd/FoldMul
+// fuse the Unpack→Add/Mul→Pack triple the schemes' Reduce used to spell
+// out per element. All of it is bit-identical to the generic code — the
+// engine's cross-check tests compare the two paths byte for byte.
+
+// Cell is a precomputed codec for one ciphertext cell of a Format.
+// The zero Cell is not valid; obtain one with Format.Cell.
+type Cell struct {
+	f        Format
+	cs       int
+	w, eb    uint
+	fracMask uint64
+	expMask  uint64
+	wide     bool // cell wider than 8 bytes: generic 128-bit path
+}
+
+// Cell returns the bulk codec for the format's ciphertext cells.
+func (f Format) Cell() Cell {
+	w, eb := f.FracBits(), f.EBits()
+	return Cell{
+		f:        f,
+		cs:       f.ByteSize(),
+		w:        w,
+		eb:       eb,
+		fracMask: uint64(1)<<w - 1,
+		expMask:  uint64(1)<<eb - 1,
+		wide:     f.ByteSize() > 8,
+	}
+}
+
+// Size returns the cell width in bytes (Format.ByteSize).
+func (c Cell) Size() int { return c.cs }
+
+// load reads exactly cs little-endian bytes. The exact-width loop matters
+// for sharded callers: an 8-byte load on a 5-byte cell would read past a
+// shard boundary into bytes another goroutine owns.
+func (c Cell) load(src []byte) uint64 {
+	if c.cs == 8 {
+		return binary.LittleEndian.Uint64(src)
+	}
+	var v uint64
+	for i := c.cs - 1; i >= 0; i-- {
+		v = v<<8 | uint64(src[i])
+	}
+	return v
+}
+
+// store writes exactly cs little-endian bytes (see load on why exact).
+func (c Cell) store(dst []byte, v uint64) {
+	if c.cs == 8 {
+		binary.LittleEndian.PutUint64(dst, v)
+		return
+	}
+	for i := 0; i < c.cs; i++ {
+		dst[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// Unpack reads one packed element, bit-identical to Format.Unpack.
+func (c Cell) Unpack(src []byte) Value {
+	if c.wide {
+		return c.f.Unpack(src)
+	}
+	bits := c.load(src)
+	return Value{
+		Frac: bits & c.fracMask,
+		Exp:  bits >> c.w & c.expMask,
+		Sign: uint8(bits >> (c.w + c.eb) & 1),
+		W:    uint8(c.w),
+	}
+}
+
+// Pack writes one element into dst, bit-identical to Format.Pack.
+func (c Cell) Pack(v Value, dst []byte) {
+	if c.wide {
+		c.f.Pack(v, dst)
+		return
+	}
+	c.store(dst, v.Frac&c.fracMask|(v.Exp&c.expMask)<<c.w|uint64(v.Sign)<<(c.w+c.eb))
+}
+
+// Noise decodes one element's noise from its 16-byte keystream span,
+// bit-identical to Format.NoiseFromBytes.
+func (c Cell) Noise(b []byte) Value {
+	w0 := binary.LittleEndian.Uint64(b[0:8])
+	w1 := binary.LittleEndian.Uint64(b[8:16])
+	return Value{
+		Sign: uint8(w1 & 1),
+		Exp:  w1 >> 1 & c.expMask,
+		Frac: w0 & c.fracMask,
+		W:    uint8(c.w),
+	}
+}
+
+// FoldAdd folds n packed src elements into dst elementwise with the
+// ring-exponent addition ⊞ — the float SUM v1 reduce kernel, fused so the
+// layout constants are computed once per call instead of six method
+// dispatches per element.
+func (f Format) FoldAdd(dst, src []byte, n int) {
+	c := f.Cell()
+	cs := c.cs
+	for j := 0; j < n; j++ {
+		o := j * cs
+		c.Pack(f.Add(c.Unpack(dst[o:]), c.Unpack(src[o:])), dst[o:])
+	}
+}
+
+// FoldMul is FoldAdd for ⊗ — the float PROD (and SUM v2) reduce kernel.
+func (f Format) FoldMul(dst, src []byte, n int) {
+	c := f.Cell()
+	cs := c.cs
+	for j := 0; j < n; j++ {
+		o := j * cs
+		c.Pack(f.Mul(c.Unpack(dst[o:]), c.Unpack(src[o:])), dst[o:])
+	}
+}

@@ -1,0 +1,130 @@
+package hfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// bulkFormats covers every cell width the schemes exercise: 2-byte FP16,
+// sub-word 5-byte FP32.ForAdd(2), exactly-8-byte FP64.ForMul, and the
+// 9-byte FP64.ForAdd(2) wide cell that takes the generic fallback.
+var bulkFormats = []Format{
+	FP16.ForAdd(0),
+	FP16.ForMul(0),
+	BF16.ForAdd(2),
+	FP32.ForAdd(0),
+	FP32.ForAdd(2),
+	FP32.ForMul(0),
+	FP32.ForMul(2),
+	FP64.ForMul(0),
+	FP64.ForAdd(2), // wide: 9-byte cell
+}
+
+// randomValue draws a Value uniform over the format's packed bit ranges —
+// including non-canonical fractions — so pack/unpack identity is tested on
+// every representable bit pattern, not just arithmetic results.
+func randomValue(rng *rand.Rand, f Format) Value {
+	return Value{
+		Sign: uint8(rng.Intn(2)),
+		Exp:  rng.Uint64() & ((uint64(1) << f.EBits()) - 1),
+		Frac: rng.Uint64() & ((uint64(1) << f.FracBits()) - 1),
+		W:    uint8(f.FracBits()),
+	}
+}
+
+func TestCellPackUnpackMatchesFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range bulkFormats {
+		c := f.Cell()
+		if c.Size() != f.ByteSize() {
+			t.Fatalf("%+v: Cell.Size %d != ByteSize %d", f, c.Size(), f.ByteSize())
+		}
+		bufC := make([]byte, c.Size())
+		bufF := make([]byte, c.Size())
+		for i := 0; i < 200; i++ {
+			v := randomValue(rng, f)
+			c.Pack(v, bufC)
+			f.Pack(v, bufF)
+			if !bytes.Equal(bufC, bufF) {
+				t.Fatalf("%+v: Pack mismatch for %+v: cell %x format %x", f, v, bufC, bufF)
+			}
+			got, want := c.Unpack(bufF), f.Unpack(bufF)
+			if got != want {
+				t.Fatalf("%+v: Unpack mismatch: cell %+v format %+v", f, got, want)
+			}
+		}
+	}
+}
+
+func TestCellPackWritesExactWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range bulkFormats {
+		c := f.Cell()
+		// Pack into the middle of a poisoned buffer: bytes outside the cell
+		// must be untouched (shard neighbours own them in the engine).
+		buf := make([]byte, c.Size()+16)
+		for i := range buf {
+			buf[i] = 0xA5
+		}
+		c.Pack(randomValue(rng, f), buf[8:])
+		for i := 0; i < 8; i++ {
+			if buf[i] != 0xA5 || buf[8+c.Size()+i] != 0xA5 {
+				t.Fatalf("%+v: Pack wrote outside its %d-byte cell", f, c.Size())
+			}
+		}
+	}
+}
+
+func TestCellNoiseMatchesNoiseFromBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	span := make([]byte, NoiseBytes)
+	for _, f := range bulkFormats {
+		c := f.Cell()
+		for i := 0; i < 200; i++ {
+			rng.Read(span)
+			if got, want := c.Noise(span), f.NoiseFromBytes(span); got != want {
+				t.Fatalf("%+v: Noise mismatch on %x: cell %+v format %+v", f, span, got, want)
+			}
+		}
+	}
+}
+
+// foldRef is the unfused reduce loop the schemes used to spell out.
+func foldRef(f Format, op func(a, b Value) Value, dst, src []byte, n int) {
+	cs := f.ByteSize()
+	for j := 0; j < n; j++ {
+		o := j * cs
+		f.Pack(op(f.Unpack(dst[o:]), f.Unpack(src[o:])), dst[o:])
+	}
+}
+
+func TestFoldAddMulMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 257
+	for _, f := range bulkFormats {
+		cs := f.ByteSize()
+		dst := make([]byte, n*cs)
+		src := make([]byte, n*cs)
+		for j := 0; j < n; j++ {
+			f.Pack(randomValue(rng, f), dst[j*cs:])
+			f.Pack(randomValue(rng, f), src[j*cs:])
+		}
+		for _, tc := range []struct {
+			name string
+			fold func(d, s []byte, n int)
+			op   func(a, b Value) Value
+		}{
+			{"FoldAdd", f.FoldAdd, f.Add},
+			{"FoldMul", f.FoldMul, f.Mul},
+		} {
+			got := append([]byte(nil), dst...)
+			want := append([]byte(nil), dst...)
+			tc.fold(got, src, n)
+			foldRef(f, tc.op, want, src, n)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%+v: %s differs from reference loop", f, tc.name)
+			}
+		}
+	}
+}

@@ -34,10 +34,10 @@ func (c *Context) reduce(comm *mpi.Comm, s core.Scheme, root int, plain, recvPla
 	}
 	c.st.Advance()
 	cipher := make([]byte, n*s.CipherSize())
-	if err := s.Encrypt(c.st, plain, cipher, n); err != nil {
+	if err := c.eng.Encrypt(s, c.st, plain, cipher, n); err != nil {
 		return err
 	}
-	op := mpi.OpFrom("hear/"+s.Name(), s.Reduce)
+	op := mpi.OpFrom("hear/"+s.Name(), c.eng.ReduceFunc(s))
 	ct := mpi.CipherType(s.CipherSize())
 	var out []byte
 	if c.rank == root {
@@ -49,7 +49,7 @@ func (c *Context) reduce(comm *mpi.Comm, s core.Scheme, root int, plain, recvPla
 	if c.rank != root {
 		return nil
 	}
-	return s.Decrypt(c.st, out, recvPlain, n)
+	return c.eng.Decrypt(s, c.st, out, recvPlain, n)
 }
 
 // ReduceInt64Sum reduces the element-wise wrapping sum to root; recv is
