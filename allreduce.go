@@ -58,6 +58,9 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 	if len(plain) < n*s.PlainSize() {
 		return fmt.Errorf("hear: buffer %d B < %d elements × %d B", len(plain), n, s.PlainSize())
 	}
+	if c.opts.RecvTimeout > 0 && comm != nil {
+		comm.SetRecvTimeout(c.opts.RecvTimeout)
+	}
 	c.st.Advance()
 
 	if c.opts.PipelineBlockBytes > 0 && comm != nil && c.opts.INC == nil {

@@ -1,0 +1,403 @@
+// hearchaos runs seeded fault-injection campaigns against the HEAR stack:
+// the in-network aggregation trees, the host message-passing runtime, and
+// the TCP aggregation gateway. Every campaign drives real verified
+// allreduce rounds under a deterministic chaos plan and asserts that every
+// surviving rank agrees on a correct aggregate — or failed with a typed,
+// bounded error.
+//
+//	hearchaos -mode inc -ranks 8 -rounds 4 -seed 42       # tampering switch → host-ladder recovery
+//	hearchaos -mode inc -kill -seed 42                    # dead switch → timeout → recovery
+//	hearchaos -mode gateway -ranks 4 -seed 7              # severed conn → reconnect + round retry
+//	hearchaos -mode gateway -quorum 3 -ranks 4 -seed 7    # mute straggler → quorum eviction
+//	hearchaos -mode mpi -ranks 8 -rounds 8 -seed 1        # drop/delay/dup/reorder + crash-rank
+//	hearchaos -mode all -seed 42
+//
+// The same seed replays the same fault schedule; the plan digest printed
+// at the end of each campaign is stable across runs.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"hear"
+	"hear/internal/aggsvc"
+	"hear/internal/chaos"
+	"hear/internal/core/fold"
+	"hear/internal/inc"
+	"hear/internal/mpi"
+)
+
+var (
+	mode    = flag.String("mode", "all", "campaign: inc, gateway, mpi, or all")
+	seed    = flag.Int64("seed", 42, "chaos plan seed (same seed → same fault schedule)")
+	ranks   = flag.Int("ranks", 8, "ranks / gateway clients")
+	rounds  = flag.Int("rounds", 3, "allreduce rounds per campaign")
+	elems   = flag.Int("elems", 256, "int64 elements per allreduce")
+	prob    = flag.Float64("prob", 1.0, "per-frame fault probability for the inc corrupt rule")
+	kill    = flag.Bool("kill", false, "inc mode: kill every switch (timeout path) instead of corrupting frames")
+	quorum  = flag.Int("quorum", 0, "gateway mode: server quorum; >0 mutes one client to demo straggler eviction")
+	verbose = flag.Bool("v", false, "print every chaos event")
+)
+
+func main() {
+	flag.Parse()
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s campaign (seed %d, %d ranks, %d rounds) ===\n", name, *seed, *ranks, *rounds)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s campaign FAILED: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	switch *mode {
+	case "inc":
+		run("inc", incCampaign)
+	case "gateway":
+		run("gateway", gatewayCampaign)
+	case "mpi":
+		run("mpi", mpiCampaign)
+	case "all":
+		run("inc", incCampaign)
+		run("gateway", gatewayCampaign)
+		run("mpi", mpiCampaign)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	fmt.Println("all campaigns passed: every surviving rank agreed on a correct verified aggregate")
+}
+
+// reference returns rank r's deterministic input vector for one round and
+// accumulates it into want.
+func reference(round, rank int, want []int64) []int64 {
+	in := make([]int64, *elems)
+	for j := range in {
+		in[j] = int64(*seed%97) + int64(round*31) + int64(rank*7) + int64(j)
+		want[j] += in[j]
+	}
+	return in
+}
+
+func report(plan *chaos.Plan) {
+	events := plan.Events()
+	fmt.Printf("plan digest %016x, %d fault events\n", plan.Digest(), len(events))
+	if *verbose {
+		for _, e := range events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+// incCampaign: verified allreduce over the aggregation trees with a chaos
+// rule attacking the data tree — bit-flip corruption (caught by HoMAC) or
+// a kill-switch (surfaces as inc.ErrTimeout). Every failed round must
+// recover over the host ladder with the correct sum on every rank.
+func incCampaign() error {
+	p := *ranks
+	dataTree, err := inc.NewTree(p, 2, fold.SumUint64)
+	if err != nil {
+		return err
+	}
+	tagTree, err := inc.NewTree(p, 2, hear.TagFold)
+	if err != nil {
+		return err
+	}
+	dataTree.SetTimeout(500 * time.Millisecond)
+	tagTree.SetTimeout(500 * time.Millisecond)
+
+	var rule chaos.Rule
+	if *kill {
+		rule = chaos.NewRule(chaos.LayerINC, chaos.FaultKillSwitch)
+	} else {
+		rule = chaos.NewRule(chaos.LayerINC, chaos.FaultCorrupt)
+		rule.Prob = *prob
+	}
+	plan := chaos.NewPlan(*seed, rule)
+	dataTree.SetInterceptor(plan.INCInterceptor(0))
+
+	w := mpi.NewWorld(p)
+	ctxs, err := hear.Init(w, hear.Options{
+		INC: dataTree, INCTags: tagTree,
+		VerifiedRetry: 2, RecvTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	verifier, err := hear.NewVerifier(uint64(*seed) | 1)
+	if err != nil {
+		return err
+	}
+
+	for round := 0; round < *rounds; round++ {
+		want := make([]int64, *elems)
+		inputs := make([][]int64, p)
+		for r := 0; r < p; r++ {
+			inputs[r] = reference(round, r, want)
+		}
+		err := w.Run(60*time.Second, func(c *mpi.Comm) error {
+			out := make([]int64, *elems)
+			if err := ctxs[c.Rank()].AllreduceInt64SumVerified(c, verifier, inputs[c.Rank()], out); err != nil {
+				return fmt.Errorf("rank %d round %d: %w", c.Rank(), round, err)
+			}
+			for j := range out {
+				if out[j] != want[j] {
+					return fmt.Errorf("rank %d round %d: sum[%d] = %d, want %d", c.Rank(), round, j, out[j], want[j])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	retried := 0
+	for r, ctx := range ctxs {
+		if n := ctx.VerifiedRetries(); n > 0 {
+			retried++
+			if *verbose {
+				fmt.Printf("  rank %d recovered via %d host-ladder retries\n", r, n)
+			}
+		}
+	}
+	report(plan)
+	if len(plan.Events()) > 0 && retried == 0 {
+		return errors.New("faults fired but no rank reported a retry — the ladder never engaged")
+	}
+	fmt.Printf("inc: %d rounds correct on all %d ranks; %d ranks used the degradation ladder\n", *rounds, p, retried)
+	return nil
+}
+
+// gatewayCampaign: real TCP gateway, chaos-wrapped client connections.
+// The default plan severs client 0's first connection mid-round, forcing a
+// PeerLost abort; with -quorum, client 0's writes are silently dropped
+// instead, so it is evicted as a straggler at the deadline. Either way
+// every client must converge on the correct sums via reconnect + retry.
+func gatewayCampaign() error {
+	p := *ranks
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s, err := aggsvc.NewServer(aggsvc.Config{
+		Group: p, Quorum: *quorum, RoundTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	go s.Serve(l)
+	defer s.Close()
+	addr := l.Addr().String()
+
+	var rule chaos.Rule
+	if *quorum > 0 {
+		// Mute the victim: its submits vanish, the server sees a straggler.
+		rule = chaos.NewRule(chaos.LayerConn, chaos.FaultDrop)
+		rule.Match.Dir = 1 // writes only; the JOIN and ABORT must still reach it
+		rule.After = 2     // the HELLO's two writes pass, every submit is swallowed
+	} else {
+		rule = chaos.NewRule(chaos.LayerConn, chaos.FaultSever)
+		rule.After = 2
+		rule.Limit = 1
+	}
+	rule.Match.Conn = 0 // client 0's first connection only
+	plan := chaos.NewPlan(*seed, rule)
+
+	w := mpi.NewWorld(p)
+	ctxs, err := hear.Init(w, hear.Options{})
+	if err != nil {
+		return err
+	}
+	verifier, err := hear.NewVerifier(uint64(*seed) | 1)
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	retries := make([]int, p)
+	for i := 0; i < p; i++ {
+		sealer := ctxs[i].NewGatewaySealer(verifier)
+		dials := 0
+		client := i
+		dialer := func() (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			// Deterministic conn ids: client*100 + dial attempt, so the
+			// plan's Match.Conn pins exactly one connection.
+			id := client*100 + dials
+			dials++
+			return plan.WrapConn(conn, id), nil
+		}
+		conn, err := dialer()
+		if err != nil {
+			return err
+		}
+		c := aggsvc.NewClient(conn, sealer, aggsvc.ClientOptions{
+			Timeout: 5 * time.Second, Dialer: dialer,
+			Retry: 4, RetryBackoff: 25 * time.Millisecond, JitterSeed: *seed + int64(client),
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			out := make([]int64, *elems)
+			for round := 0; round < *rounds; round++ {
+				want := make([]int64, *elems)
+				var in []int64
+				for r := 0; r < p; r++ {
+					v := reference(round, r, want)
+					if r == client {
+						in = v
+					}
+				}
+				info, err := c.Aggregate(in, out)
+				if err != nil {
+					errs[client] = fmt.Errorf("client %d round %d: %w", client, round, err)
+					return
+				}
+				retries[client] += info.Retries
+				for j := range out {
+					if out[j] != want[j] {
+						errs[client] = fmt.Errorf("client %d round %d: sum[%d] = %d, want %d", client, round, j, out[j], want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	report(plan)
+	total := 0
+	for i, n := range retries {
+		total += n
+		if *verbose && n > 0 {
+			fmt.Printf("  client %d retried %d rounds\n", i, n)
+		}
+	}
+	evicted := s.StatsMap()["clients_evicted"]
+	if len(plan.Events()) > 0 && total == 0 {
+		return errors.New("faults fired but no client retried — the recovery path never engaged")
+	}
+	if *quorum > 0 && evicted == 0 {
+		return errors.New("quorum campaign evicted nobody")
+	}
+	fmt.Printf("gateway: %d rounds correct on all %d clients; %d round retries, %d stragglers evicted\n",
+		*rounds, p, total, evicted)
+	return nil
+}
+
+// mpiCampaign exercises the runtime layer twice: a point-to-point ring
+// under benign-but-nasty faults (drop, delay, duplicate, reorder) where
+// every loss must surface as a typed timeout within its deadline, and a
+// crash-rank sub-campaign where a collective must terminate with typed
+// errors on every surviving rank instead of hanging.
+func mpiCampaign() error {
+	p := *ranks
+	drop := chaos.NewRule(chaos.LayerMPI, chaos.FaultDrop)
+	drop.Prob = 0.15
+	delay := chaos.NewRule(chaos.LayerMPI, chaos.FaultDelay)
+	delay.Prob = 0.1
+	delay.Delay = 2 * time.Millisecond
+	dup := chaos.NewRule(chaos.LayerMPI, chaos.FaultDuplicate)
+	dup.Prob = 0.1
+	reorder := chaos.NewRule(chaos.LayerMPI, chaos.FaultReorder)
+	reorder.Prob = 0.1
+	plan := chaos.NewPlan(*seed, drop, delay, dup, reorder)
+
+	w := mpi.NewWorld(p)
+	w.SetInterceptor(plan.MPIInterceptor())
+	lost := make([]int, p)
+	err := w.Run(60*time.Second, func(c *mpi.Comm) error {
+		c.SetRecvTimeout(500 * time.Millisecond)
+		next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+		// Eager sends first: a missing message then means "dropped by the
+		// plan", never "sender was slow".
+		for round := 0; round < *rounds; round++ {
+			payload := []byte{byte(c.Rank()), byte(round)}
+			if err := c.Send(next, 1000+round, payload); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 2)
+		for round := 0; round < *rounds; round++ {
+			_, _, err := c.Recv(prev, 1000+round, buf)
+			switch {
+			case err == nil:
+				if int(buf[0]) != prev || int(buf[1]) != round {
+					return fmt.Errorf("rank %d round %d: got frame %v from %d", c.Rank(), round, buf, prev)
+				}
+			case errors.Is(err, mpi.ErrTimeout) || errors.Is(err, mpi.ErrRankExited):
+				lost[c.Rank()]++ // typed and bounded — the acceptable outcome
+			default:
+				return fmt.Errorf("rank %d round %d: untyped failure %w", c.Rank(), round, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	report(plan)
+	totalLost := 0
+	for _, n := range lost {
+		totalLost += n
+	}
+	fmt.Printf("mpi ring: %d×%d messages, %d lost (all typed, all within deadline)\n", p, *rounds, totalLost)
+
+	// Crash-rank sub-campaign: rank p-1 dies before round 1's collective;
+	// every surviving rank's allreduce must fail fast with ErrRankExited.
+	crash := chaos.NewRule(chaos.LayerMPI, chaos.FaultCrashRank)
+	crash.Match.Rank = p - 1
+	crash.Match.Round = 1
+	crashPlan := chaos.NewPlan(*seed, crash)
+	w2 := mpi.NewWorld(p)
+	typed := make([]bool, p)
+	err = w2.Run(60*time.Second, func(c *mpi.Comm) error {
+		c.SetRecvTimeout(2 * time.Second)
+		buf := make([]byte, 8*8)
+		for round := 0; round < 2; round++ {
+			if err := crashPlan.CrashPoint(c.Rank(), round); err != nil {
+				return err // the injected crash: this rank exits mid-campaign
+			}
+			err := c.AllreduceAlgo(mpi.AlgoRecursiveDoubling, buf, buf, 8, mpi.Uint64, mpi.SumInt64)
+			if round == 0 && err != nil {
+				return fmt.Errorf("rank %d: clean round failed: %w", c.Rank(), err)
+			}
+			if round == 1 {
+				if errors.Is(err, mpi.ErrRankExited) || errors.Is(err, mpi.ErrTimeout) {
+					typed[c.Rank()] = true
+				} else if err != nil {
+					return fmt.Errorf("rank %d: untyped failure after peer crash: %w", c.Rank(), err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, chaos.ErrCrashed) {
+		return err
+	}
+	survivors := 0
+	for r := 0; r < p-1; r++ {
+		if typed[r] {
+			survivors++
+		}
+	}
+	if survivors != p-1 {
+		return fmt.Errorf("crash sub-campaign: %d/%d survivors saw a typed error; the rest hung or succeeded bogusly", survivors, p-1)
+	}
+	fmt.Printf("mpi crash: rank %d crashed at round 1; all %d survivors failed fast with typed errors\n", p-1, p-1)
+	return nil
+}

@@ -260,7 +260,11 @@ func (c *Context) checkComm(comm *mpi.Comm) error {
 // Every participant of a gateway round must hold a Context from the same
 // Init world (sized to the round group) and seal exactly once per round:
 // Seal advances the collective key, so the group stays in lockstep the same
-// way Allreduce callers do.
+// way Allreduce callers do. The gateway protocol enforces the lockstep
+// end-to-end: HELLO advertises Epoch, JOIN (sent only once the round's
+// membership seals) names the group's agreed seal epoch, and Seal advances
+// to exactly that epoch — so a rank that missed a round's JOIN rejoins the
+// schedule instead of desynchronizing the whole group.
 type GatewaySealer struct {
 	ctx      *Context
 	verifier *homac.Vector
@@ -273,16 +277,35 @@ func (c *Context) NewGatewaySealer(verifier *homac.Vector) *GatewaySealer {
 	return &GatewaySealer{ctx: c, verifier: verifier}
 }
 
-// Seal advances the collective key and encrypts vals under the int64 SUM
-// scheme, returning the ciphertext lane and, when verification is enabled,
-// the HoMAC tag lane (both little-endian 64-bit lanes).
-func (g *GatewaySealer) Seal(vals []int64) (cipher, tags []byte, err error) {
+// Tagged reports whether this sealer produces a HoMAC tag lane.
+func (g *GatewaySealer) Tagged() bool { return g.verifier != nil }
+
+// Epoch is the context's current key-epoch counter — an opaque coherence
+// token (never key material) the gateway client advertises in HELLO.
+func (g *GatewaySealer) Epoch() uint64 { return g.ctx.st.Epoch() }
+
+// Seal advances the collective key to the given epoch (0 means "advance
+// exactly once") and encrypts vals under the int64 SUM scheme, returning
+// the ciphertext lane and, when verification is enabled, the HoMAC tag
+// lane (both little-endian 64-bit lanes). Sealing at an epoch at or below
+// the current one is refused: the key schedule only moves forward, and a
+// regression would reuse PRF streams.
+func (g *GatewaySealer) Seal(vals []int64, epoch uint64) (cipher, tags []byte, err error) {
 	s, err := g.ctx.intSum(64)
 	if err != nil {
 		return nil, nil, err
 	}
 	n := len(vals)
-	g.ctx.st.Advance()
+	if epoch == 0 {
+		g.ctx.st.Advance()
+	} else {
+		if epoch <= g.ctx.st.Epoch() {
+			return nil, nil, fmt.Errorf("hear: seal epoch %d not ahead of current epoch %d", epoch, g.ctx.st.Epoch())
+		}
+		for g.ctx.st.Epoch() < epoch {
+			g.ctx.st.Advance()
+		}
+	}
 	cipher = make([]byte, n*8)
 	if err := s.Encrypt(g.ctx.st, marshal64(vals), cipher, n); err != nil {
 		return nil, nil, err

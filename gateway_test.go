@@ -38,7 +38,7 @@ func TestInitEnableP2PNilRand(t *testing.T) {
 func gatewayFold(t *testing.T, sealers []*GatewaySealer, inputs [][]int64) (cipher, tags []byte) {
 	t.Helper()
 	for i, g := range sealers {
-		c, tg, err := g.Seal(inputs[i])
+		c, tg, err := g.Seal(inputs[i], 0)
 		if err != nil {
 			t.Fatalf("seal %d: %v", i, err)
 		}
@@ -136,14 +136,14 @@ func TestGatewaySealerUnverified(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := ctxs[0].NewGatewaySealer(nil), ctxs[1].NewGatewaySealer(nil)
-	ca, ta, err := a.Seal([]int64{10, -4})
+	ca, ta, err := a.Seal([]int64{10, -4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ta != nil {
 		t.Error("unverified seal produced tags")
 	}
-	cb, _, err := b.Seal([]int64{-7, 5})
+	cb, _, err := b.Seal([]int64{-7, 5}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"hear/internal/core"
 	"hear/internal/engine"
@@ -74,6 +75,19 @@ type Options struct {
 	// 1 forces the serial path. The engine is shared by every context of
 	// the communicator, mirroring one worker pool per node.
 	Workers int
+	// VerifiedRetry bounds how many extra attempts AllreduceInt64SumVerified
+	// makes after a retryable failure (tampering detected by the HoMAC
+	// check, or an INC/runtime timeout), stepping down the degradation
+	// ladder INC → pipelined host → sync host on each retry. 0 (default)
+	// fails on the first error. Every attempt re-advances the collective
+	// key, so retries stay coherent only when the whole group retries —
+	// see AllreduceInt64SumVerified.
+	VerifiedRetry int
+	// RecvTimeout, when positive, bounds every point-to-point receive of
+	// this context's host collectives; an expired wait surfaces as a typed
+	// mpi.ErrTimeout instead of hanging on a crashed or severed peer.
+	// 0 waits forever (the classic MPI behavior).
+	RecvTimeout time.Duration
 	// EnableP2P generates the §8 pairwise key matrix at initialization,
 	// enabling SendEncrypted/RecvEncrypted and the encrypted non-reducing
 	// collectives. Costs Θ(N) key space per rank instead of Θ(1).
@@ -117,6 +131,10 @@ type Context struct {
 	// faultInjector, when set, corrupts the reduced ciphertext before
 	// HoMAC verification (testing/demo hook; see SetFaultInjector).
 	faultInjector func([]byte)
+
+	// verifiedRetries counts the extra attempts verified allreduces needed
+	// over this context's lifetime (see VerifiedRetries).
+	verifiedRetries int
 
 	// §8 extension state (nil/zero unless Options.EnableP2P).
 	pairKeys  []uint64 // this rank's row of the symmetric pairwise key matrix

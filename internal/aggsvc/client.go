@@ -1,6 +1,7 @@
 package aggsvc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -12,14 +13,24 @@ import (
 // package deliberately depends only on the interface, never on key
 // material.
 type Sealer interface {
-	// Seal encrypts vals for one round; tags is nil when verification is
-	// disabled. Each Seal advances the collective key, so every round
-	// participant must seal exactly once per round.
-	Seal(vals []int64) (cipher, tags []byte, err error)
+	// Seal encrypts vals for one round at the given key epoch, advancing
+	// the collective key from its current epoch up to it (epoch 0 means
+	// "advance exactly once"); tags is nil when verification is disabled.
+	// The client calls Seal only after JOIN names the round's agreed
+	// epoch, so every participant of a round seals at the same epoch even
+	// if one of them previously fell behind the key schedule.
+	Seal(vals []int64, epoch uint64) (cipher, tags []byte, err error)
 	// Verify checks the reduced lanes before they are trusted.
 	Verify(reducedCipher, reducedTags []byte) error
 	// Open decrypts the reduced data lane into out.
 	Open(reduced []byte, out []int64) error
+	// Tagged reports whether Seal will produce a tag lane; the client
+	// advertises it in HELLO, before anything is sealed.
+	Tagged() bool
+	// Epoch is the sealer's current key-epoch counter, advertised in
+	// HELLO so the gateway can pick the group's seal epoch. It is an
+	// opaque counter — never key material.
+	Epoch() uint64
 }
 
 // ClientOptions tunes a gateway client.
@@ -29,38 +40,86 @@ type ClientOptions struct {
 	// ChunkBytes, when non-zero, caps the SUBMIT chunk below the size the
 	// gateway advertises in JOIN.
 	ChunkBytes int
-	// Timeout bounds one whole Aggregate call (0 = no deadline). Without
-	// it a dead gateway blocks the client forever.
+	// Timeout bounds one whole round attempt (0 = no deadline). Without it
+	// a dead gateway blocks the client forever.
 	Timeout time.Duration
+	// DialTimeout bounds connection establishment — Dial and every
+	// reconnect. Zero falls back to Timeout; both zero means unbounded
+	// (the pre-timeout behavior, kept only for explicit opt-out).
+	DialTimeout time.Duration
+	// Dialer, when non-nil, produces the connections this client uses —
+	// both the retry path's reconnects and (for Dial) the initial one.
+	// Retry requires it: a failed round always redials on a fresh
+	// connection, because after a mid-submit abort the old stream may hold
+	// half a frame.
+	Dialer func() (net.Conn, error)
+	// Retry is how many times Aggregate re-attempts a round after a
+	// retryable failure (transport errors and the gateway's Deadline,
+	// PeerLost and Straggler aborts). Zero disables retry. Retried rounds
+	// re-seal — safe because a client only seals after JOIN certifies a
+	// full round and names the group's agreed key epoch, so however the
+	// previous attempt died, the next round's participants all seal at
+	// one epoch.
+	Retry int
+	// RetryBackoff is the sleep before the first re-attempt, doubling per
+	// attempt up to RetryBackoffMax (defaults 50ms and 2s), with ±25%
+	// deterministic jitter derived from JitterSeed so a thundering herd of
+	// identically-configured clients still spreads out.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	JitterSeed      int64
 }
 
 func (o *ClientOptions) fill() {
 	if o.MaxFrameBytes <= 0 {
 		o.MaxFrameBytes = DefaultMaxFrameBytes
 	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 2 * time.Second
+	}
 }
 
-// Client drives gateway rounds over one connection. It is not safe for
-// concurrent use — like a Context, it belongs to one participant.
+// Client drives gateway rounds. It is not safe for concurrent use — like
+// a Context, it belongs to one participant.
 type Client struct {
-	conn   net.Conn
-	sealer Sealer
-	opt    ClientOptions
+	conn    net.Conn // nil when a failed attempt consumed the connection
+	sealer  Sealer
+	opt     ClientOptions
+	attempt uint64 // lifetime retry counter, feeds the jitter hash
 }
 
-// NewClient wraps an established connection (TCP, net.Pipe, ...).
+// NewClient wraps an established connection (TCP, net.Pipe, ...). Set
+// ClientOptions.Dialer to enable reconnect-and-retry.
 func NewClient(conn net.Conn, sealer Sealer, opt ClientOptions) *Client {
 	opt.fill()
 	return &Client{conn: conn, sealer: sealer, opt: opt}
 }
 
-// Dial connects to a gateway over TCP.
+// Dial connects to a gateway over TCP, bounded by DialTimeout (falling
+// back to Timeout). Unless a custom Dialer is given, reconnects reuse the
+// same bounded TCP dialer.
 func Dial(addr string, sealer Sealer, opt ClientOptions) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	opt.fill()
+	if opt.Dialer == nil {
+		opt.Dialer = func() (net.Conn, error) {
+			d := opt.DialTimeout
+			if d <= 0 {
+				d = opt.Timeout
+			}
+			if d > 0 {
+				return net.DialTimeout("tcp", addr, d)
+			}
+			return net.Dial("tcp", addr)
+		}
+	}
+	conn, err := opt.Dialer()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, sealer, opt), nil
+	return &Client{conn: conn, sealer: sealer, opt: opt}, nil
 }
 
 // Round describes a completed aggregation round.
@@ -69,38 +128,117 @@ type Round struct {
 	Slot    int
 	Group   int
 	Elapsed time.Duration
+	Retries int // attempts beyond the first that this call needed
+}
+
+// errTransient marks failures worth retrying: transport-level errors where
+// the round's fate is unknown or known-failed-for-everyone. Protocol,
+// version and verification failures stay fatal — retrying cannot fix them
+// and a tampered aggregate must never be silently re-rolled.
+type errTransient struct{ err error }
+
+func (e *errTransient) Error() string { return e.err.Error() }
+func (e *errTransient) Unwrap() error { return e.err }
+
+// retryable classifies an attempt's failure.
+func retryable(err error) bool {
+	var tr *errTransient
+	if errors.As(err, &tr) {
+		return true
+	}
+	var aerr *AbortError
+	if errors.As(err, &aerr) {
+		switch aerr.Code {
+		case AbortDeadline, AbortPeerLost, AbortStraggler:
+			return true
+		}
+	}
+	return false
 }
 
 // Aggregate runs one round: seal vals, HELLO/JOIN, stream the lanes,
 // await the reduced aggregate, verify it, and open it into out (len(out)
-// >= len(vals)). A gateway-side failure surfaces as *AbortError; a
-// verification failure surfaces from the Sealer before anything is
-// decrypted.
+// >= len(vals)). With Retry > 0 and a Dialer configured, retryable
+// failures — lost connections and the gateway's Deadline/PeerLost/
+// Straggler aborts — are retried on a fresh connection after exponential
+// backoff with jitter; each attempt re-seals, so the failed attempt's
+// ciphertext is never reused. Fatal failures (protocol violations,
+// verification failures) surface immediately; a gateway-side failure
+// surfaces as *AbortError.
 func (c *Client) Aggregate(vals, out []int64) (Round, error) {
+	if len(out) < len(vals) {
+		return Round{}, fmt.Errorf("aggsvc: out %d < %d elements", len(out), len(vals))
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.Retry; attempt++ {
+		if attempt > 0 {
+			c.sleepBackoff(attempt)
+		}
+		if c.conn == nil {
+			if c.opt.Dialer == nil {
+				return Round{}, fmt.Errorf("aggsvc: connection gone and no Dialer to reconnect (last failure: %w)", lastErr)
+			}
+			conn, err := c.opt.Dialer()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+		}
+		r, err := c.aggregateOnce(vals, out)
+		if err == nil {
+			r.Retries = attempt
+			return r, nil
+		}
+		if !retryable(err) {
+			return Round{}, err
+		}
+		lastErr = err
+		// Always restart from a fresh connection: after a failed round the
+		// stream may be desynchronized (half-written SUBMIT, unread frames).
+		c.conn.Close()
+		c.conn = nil
+	}
+	return Round{}, fmt.Errorf("aggsvc: round failed after %d attempts: %w", c.opt.Retry+1, lastErr)
+}
+
+// sleepBackoff sleeps the exponential backoff for the given attempt with
+// ±25% deterministic jitter (hash of JitterSeed and a lifetime counter).
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.opt.RetryBackoff << (attempt - 1)
+	if d > c.opt.RetryBackoffMax || d <= 0 {
+		d = c.opt.RetryBackoffMax
+	}
+	c.attempt++
+	h := uint64(c.opt.JitterSeed) ^ (c.attempt * 0x9e3779b97f4a7c15)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	// Map the hash into [-d/4, +d/4).
+	jitter := time.Duration(int64(h%uint64(d/2+1)) - int64(d/4))
+	time.Sleep(d + jitter)
+}
+
+// aggregateOnce drives a single round attempt over the current connection.
+func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	start := time.Now()
 	if c.opt.Timeout > 0 {
 		c.conn.SetDeadline(start.Add(c.opt.Timeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if len(out) < len(vals) {
-		return Round{}, fmt.Errorf("aggsvc: out %d < %d elements", len(out), len(vals))
-	}
-	cipher, tags, err := c.sealer.Seal(vals)
-	if err != nil {
-		return Round{}, fmt.Errorf("aggsvc: seal: %w", err)
-	}
 	var flags uint8
-	if tags != nil {
+	if c.sealer.Tagged() {
 		flags |= FlagTagged
 	}
-	hello := helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: flags, Elems: len(vals)}
+	hello := helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: flags,
+		Elems: len(vals), Epoch: c.sealer.Epoch()}
 	if err := writeFrame(c.conn, FrameHello, encodeHello(hello)); err != nil {
-		return Round{}, fmt.Errorf("aggsvc: hello: %w", err)
+		return Round{}, &errTransient{fmt.Errorf("aggsvc: hello: %w", err)}
 	}
 
 	t, p, err := readFrame(c.conn, c.opt.MaxFrameBytes)
 	if err != nil {
-		return Round{}, fmt.Errorf("aggsvc: awaiting JOIN: %w", err)
+		return Round{}, &errTransient{fmt.Errorf("aggsvc: awaiting JOIN: %w", err)}
 	}
 	if t == FrameAbort {
 		return Round{}, c.abortError(p)
@@ -119,6 +257,12 @@ func (c *Client) Aggregate(vals, out []int64) (Round, error) {
 	if chunk <= 0 {
 		return Round{}, fmt.Errorf("aggsvc: gateway advertised chunk %d B", chunk)
 	}
+	// Seal only now: JOIN certifies a full round and names the agreed key
+	// epoch, so an epoch is spent only on rounds the whole group runs.
+	cipher, tags, err := c.sealer.Seal(vals, join.Epoch)
+	if err != nil {
+		return Round{}, fmt.Errorf("aggsvc: seal: %w", err)
+	}
 	if err := c.submitLane(join.Round, LaneData, cipher, chunk); err != nil {
 		return Round{}, err
 	}
@@ -130,7 +274,7 @@ func (c *Client) Aggregate(vals, out []int64) (Round, error) {
 
 	t, p, err = readFrame(c.conn, c.opt.MaxFrameBytes)
 	if err != nil {
-		return Round{}, fmt.Errorf("aggsvc: awaiting RESULT: %w", err)
+		return Round{}, &errTransient{fmt.Errorf("aggsvc: awaiting RESULT: %w", err)}
 	}
 	if t == FrameAbort {
 		return Round{}, c.abortError(p)
@@ -149,7 +293,8 @@ func (c *Client) Aggregate(vals, out []int64) (Round, error) {
 		return Round{}, fmt.Errorf("aggsvc: reduced lane %d B, submitted %d B", len(data), len(cipher))
 	}
 	// Verify before trusting: a tampering (or tag-stripping) gateway must
-	// fail here, not decrypt to silently wrong values.
+	// fail here, not decrypt to silently wrong values — and a verification
+	// failure is deliberately fatal, not retried, so tampering surfaces.
 	if err := c.sealer.Verify(data, rtags); err != nil {
 		return Round{}, err
 	}
@@ -167,7 +312,7 @@ func (c *Client) submitLane(round uint64, lane uint8, buf []byte, chunk int) err
 		}
 		hdr := encodeSubmitHeader(submitHeader{Round: round, Lane: lane, Offset: off})
 		if err := writeFrame(c.conn, FrameSubmit, hdr, buf[off:end]); err != nil {
-			return fmt.Errorf("aggsvc: submit lane %d at %d: %w", lane, off, err)
+			return &errTransient{fmt.Errorf("aggsvc: submit lane %d at %d: %w", lane, off, err)}
 		}
 	}
 	return nil
@@ -183,6 +328,16 @@ func (c *Client) abortError(payload []byte) error {
 
 // ServerStats fetches the gateway's counters over this connection.
 func (c *Client) ServerStats() (map[string]uint64, error) {
+	if c.conn == nil {
+		if c.opt.Dialer == nil {
+			return nil, errors.New("aggsvc: connection gone and no Dialer to reconnect")
+		}
+		conn, err := c.opt.Dialer()
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+	}
 	if c.opt.Timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.opt.Timeout))
 		defer c.conn.SetDeadline(time.Time{})
@@ -201,4 +356,9 @@ func (c *Client) ServerStats() (map[string]uint64, error) {
 }
 
 // Close drops the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -86,8 +86,8 @@ const DefaultMaxFrameBytes = 16 << 20
 
 const (
 	frameHeaderBytes  = 5 // u32 length + u8 type
-	helloPayloadBytes = 8
-	joinPayloadBytes  = 24
+	helloPayloadBytes = 16
+	joinPayloadBytes  = 32
 	submitHeaderBytes = 13 // round u64 + lane u8 + offset u32
 )
 
@@ -96,13 +96,14 @@ type AbortCode uint16
 
 // Abort codes.
 const (
-	AbortProtocol AbortCode = 1 + iota // malformed or out-of-order frame
-	AbortVersion                       // client/server protocol version mismatch
-	AbortMismatch                      // HELLO parameters incompatible with the open round
-	AbortOversize                      // a frame exceeded the size limit
-	AbortDeadline                      // the round deadline expired with stragglers
-	AbortPeerLost                      // another participant disconnected mid-round
-	AbortShutdown                      // the gateway is shutting down
+	AbortProtocol  AbortCode = 1 + iota // malformed or out-of-order frame
+	AbortVersion                        // client/server protocol version mismatch
+	AbortMismatch                       // HELLO parameters incompatible with the open round
+	AbortOversize                       // a frame exceeded the size limit
+	AbortDeadline                       // the round deadline expired with stragglers
+	AbortPeerLost                       // another participant disconnected mid-round
+	AbortShutdown                       // the gateway is shutting down
+	AbortStraggler                      // deadline expired but quorum finished; stragglers were evicted, retry
 )
 
 func (c AbortCode) String() string {
@@ -121,6 +122,8 @@ func (c AbortCode) String() string {
 		return "participant-lost"
 	case AbortShutdown:
 		return "server-shutdown"
+	case AbortStraggler:
+		return "straggler-evicted"
 	}
 	return fmt.Sprintf("abort(%d)", uint16(c))
 }
@@ -200,12 +203,17 @@ func readFrame(r io.Reader, max int) (FrameType, []byte, error) {
 	return t, p, nil
 }
 
-// helloFrame is the decoded HELLO payload.
+// helloFrame is the decoded HELLO payload. Epoch is the client's current
+// key-epoch counter (opaque to the key-blind gateway): the gateway takes
+// the max across a round's participants and hands it back in JOIN so the
+// whole group seals at one agreed epoch, even when a participant missed an
+// earlier round's JOIN and fell behind the key schedule.
 type helloFrame struct {
 	Version uint16
 	Scheme  uint8
 	Flags   uint8
 	Elems   int
+	Epoch   uint64
 }
 
 func (h helloFrame) tagged() bool { return h.Flags&FlagTagged != 0 }
@@ -216,6 +224,7 @@ func encodeHello(h helloFrame) []byte {
 	p[2] = h.Scheme
 	p[3] = h.Flags
 	binary.LittleEndian.PutUint32(p[4:], uint32(h.Elems))
+	binary.LittleEndian.PutUint64(p[8:], h.Epoch)
 	return p
 }
 
@@ -228,16 +237,20 @@ func decodeHello(p []byte) (helloFrame, error) {
 		Scheme:  p[2],
 		Flags:   p[3],
 		Elems:   int(binary.LittleEndian.Uint32(p[4:])),
+		Epoch:   binary.LittleEndian.Uint64(p[8:]),
 	}, nil
 }
 
-// joinFrame is the decoded JOIN payload: the admission ticket.
+// joinFrame is the decoded JOIN payload: the admission ticket into a
+// round whose membership has sealed. Epoch is the key epoch every
+// participant must seal at (max of the group's HELLO epochs, plus one).
 type joinFrame struct {
 	Round      uint64
 	Slot       int
 	Group      int
 	DeadlineMS uint32 // time remaining until the round deadline
 	ChunkBytes int    // the gateway's SUBMIT chunk granularity
+	Epoch      uint64 // the round's agreed seal epoch
 }
 
 func encodeJoin(j joinFrame) []byte {
@@ -247,6 +260,7 @@ func encodeJoin(j joinFrame) []byte {
 	binary.LittleEndian.PutUint32(p[12:], uint32(j.Group))
 	binary.LittleEndian.PutUint32(p[16:], j.DeadlineMS)
 	binary.LittleEndian.PutUint32(p[20:], uint32(j.ChunkBytes))
+	binary.LittleEndian.PutUint64(p[24:], j.Epoch)
 	return p
 }
 
@@ -260,6 +274,7 @@ func decodeJoin(p []byte) (joinFrame, error) {
 		Group:      int(binary.LittleEndian.Uint32(p[12:])),
 		DeadlineMS: binary.LittleEndian.Uint32(p[16:]),
 		ChunkBytes: int(binary.LittleEndian.Uint32(p[20:])),
+		Epoch:      binary.LittleEndian.Uint64(p[24:]),
 	}, nil
 }
 

@@ -1,0 +1,201 @@
+package aggsvc_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hear/internal/aggsvc"
+)
+
+// dyingConn fails its first write after the JOIN handshake completed (the
+// first successful read), closing the underlying conn so the gateway sees
+// the participant vanish mid-round. Later conns from the same dialer are
+// untouched.
+type dyingConn struct {
+	net.Conn
+	joined bool
+}
+
+func (c *dyingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.joined = true
+	}
+	return n, err
+}
+
+func (c *dyingConn) Write(p []byte) (int, error) {
+	if c.joined {
+		c.Conn.Close()
+		return 0, errors.New("injected transport failure")
+	}
+	return c.Conn.Write(p)
+}
+
+// TestClientRetryAfterPeerLoss: client 0's connection dies mid-submit
+// after the round has formed. The gateway aborts the round with the
+// retryable AbortPeerLost, so BOTH clients retry on fresh connections.
+// Because the abort is global, every participant re-seals exactly once
+// more — the collective key schedule stays in lockstep and the retried
+// round verifies with the correct sum.
+func TestClientRetryAfterPeerLoss(t *testing.T) {
+	const group, elems = 2, 64
+	// Real TCP loopback: socket buffering lets the ABORT reach a client
+	// that is still writing (net.Pipe's synchronous writes would wedge the
+	// exchange until both sides' deadlines).
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	s, err := aggsvc.NewServer(aggsvc.Config{Group: group, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	addr := l.Addr().String()
+
+	sealers := setupGroup(t, group, 0x4e77)
+	inputs := make([][]int64, group)
+	want := make([]int64, elems)
+	for i := range inputs {
+		inputs[i] = make([]int64, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = int64((i+2)*(j+3)) - 9
+			want[j] += inputs[i][j]
+		}
+	}
+
+	// Client 0's first connection is sabotaged; every redial is clean.
+	var dials0 atomic.Int64
+	dialer0 := func() (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if dials0.Add(1) == 1 {
+			return &dyingConn{Conn: conn}, nil
+		}
+		return conn, nil
+	}
+	dialer1 := func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) }
+
+	opts := func(d func() (net.Conn, error)) aggsvc.ClientOptions {
+		return aggsvc.ClientOptions{
+			Timeout:      10 * time.Second,
+			Dialer:       d,
+			Retry:        3,
+			RetryBackoff: 10 * time.Millisecond,
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, group)
+	retries := make([]int, group)
+	outs := make([][]int64, group)
+	for i := 0; i < group; i++ {
+		dialer := dialer1
+		if i == 0 {
+			dialer = dialer0
+		}
+		conn, err := dialer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := aggsvc.NewClient(conn, sealers[i], opts(dialer))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.Close()
+			outs[i] = make([]int64, elems)
+			info, err := c.Aggregate(inputs[i], outs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			retries[i] = info.Retries
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		for j := range outs[i] {
+			if outs[i][j] != want[j] {
+				t.Fatalf("client %d elem %d = %d, want %d (retried round decrypted wrong)", i, j, outs[i][j], want[j])
+			}
+		}
+	}
+	// The sabotaged client burned its first attempt; its peer was dragged
+	// into the retry by the global PeerLost abort.
+	for i, r := range retries {
+		if r < 1 {
+			t.Errorf("client %d reported %d retries, want >= 1", i, r)
+		}
+	}
+	if got := dials0.Load(); got < 2 {
+		t.Errorf("client 0 dialed %d times, want >= 2 (reconnect after transport failure)", got)
+	}
+}
+
+// TestClientRetryExhausted: with Retry=0 the sabotaged client surfaces the
+// transport failure instead of silently hanging or mislabelling it.
+func TestClientRetryExhausted(t *testing.T) {
+	const group, elems = 2, 16
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	s, err := aggsvc.NewServer(aggsvc.Config{Group: group, RoundTimeout: 500 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	addr := l.Addr().String()
+
+	sealers := setupGroup(t, group, 0xdead)
+	conn0, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := aggsvc.NewClient(&dyingConn{Conn: conn0}, sealers[0], aggsvc.ClientOptions{Timeout: 5 * time.Second})
+	defer c0.Close()
+	conn1, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := aggsvc.NewClient(conn1, sealers[1], aggsvc.ClientOptions{Timeout: 5 * time.Second})
+	defer c1.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, group)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = c0.Aggregate(make([]int64, elems), make([]int64, elems))
+	}()
+	go func() {
+		defer wg.Done()
+		_, errs[1] = c1.Aggregate(make([]int64, elems), make([]int64, elems))
+	}()
+	wg.Wait()
+
+	if errs[0] == nil {
+		t.Error("sabotaged client with Retry=0 reported success")
+	}
+	var aerr *aggsvc.AbortError
+	if errs[1] == nil {
+		t.Error("peer of sabotaged client reported success for an unfillable round")
+	} else if !errors.As(errs[1], &aerr) || aerr.Code != aggsvc.AbortPeerLost {
+		t.Errorf("peer got %v, want ABORT %s", errs[1], aggsvc.AbortPeerLost)
+	}
+}

@@ -27,6 +27,7 @@ type participant struct {
 	dataGot   int      // bytes accepted on the data lane (in-order)
 	tagGot    int      // bytes accepted on the tag lane
 	submitted bool
+	evicted   bool // straggler cut at the deadline under a quorum policy
 }
 
 // roundState is one aggregation round: N participants, two lane
@@ -36,6 +37,7 @@ type roundState struct {
 	id     uint64
 	params roundParams
 	group  int
+	quorum int // 0 = no eviction policy; see Config.Quorum
 
 	deadline time.Time
 	timer    *time.Timer
@@ -50,10 +52,12 @@ type roundState struct {
 
 	mu       sync.Mutex
 	parts    []*participant
-	finished int // participants that submitted every lane byte
-	tasks    int // outstanding fold tasks
+	maxEpoch uint64 // highest key epoch any joiner advertised in HELLO
+	finished int    // participants that submitted every lane byte
+	tasks    int    // outstanding fold tasks
 	done     bool
 	abortErr *AbortError
+	fullCh   chan struct{} // closed when the membership seals at group size
 	doneCh   chan struct{}
 	endOnce  sync.Once // server-side end-of-round bookkeeping
 }
@@ -150,10 +154,106 @@ func (r *roundState) aborted() bool {
 	return r.done && r.abortErr != nil
 }
 
+// isEvicted reports whether a participant was cut as a straggler.
+func (r *roundState) isEvicted(p *participant) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return p.evicted
+}
+
+// slotOf reads a participant's slot under the round lock — pre-fill leaves
+// renumber slots, so unsynchronized reads are only safe after fullCh.
+func (r *roundState) slotOf(p *participant) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return p.slot
+}
+
+// sealEpoch is the key epoch this round's participants must seal at: one
+// past the highest epoch any of them advertised. A participant that fell
+// behind the group's key schedule (it requested a JOIN it never received,
+// while its peers sealed) catches up by advancing to this value; nobody is
+// ever asked to move backwards.
+func (r *roundState) sealEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxEpoch + 1
+}
+
+// leave removes a participant from a round whose membership is still open —
+// the pre-fill death path. Nothing has been sealed against this round yet
+// (clients seal only after JOIN, which is only sent once the round fills),
+// so the slot is simply freed and the remaining participants renumbered.
+// It reports whether the participant left and whether the round is now
+// empty; both are false once the round has filled or ended, where a loss
+// must instead fail the whole round.
+func (r *roundState) leave(p *participant) (left, empty bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || len(r.parts) == r.group {
+		return false, false
+	}
+	for i, q := range r.parts {
+		if q == p {
+			r.parts = append(r.parts[:i], r.parts[i+1:]...)
+			for j, rest := range r.parts {
+				rest.slot = j
+			}
+			return true, len(r.parts) == 0
+		}
+	}
+	return false, false
+}
+
+// expire handles the round deadline. HEAR's telescoping noise needs every
+// participant's submission, so a partial aggregate is never an option —
+// the round always fails closed. What a quorum policy changes is the
+// failure's shape: when at least quorum participants finished, the
+// stragglers are marked evicted (their handlers drop the connection after
+// the ABORT) and everyone gets the retryable AbortStraggler instead of
+// AbortDeadline, so live clients re-round immediately against a gateway
+// that has shed the dead weight.
+func (r *roundState) expire(timeout time.Duration) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	if r.quorum > 0 && r.finished >= r.quorum && len(r.parts) > 0 {
+		r.done = true
+		evicted := 0
+		for _, p := range r.parts {
+			if !p.submitted {
+				p.evicted = true
+				evicted++
+			}
+		}
+		r.abortErr = &AbortError{Round: r.id, Code: AbortStraggler,
+			Msg: fmt.Sprintf("deadline (%s) expired with %d/%d finished; %d stragglers evicted (quorum %d) — retry",
+				timeout, r.finished, r.group, evicted, r.quorum)}
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+		parts := make([]*participant, len(r.parts))
+		copy(parts, r.parts)
+		close(r.doneCh)
+		r.mu.Unlock()
+		past := time.Unix(1, 0)
+		for _, p := range parts {
+			p.conn.SetReadDeadline(past)
+		}
+		return
+	}
+	r.mu.Unlock()
+	r.abort(AbortDeadline, "round %d deadline (%s) expired before all %d participants finished",
+		r.id, timeout, r.group)
+}
+
 // roundManager groups arriving HELLOs into rounds of exactly group
 // participants.
 type roundManager struct {
 	group   int
+	quorum  int
 	timeout time.Duration
 	chunk   int
 
@@ -163,19 +263,23 @@ type roundManager struct {
 }
 
 // join admits a client into the open round (creating one if needed) and
-// returns its participant record. A HELLO whose parameters disagree with
-// the open round is refused without poisoning that round.
-func (m *roundManager) join(conn net.Conn, params roundParams) (*roundState, *participant, *AbortError) {
+// returns its participant record, plus whether this join created the
+// round. A HELLO whose parameters disagree with the open round is refused
+// without poisoning that round. epoch is the joiner's advertised key
+// epoch; the round tracks the max so JOIN can name the group's agreed
+// seal epoch.
+func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64) (*roundState, *participant, bool, *AbortError) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := m.open
+	created := false
 	if r != nil && (r.params != params || r.aborted()) {
 		if r.aborted() {
 			// The open round died (deadline) before filling; start fresh.
 			m.open = nil
 			r = nil
 		} else {
-			return nil, nil, &AbortError{Round: r.id, Code: AbortMismatch,
+			return nil, nil, false, &AbortError{Round: r.id, Code: AbortMismatch,
 				Msg: fmt.Sprintf("open round %d has %d-element tagged=%v frames", r.id, r.params.elems, r.params.tagged)}
 		}
 	}
@@ -184,28 +288,36 @@ func (m *roundManager) join(conn net.Conn, params roundParams) (*roundState, *pa
 			id:       m.nextID,
 			params:   params,
 			group:    m.group,
+			quorum:   m.quorum,
 			deadline: time.Now().Add(m.timeout),
 			data:     make([]byte, params.elems*8),
 			chunk:    m.chunk,
+			fullCh:   make(chan struct{}),
 			doneCh:   make(chan struct{}),
 		}
 		m.nextID++
+		created = true
 		if params.tagged {
 			r.tags = make([]byte, params.elems*8)
 		}
-		r.timer = time.AfterFunc(m.timeout, func() {
-			r.abort(AbortDeadline, "round %d deadline (%s) expired before all %d participants finished",
-				r.id, m.timeout, r.group)
-		})
+		timeout := m.timeout
+		r.timer = time.AfterFunc(timeout, func() { r.expire(timeout) })
 		m.open = r
 	}
-	p := &participant{slot: len(r.parts), conn: conn}
+	p := &participant{conn: conn}
 	r.mu.Lock()
+	p.slot = len(r.parts) // assigned under the lock: pre-fill leaves renumber
 	r.parts = append(r.parts, p)
+	if epoch > r.maxEpoch {
+		r.maxEpoch = epoch
+	}
 	full := len(r.parts) == r.group
+	if full {
+		close(r.fullCh)
+	}
 	r.mu.Unlock()
 	if full {
 		m.open = nil // sealed: it no longer accepts joiners
 	}
-	return r, p, nil
+	return r, p, created, nil
 }

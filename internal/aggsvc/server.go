@@ -54,6 +54,14 @@ type Config struct {
 	// RoundTimeout bounds a round from its first JOIN to its last SUBMIT
 	// byte; stragglers abort the round for everyone (default 10s).
 	RoundTimeout time.Duration
+	// Quorum, when non-zero, changes what the deadline does: if at least
+	// Quorum participants finished when it expires, the stragglers are
+	// evicted (connections dropped) and every participant receives the
+	// retryable AbortStraggler instead of AbortDeadline. The round still
+	// fails closed — HEAR's telescoping noise makes a partial aggregate
+	// meaningless — but live clients get a fast, typed signal to re-round
+	// without the dead weight. Must not exceed Group.
+	Quorum int
 	// WriteTimeout bounds any single outgoing frame so one stuck client
 	// cannot wedge a handler (default 30s).
 	WriteTimeout time.Duration
@@ -81,6 +89,9 @@ func (c *Config) fill() error {
 	}
 	if c.Elems < 0 {
 		return fmt.Errorf("aggsvc: negative vector length %d", c.Elems)
+	}
+	if c.Quorum < 0 || c.Quorum > c.Group {
+		return fmt.Errorf("aggsvc: quorum %d outside [0, group %d]", c.Quorum, c.Group)
 	}
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = DefaultRoundTimeout
@@ -139,6 +150,7 @@ type Server struct {
 	roundsStarted   atomic.Uint64
 	roundsCompleted atomic.Uint64
 	roundsAborted   atomic.Uint64
+	clientsEvicted  atomic.Uint64
 	chunksFolded    atomic.Uint64
 	bytesFolded     atomic.Uint64
 	statsServed     atomic.Uint64
@@ -158,7 +170,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
-		rm:        roundManager{group: cfg.Group, timeout: cfg.RoundTimeout, chunk: cfg.ChunkBytes},
+		rm:        roundManager{group: cfg.Group, quorum: cfg.Quorum, timeout: cfg.RoundTimeout, chunk: cfg.ChunkBytes},
 		pool:      pool,
 		fold:      enginepool.New(cfg.Workers),
 		phases:    trace.NewSyncBreakdown(),
@@ -225,6 +237,16 @@ func (s *Server) Close() error {
 // foldChunk folds one pooled chunk into its round accumulator under the
 // chunk's stripe lock, returns the block, and retires the task.
 func (s *Server) foldChunk(t foldTask) {
+	// A round that aborted while this task sat in the worker queue must not
+	// be folded into: the accumulator may already have been handed to
+	// nobody, but more importantly an aborted round's accounting only waits
+	// for tasks to retire, not to execute. Drop the chunk, keep the
+	// obligations (block back to the pool, task retired).
+	if t.r.aborted() {
+		s.pool.Put(t.block[:cap(t.block)])
+		t.r.taskDone()
+		return
+	}
 	stop := s.phases.Start(PhaseFold)
 	acc := t.r.data
 	f := t.fold
@@ -329,22 +351,39 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame) bool {
 		return false
 	}
 	folds := laneFolds[h.Scheme]
-	r, part, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()})
+	r, part, created, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()}, h.Epoch)
 	if aerr != nil {
 		s.writeAbort(conn, aerr)
 		return false
 	}
-	if part.slot == 0 {
+	if created {
 		s.roundsStarted.Add(1)
 		s.activeRounds.Add(1)
 	}
 	s.clientsJoined.Add(1)
+
+	// JOIN is an admission ticket into a *full* round: it is only written
+	// once the membership has sealed, and the client seals (advancing its
+	// collective key) only after reading it. A participant dying while the
+	// round is still filling therefore frees its slot without anyone
+	// having burned a key epoch; only post-fill losses abort globally, and
+	// there the whole group re-seals in lockstep.
+	if !s.awaitFull(conn, r, part) {
+		return false
+	}
+	if r.aborted() {
+		// Died before filling (deadline). The abort is retryable and the
+		// client sealed nothing, so the conn may serve another HELLO.
+		s.finishRound(conn, r)
+		return true
+	}
 	join := joinFrame{
 		Round:      r.id,
 		Slot:       part.slot,
 		Group:      r.group,
 		DeadlineMS: uint32(time.Until(r.deadline).Milliseconds()),
 		ChunkBytes: r.chunk,
+		Epoch:      r.sealEpoch(),
 	}
 	if err := s.writeWithDeadline(conn, FrameJoin, encodeJoin(join)); err != nil {
 		r.abort(AbortPeerLost, "slot %d unreachable at JOIN: %v", part.slot, err)
@@ -354,10 +393,89 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame) bool {
 
 	healthy := s.receiveLanes(conn, r, part, folds)
 	s.finishRound(conn, r)
+	if r.isEvicted(part) {
+		// Straggler under a quorum policy: it got its ABORT, now it loses
+		// the connection so the next round forms from live clients.
+		s.clientsEvicted.Add(1)
+		return false
+	}
 	// After an abort the framing may be mid-stream; a healthy client that
 	// wants another round re-HELLOs on the same connection and the handler
 	// resynchronizes or rejects — either way the conn outlives the round.
 	return healthy
+}
+
+// joinProbeInterval is how often the JOIN-wait loop samples a pending
+// participant's connection for early death or protocol violations.
+const joinProbeInterval = 20 * time.Millisecond
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// awaitFull parks an admitted participant until its round's membership
+// seals (fullCh) or the round ends (doneCh). A legal client sends nothing
+// between HELLO and JOIN, so the wait probes the connection with short
+// read deadlines: silence means alive, data is a protocol violation, and
+// a dead connection frees the slot — a pre-fill death must not poison the
+// round, because nothing has been sealed against it yet. It reports
+// whether the handler should continue into the round (full or aborted);
+// false means this connection is done for.
+func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool {
+	var probe [1]byte
+	for {
+		select {
+		case <-r.fullCh:
+			conn.SetReadDeadline(time.Time{})
+			return true
+		case <-r.doneCh:
+			conn.SetReadDeadline(time.Time{})
+			return true
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(joinProbeInterval))
+		n, err := conn.Read(probe[:])
+		switch {
+		case n > 0:
+			// The client may write only after JOIN, which has not been
+			// sent. Cut it loose; the round survives if its membership was
+			// still open, and fails closed if it had just sealed (the
+			// stream is unusable either way).
+			if left, empty := r.leave(part); left {
+				s.writeAbort(conn, &AbortError{Round: r.id, Code: AbortProtocol, Msg: "data before JOIN"})
+				if empty {
+					r.abort(AbortPeerLost, "round %d lost every participant before filling", r.id)
+					s.finishRound(conn, r)
+				}
+				return false
+			}
+			r.abort(AbortProtocol, "slot %d sent data before JOIN", r.slotOf(part))
+			s.finishRound(conn, r)
+			return false
+		case err == nil || isTimeout(err):
+			// Silence: still waiting. (An abort's read-deadline poke also
+			// lands here and is caught by the doneCh check next pass.)
+		default:
+			// The connection died. With the membership still open the slot
+			// is freed so the round fills from live clients; if the round
+			// sealed in the meantime it cannot proceed without this
+			// participant — fail it closed for everyone.
+			if left, empty := r.leave(part); left {
+				if empty {
+					r.abort(AbortPeerLost, "round %d lost every participant before filling", r.id)
+					s.finishRound(conn, r)
+				}
+				return false
+			}
+			if !r.aborted() {
+				r.abort(AbortPeerLost, "slot %d lost between fill and JOIN: %v", r.slotOf(part), err)
+			}
+			s.finishRound(conn, r)
+			return false
+		}
+	}
 }
 
 // receiveLanes reads the participant's SUBMIT stream, folding chunks
@@ -503,6 +621,7 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"rounds_started":   s.roundsStarted.Load(),
 		"rounds_completed": s.roundsCompleted.Load(),
 		"rounds_aborted":   s.roundsAborted.Load(),
+		"clients_evicted":  s.clientsEvicted.Load(),
 		"rounds_active":    uint64(s.activeRounds.Load()),
 		"chunks_folded":    s.chunksFolded.Load(),
 		"bytes_folded":     s.bytesFolded.Load(),

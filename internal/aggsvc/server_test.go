@@ -15,7 +15,7 @@ import (
 // exercise framing, rounds, and failure paths.
 type plainSealer struct{}
 
-func (plainSealer) Seal(vals []int64) (cipher, tags []byte, err error) {
+func (plainSealer) Seal(vals []int64, _ uint64) (cipher, tags []byte, err error) {
 	b := make([]byte, len(vals)*8)
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
@@ -24,6 +24,10 @@ func (plainSealer) Seal(vals []int64) (cipher, tags []byte, err error) {
 }
 
 func (plainSealer) Verify(_, _ []byte) error { return nil }
+
+func (plainSealer) Tagged() bool { return false }
+
+func (plainSealer) Epoch() uint64 { return 0 }
 
 func (plainSealer) Open(reduced []byte, out []int64) error {
 	for i := range out {
@@ -177,6 +181,16 @@ func TestClientDropMidSubmitAbortsRound(t *testing.T) {
 	if err := writeFrame(dconn, FrameHello, hello); err != nil {
 		t.Fatal(err)
 	}
+
+	// The survivor runs the full client; its arrival fills the round, so
+	// the dropper's JOIN arrives only now.
+	surv := dialPipe(t, l, ClientOptions{})
+	done := make(chan error, 1)
+	go func() {
+		out := make([]int64, elems)
+		_, err := surv.Aggregate(make([]int64, elems), out)
+		done <- err
+	}()
 	ft, p, err := readFrame(dconn, DefaultMaxFrameBytes)
 	if err != nil || ft != FrameJoin {
 		t.Fatalf("dropper admission: %s %v", ft, err)
@@ -190,15 +204,6 @@ func TestClientDropMidSubmitAbortsRound(t *testing.T) {
 	if err := writeFrame(dconn, FrameSubmit, hdr, chunk); err != nil {
 		t.Fatal(err)
 	}
-
-	// The survivor runs the full client; its round must abort.
-	surv := dialPipe(t, l, ClientOptions{})
-	done := make(chan error, 1)
-	go func() {
-		out := make([]int64, elems)
-		_, err := surv.Aggregate(make([]int64, elems), out)
-		done <- err
-	}()
 	time.Sleep(20 * time.Millisecond) // let the survivor finish submitting
 	dconn.Close()
 

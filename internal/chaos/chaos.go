@@ -1,0 +1,305 @@
+// Package chaos is a deterministic fault-injection layer for HEAR's three
+// transports: the in-process mpi runtime, the INC switch tree, and the
+// aggregation-gateway connections. A Plan is a seeded set of Rules; every
+// fault decision is a pure function of (seed, rule, site, event index), so
+// the same plan replays the same fault schedule byte-identically across
+// runs, GOMAXPROCS settings, and the race detector — the property the
+// paper's threat-model experiments need to be debuggable at all.
+//
+// Sites are the stable coordinates of an event: an mpi message is
+// (from, to, tag), an INC frame is (tree, switch, fromRank, round), a
+// gateway byte-stream op is (conn, direction). Each (rule, site) pair
+// keeps its own event counter; events at one site are sequential by
+// construction (one sender goroutine, one climbing rank, one stream), so
+// the counters never race and the schedule is independent of cross-site
+// arrival order. For inter-switch INC hops (fromRank = -1) several
+// children share a site: the schedule — which (site, n) events fire — is
+// still deterministic, but which racing child's frame is hit is not;
+// plans that need full determinism target leaf ingress (fromRank >= 0).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Layer identifies which transport adapter a rule applies to.
+type Layer uint8
+
+const (
+	LayerMPI  Layer = iota // mpi message delivery (Interceptor)
+	LayerINC               // INC switch frame ingress (inc.Interceptor)
+	LayerConn              // gateway net.Conn reads/writes (WrapConn)
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerMPI:
+		return "mpi"
+	case LayerINC:
+		return "inc"
+	case LayerConn:
+		return "conn"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// Fault is the failure a rule injects when it fires.
+type Fault uint8
+
+const (
+	// FaultDrop discards the message/frame (conn: the write is swallowed).
+	FaultDrop Fault = iota
+	// FaultDelay sleeps Rule.Delay before delivering.
+	FaultDelay
+	// FaultDuplicate delivers the mpi message twice (mpi only).
+	FaultDuplicate
+	// FaultReorder holds the mpi message back and delivers it after the
+	// next message at the same site, swapping their order. If no later
+	// message arrives at the site the held message is lost (mpi only).
+	FaultReorder
+	// FaultCorrupt flips one deterministically-chosen bit of the payload.
+	FaultCorrupt
+	// FaultCrashRank makes CrashPoint report that the rank must abort.
+	FaultCrashRank
+	// FaultKillSwitch permanently swallows every frame through the matched
+	// switch from the firing event on (inc only).
+	FaultKillSwitch
+	// FaultSever closes the underlying connection mid-stream (conn only).
+	FaultSever
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultReorder:
+		return "reorder"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultCrashRank:
+		return "crash-rank"
+	case FaultKillSwitch:
+		return "kill-switch"
+	case FaultSever:
+		return "sever"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Typed outcomes surfaced by the adapters.
+var (
+	// ErrSevered reports an I/O op on a connection a FaultSever rule cut.
+	ErrSevered = errors.New("chaos: connection severed")
+	// ErrCrashed reports a CrashPoint that a FaultCrashRank rule hit.
+	ErrCrashed = errors.New("chaos: rank crashed by plan")
+)
+
+// Any is the wildcard for Match fields.
+const Any = -1
+
+// Match filters the sites a rule applies to. Any (-1) matches everything;
+// which fields are consulted depends on the rule's Layer. Zero is a valid
+// rank/tag/ID, so always build rules with NewRule (which wildcards every
+// field) and narrow from there.
+type Match struct {
+	From, To, Tag int // LayerMPI: sender rank, receiver rank, wire tag
+	Switch, Rank  int // LayerINC: switch ID, submitting rank (-1 = inter-switch hop)
+	Round         int // LayerINC/CrashRank: collective round (seq)
+	Conn, Dir     int // LayerConn: connection ID, direction (0 = read, 1 = write)
+}
+
+func matchAll() Match {
+	return Match{From: Any, To: Any, Tag: Any, Switch: Any, Rank: Any, Round: Any, Conn: Any, Dir: Any}
+}
+
+func matches(v, want int) bool { return want == Any || v == want }
+
+// Rule schedules one fault. It fires on a matching event when the event's
+// index at its site clears After, the per-site firing count is under
+// Limit, and the (seed, rule, site, index) hash clears Prob.
+type Rule struct {
+	Layer Layer
+	Fault Fault
+	Match Match
+	Prob  float64       // firing probability per event; 1 = always
+	After int           // skip the first After matching events per site
+	Limit int           // max firings per site; 0 = unlimited
+	Delay time.Duration // sleep for FaultDelay
+}
+
+// NewRule returns a rule with an all-wildcard match and Prob 1. Narrow it
+// by assigning Match fields / Prob / After / Limit on the returned value.
+func NewRule(layer Layer, fault Fault) Rule {
+	return Rule{Layer: layer, Fault: fault, Match: matchAll(), Prob: 1}
+}
+
+// Event is one recorded rule firing.
+type Event struct {
+	Rule  int // index into the plan's rule list
+	Layer Layer
+	Fault Fault
+	Site  string // human-readable site coordinates
+	N     uint64 // event index at the site when the rule fired
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("rule=%d %s/%s %s n=%d", e.Rule, e.Layer, e.Fault, e.Site, e.N)
+}
+
+// counterKey identifies a (rule, site) stream of events.
+type counterKey struct {
+	rule int
+	site uint64
+}
+
+// Plan is a seeded fault schedule. One Plan may back all three adapters
+// of a single campaign; all methods are safe for concurrent use.
+type Plan struct {
+	seed  uint64
+	rules []Rule
+
+	mu     sync.Mutex
+	next   map[counterKey]uint64 // next event index per (rule, site)
+	fired  map[counterKey]uint64 // firings per (rule, site), for Limit
+	held   map[counterKey][]byte // reorder holdback buffers
+	killed map[int]bool          // switches cut by FaultKillSwitch
+	events []Event
+}
+
+// NewPlan builds a plan from a seed and its rules. The same (seed, rules)
+// always yields the same schedule.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	return &Plan{
+		seed:   uint64(seed),
+		rules:  rules,
+		next:   make(map[counterKey]uint64),
+		fired:  make(map[counterKey]uint64),
+		held:   make(map[counterKey][]byte),
+		killed: make(map[int]bool),
+	}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return int64(p.seed) }
+
+// splitmix64 is the SplitMix64 finalizer — a bijective avalanche mix, the
+// standard seed-expansion hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// siteHash folds site coordinates into one 64-bit key. Components pass
+// through splitmix64 first so adjacent small ints don't collide.
+func siteHash(parts ...uint64) uint64 {
+	h := uint64(0x5851f42d4c957f2d)
+	for _, part := range parts {
+		h = splitmix64(h ^ splitmix64(part))
+	}
+	return h
+}
+
+// roll is the pure fault decision: a uniform hash of (seed, rule, site,
+// event index) compared against the rule's probability.
+func (p *Plan) roll(ruleIdx int, site, n uint64, prob float64) bool {
+	if prob >= 1 {
+		return true
+	}
+	if prob <= 0 {
+		return false
+	}
+	h := splitmix64(p.seed ^ splitmix64(uint64(ruleIdx)+0x9e37) ^ site ^ splitmix64(n+0x79b9))
+	return float64(h) < prob*float64(math.MaxUint64)
+}
+
+// step advances one event at (layer, site) and returns the index of the
+// first rule that fires plus the event index it fired at, or (-1, 0).
+// match reports whether a rule covers the event's coordinates. Counters
+// for every matching rule advance exactly once per event whether or not
+// an earlier rule already fired, so each rule's schedule is independent
+// of the others.
+func (p *Plan) step(layer Layer, site uint64, siteStr string, match func(Rule) bool) (int, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	firing, firedAt := -1, uint64(0)
+	for i, r := range p.rules {
+		if r.Layer != layer || !match(r) {
+			continue
+		}
+		key := counterKey{rule: i, site: site}
+		n := p.next[key]
+		p.next[key] = n + 1
+		if firing >= 0 {
+			continue // an earlier rule owns this event; counters still advance
+		}
+		if n < uint64(r.After) {
+			continue
+		}
+		if r.Limit > 0 && p.fired[key] >= uint64(r.Limit) {
+			continue
+		}
+		if !p.roll(i, site, n, r.Prob) {
+			continue
+		}
+		p.fired[key]++
+		p.events = append(p.events, Event{Rule: i, Layer: layer, Fault: r.Fault, Site: siteStr, N: n})
+		firing, firedAt = i, n
+	}
+	return firing, firedAt
+}
+
+// corrupt flips one bit of buf, chosen by the deterministic hash of the
+// firing coordinates, and returns the (byte, bit) position.
+func (p *Plan) corrupt(buf []byte, ruleIdx int, site, n uint64) (int, int) {
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	h := splitmix64(p.seed ^ site ^ splitmix64(n) ^ splitmix64(uint64(ruleIdx)+0xc0de))
+	byteIdx := int(h % uint64(len(buf)))
+	bit := int((h >> 17) % 8)
+	buf[byteIdx] ^= 1 << bit
+	return byteIdx, bit
+}
+
+// Events returns the recorded firings sorted by (rule, site, n). The
+// recording order can vary with goroutine interleaving across sites, but
+// the sorted set — and therefore Digest — is identical for identical
+// runs of the same plan.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].N < out[j].N
+	})
+	return out
+}
+
+// Digest hashes the sorted fault schedule; two runs of the same campaign
+// match iff their digests match.
+func (p *Plan) Digest() uint64 {
+	h := fnv.New64a()
+	for _, e := range p.Events() {
+		fmt.Fprintln(h, e.String())
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,66 @@
+package inc
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout reports an Allreduce round that did not produce an aggregate
+// within the tree's configured timeout — the INC analogue of a lost or
+// swallowed frame. The failure is round-global: every rank waiting on the
+// round observes the same error, so callers can fall back collectively
+// (hear's degradation ladder re-runs the round over the host path).
+var ErrTimeout = errors.New("inc: aggregation timed out")
+
+// Interceptor intercepts every frame delivered to a switch — the hook the
+// chaos layer uses to model a faulty or adversarial switch. It runs on the
+// submitting rank's goroutine after the tap has observed the frame.
+// fromRank is the submitting host for leaf ingress and -1 for inter-switch
+// hops; seq identifies the collective round. The frame may be mutated in
+// place to model corruption. Returning false swallows the frame: the
+// switch never counts the arrival, the round stalls, and waiting ranks
+// fail with ErrTimeout once the tree timeout fires. Implementations must
+// be safe for concurrent use.
+type Interceptor func(switchID, fromRank int, seq uint64, frame []byte) bool
+
+// SetInterceptor installs (or clears, with nil) the switch interceptor.
+func (t *Tree) SetInterceptor(ic Interceptor) {
+	t.mu.Lock()
+	t.interceptor = ic
+	t.mu.Unlock()
+}
+
+// SetTimeout bounds every subsequent Allreduce call: if the aggregate is
+// not published within d, the round fails for all its ranks with an error
+// wrapping ErrTimeout. Zero (the default) blocks forever, preserving the
+// original lossless-fabric semantics.
+func (t *Tree) SetTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.timeout = d
+	t.mu.Unlock()
+}
+
+func (t *Tree) getInterceptor() Interceptor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.interceptor
+}
+
+func (t *Tree) getTimeout() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timeout
+}
+
+// fail closes the round with err unless it already completed or failed.
+// First close wins: a root publish racing a timeout resolves to whichever
+// got the round lock first, and the loser is a no-op.
+func (r *round) fail(err error) {
+	r.mu.Lock()
+	if !r.closed {
+		r.err = err
+		r.closed = true
+		close(r.done)
+	}
+	r.mu.Unlock()
+}

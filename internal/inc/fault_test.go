@@ -1,0 +1,192 @@
+package inc
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func byteSumFold(dst, src []byte) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// runRound submits one frame per rank concurrently and returns each
+// rank's (result, error).
+func runRound(t *Tree, p int, frame func(rank int) []byte) ([][]byte, []error) {
+	outs := make([][]byte, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			buf := frame(rank)
+			errs[rank] = t.Allreduce(rank, buf)
+			outs[rank] = buf
+		}(r)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// TestInterceptorSwallowTimesOut: a switch that drops one leaf frame
+// stalls the round; with a timeout set, every rank fails with a typed
+// ErrTimeout instead of hanging.
+func TestInterceptorSwallowTimesOut(t *testing.T) {
+	const p = 4
+	tree, err := NewTree(p, 2, byteSumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTimeout(100 * time.Millisecond)
+	tree.SetInterceptor(func(switchID, fromRank int, seq uint64, frame []byte) bool {
+		return fromRank != 1 // swallow rank 1's leaf ingress
+	})
+	_, errs := runRound(tree, p, func(rank int) []byte { return []byte{byte(rank), 0} })
+	for rank, e := range errs {
+		if !errors.Is(e, ErrTimeout) {
+			t.Fatalf("rank %d: want ErrTimeout, got %v", rank, e)
+		}
+	}
+}
+
+// TestInterceptorCorruptsInPlace: a mutating interceptor changes the
+// aggregate (the switch folds the tampered frame) — detection is the
+// verifier's job upstream; the tree must still complete.
+func TestInterceptorCorruptsInPlace(t *testing.T) {
+	const p = 4
+	tree, err := NewTree(p, 2, byteSumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetInterceptor(func(switchID, fromRank int, seq uint64, frame []byte) bool {
+		if fromRank == 2 {
+			frame[0] ^= 0x80
+		}
+		return true
+	})
+	outs, errs := runRound(tree, p, func(rank int) []byte { return []byte{1, 0} })
+	want := byte(p) ^ 0x80
+	for rank := range errs {
+		if errs[rank] != nil {
+			t.Fatalf("rank %d: %v", rank, errs[rank])
+		}
+		if outs[rank][0] != want {
+			t.Fatalf("rank %d: got %d, want corrupted sum %d", rank, outs[rank][0], want)
+		}
+	}
+}
+
+// TestTimeoutLatecomerFailsFast: after a round times out, a straggler
+// rank submitting to the same round gets the typed error immediately —
+// the failed round stays registered until every rank has seen it.
+func TestTimeoutLatecomerFailsFast(t *testing.T) {
+	const p = 2
+	tree, err := NewTree(p, 2, byteSumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTimeout(50 * time.Millisecond)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- tree.Allreduce(0, []byte{1}) }()
+	if e := <-errCh; !errors.Is(e, ErrTimeout) {
+		t.Fatalf("rank 0: want ErrTimeout, got %v", e)
+	}
+	// Rank 1 arrives late: its frame completes the round's arrivals, but
+	// the round already failed, so it must get the same typed error fast.
+	start := time.Now()
+	e := tree.Allreduce(1, []byte{1})
+	if !errors.Is(e, ErrTimeout) {
+		t.Fatalf("latecomer: want ErrTimeout, got %v", e)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("latecomer took %v; should fail fast, not wait out a fresh timeout", d)
+	}
+	// The fully-exited failed round must be retired: the next collective
+	// call (fresh seq) works normally.
+	outs, errs := runRound(tree, p, func(rank int) []byte { return []byte{3} })
+	for rank := range errs {
+		if errs[rank] != nil {
+			t.Fatalf("recovery round rank %d: %v", rank, errs[rank])
+		}
+		if outs[rank][0] != 6 {
+			t.Fatalf("recovery round rank %d: got %d, want 6", rank, outs[rank][0])
+		}
+	}
+}
+
+// TestSeqVisibleToInterceptor: the interceptor sees the round sequence
+// number, and it advances per collective call — the site key chaos plans
+// schedule against.
+func TestSeqVisibleToInterceptor(t *testing.T) {
+	const p = 2
+	tree, err := NewTree(p, 2, byteSumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seqs := make(map[uint64]bool)
+	tree.SetInterceptor(func(switchID, fromRank int, seq uint64, frame []byte) bool {
+		mu.Lock()
+		seqs[seq] = true
+		mu.Unlock()
+		return true
+	})
+	for round := 0; round < 3; round++ {
+		_, errs := runRound(tree, p, func(rank int) []byte {
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint64(b, uint64(rank))
+			return b
+		})
+		for rank, e := range errs {
+			if e != nil {
+				t.Fatalf("round %d rank %d: %v", round, rank, e)
+			}
+		}
+	}
+	for want := uint64(0); want < 3; want++ {
+		if !seqs[want] {
+			t.Fatalf("interceptor never saw seq %d (saw %v)", want, seqs)
+		}
+	}
+}
+
+// TestTimeoutRaceWithPublish: hammer the publish-vs-timeout race — with a
+// timeout roughly the round latency, every round must end in exactly one
+// of the two outcomes on all ranks consistently (all success with the
+// correct sum, or all ErrTimeout).
+func TestTimeoutRaceWithPublish(t *testing.T) {
+	const p = 4
+	tree, err := NewTree(p, 2, byteSumFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTimeout(1 * time.Millisecond)
+	for round := 0; round < 200; round++ {
+		outs, errs := runRound(tree, p, func(rank int) []byte { return []byte{1} })
+		failed := 0
+		for _, e := range errs {
+			if e != nil {
+				if !errors.Is(e, ErrTimeout) {
+					t.Fatalf("round %d: unexpected error %v", round, e)
+				}
+				failed++
+			}
+		}
+		if failed != 0 && failed != p {
+			t.Fatalf("round %d: split outcome, %d/%d ranks failed", round, failed, p)
+		}
+		if failed == 0 {
+			for rank := range outs {
+				if outs[rank][0] != p {
+					t.Fatalf("round %d rank %d: got %d, want %d", round, rank, outs[rank][0], p)
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package inc
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Fold is the element-wise reduction a switch executes on two frames
@@ -69,22 +70,26 @@ type Tree struct {
 	root     *node
 	nodes    []*node
 
-	mu      sync.Mutex
-	rankSeq []uint64          // per-rank collective call counter
-	rounds  map[uint64]*round // in-flight rounds by sequence number
-	tap     Tap
-	stats   Stats
+	mu          sync.Mutex
+	rankSeq     []uint64          // per-rank collective call counter
+	rounds      map[uint64]*round // in-flight rounds by sequence number
+	tap         Tap
+	interceptor Interceptor   // nil = lossless fabric
+	timeout     time.Duration // 0 = rounds block forever
+	stats       Stats
 }
 
 // round is the state of one in-flight Allreduce.
 type round struct {
-	mu         sync.Mutex
-	perNode    map[int]*nodeAcc
-	done       chan struct{}
-	final      []byte
-	err        error
-	size       int // frame size, fixed by the first arriving rank
-	arrivedOut int // ranks that have copied the result out
+	mu      sync.Mutex
+	seq     uint64
+	perNode map[int]*nodeAcc
+	done    chan struct{}
+	final   []byte
+	err     error
+	closed  bool // done has been closed (success or failure); guards double-close
+	size    int  // frame size, fixed by the first arriving rank
+	exits   int  // ranks that have returned from the round (result copied or error seen)
 }
 
 type nodeAcc struct {
@@ -208,7 +213,7 @@ func (t *Tree) getRound(seq uint64, size int) (*round, error) {
 	defer t.mu.Unlock()
 	r, ok := t.rounds[seq]
 	if !ok {
-		r = &round{perNode: make(map[int]*nodeAcc), done: make(chan struct{}), size: size}
+		r = &round{seq: seq, perNode: make(map[int]*nodeAcc), done: make(chan struct{}), size: size}
 		t.rounds[seq] = r
 		return r, nil
 	}
@@ -216,22 +221,38 @@ func (t *Tree) getRound(seq uint64, size int) (*round, error) {
 		// Poison the whole round: the mismatched rank will never deposit,
 		// so ranks already waiting would block forever. Fail them all.
 		err := fmt.Errorf("inc: rank submitted %d B to a round of %d B frames", size, r.size)
-		r.mu.Lock()
-		if r.err == nil {
-			r.err = err
-			close(r.done)
-		}
-		r.mu.Unlock()
+		r.fail(err)
 		delete(t.rounds, seq)
 		return nil, err
 	}
 	return r, nil
 }
 
-func (t *Tree) finishRound(seq uint64) {
+// finishRound retires a round, but only if the map still holds this exact
+// round object — a poisoned round may have been replaced at the same seq.
+func (t *Tree) finishRound(seq uint64, r *round) {
 	t.mu.Lock()
-	delete(t.rounds, seq)
+	if t.rounds[seq] == r {
+		delete(t.rounds, seq)
+	}
 	t.mu.Unlock()
+}
+
+// exitRound records one rank leaving the round (with the result or its
+// error) and retires the round once every rank has left. Failed rounds
+// thus stay in the map until all their ranks have observed the error, so
+// a straggler joining late fails fast instead of opening a fresh round
+// that could never complete. A rank that never arrives (crashed for good)
+// pins its failed rounds in the map — a bounded leak traded for typed,
+// prompt errors on every surviving rank.
+func (t *Tree) exitRound(r *round) {
+	r.mu.Lock()
+	r.exits++
+	last := r.exits == t.numRanks
+	r.mu.Unlock()
+	if last {
+		t.finishRound(r.seq, r)
+	}
 }
 
 // Allreduce submits rank's buffer for in-network reduction and blocks
@@ -260,11 +281,22 @@ func (t *Tree) Allreduce(rank int, buf []byte) error {
 	copy(frame, buf)
 	t.climb(r, t.leafOf[rank], rank, frame)
 
-	<-r.done
+	if timeout := t.getTimeout(); timeout > 0 {
+		select {
+		case <-r.done:
+		case <-time.After(timeout):
+			// First close wins: if the root published while the timer was
+			// firing, fail is a no-op and we proceed with the result.
+			r.fail(fmt.Errorf("inc: round %d: no aggregate within %v: %w", seq, timeout, ErrTimeout))
+		}
+	} else {
+		<-r.done
+	}
 	r.mu.Lock()
 	roundErr := r.err
 	r.mu.Unlock()
 	if roundErr != nil {
+		t.exitRound(r)
 		return roundErr
 	}
 	// Root broadcasts the aggregate back down; each host link carries one
@@ -276,14 +308,8 @@ func (t *Tree) Allreduce(rank int, buf []byte) error {
 	t.stats.mu.Unlock()
 	copy(buf, r.final)
 
-	// The last rank to copy out retires the round.
-	r.mu.Lock()
-	r.arrivedOut++
-	last := r.arrivedOut == t.numRanks
-	r.mu.Unlock()
-	if last {
-		t.finishRound(seq)
-	}
+	// The last rank to leave retires the round.
+	t.exitRound(r)
 	return nil
 }
 
@@ -295,6 +321,12 @@ func (t *Tree) climb(r *round, n *node, fromRank int, frame []byte) {
 	t.stats.BytesUp += uint64(len(frame))
 	t.stats.FramesUp++
 	t.stats.mu.Unlock()
+
+	// The tap saw the frame on the wire; a chaos interceptor may still
+	// corrupt it in place or swallow it before the switch hears it.
+	if ic := t.getInterceptor(); ic != nil && !ic(n.id, fromRank, r.seq, frame) {
+		return
+	}
 
 	r.mu.Lock()
 	acc, ok := r.perNode[n.id]
@@ -319,10 +351,15 @@ func (t *Tree) climb(r *round, n *node, fromRank int, frame []byte) {
 		return
 	}
 	if n.parent == nil {
+		// Publish unless the round already failed (e.g. timed out while the
+		// last frame was climbing) — the close raced and lost.
 		r.mu.Lock()
-		r.final = combined
+		if !r.closed {
+			r.final = combined
+			r.closed = true
+			close(r.done)
+		}
 		r.mu.Unlock()
-		close(r.done)
 		return
 	}
 	t.climb(r, n.parent, -1, combined)

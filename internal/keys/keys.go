@@ -37,6 +37,7 @@ type RankState struct {
 	RootKey uint64 // k_s_0
 
 	collective uint64  // k_c, progressed before every Allreduce
+	epoch      uint64  // number of Advance calls applied to k_c
 	Enc        prf.PRF // F keyed with k_e
 	prog       prf.PRF // F keyed with k_p
 }
@@ -120,7 +121,15 @@ func Generate(size int, cfg Config) ([]*RankState, error) {
 // k_c are shared, all ranks stay in lockstep without communication.
 func (s *RankState) Advance() {
 	s.collective = s.prog.Uint64(s.collective, 0)
+	s.epoch++
 }
+
+// Epoch counts the Advance calls applied so far. Because every rank starts
+// from the same k_c and k_p, two states agree on k_c exactly when they
+// agree on the epoch — which makes the counter a safe-to-share coherence
+// token: recovery protocols exchange epochs (never keys) to detect and heal
+// a rank that fell behind the group's key schedule.
+func (s *RankState) Epoch() uint64 { return s.epoch }
 
 // Collective returns the current k_c.
 func (s *RankState) Collective() uint64 { return s.collective }

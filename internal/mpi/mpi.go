@@ -53,9 +53,29 @@ func (m *mailbox) put(msg message) {
 // AnySource matches messages from any rank.
 const AnySource = -1
 
-func (m *mailbox) get(from, tag int) (message, error) {
+// get blocks until a matching message is available. Shutdown ordering: a
+// queued matching message always wins — it is checked first on every wake
+// — so a peer that sent and then exited is indistinguishable from a live
+// peer. Only when no match is queued do the failure conditions apply, in
+// order: world shutdown (ErrShutdown), a provably-dead source
+// (ErrRankExited via dead), and an expired receive deadline (ErrTimeout).
+// The timer and markExited both broadcast under m.mu, pairing with this
+// loop's check-then-Wait so no wakeup is lost.
+func (m *mailbox) get(from, tag int, timeout time.Duration, dead func(int) bool) (message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for {
 		for i, msg := range m.queue {
 			if (from == AnySource || msg.from == from) && msg.tag == tag {
@@ -64,7 +84,13 @@ func (m *mailbox) get(from, tag int) (message, error) {
 			}
 		}
 		if m.closed {
-			return message{}, errors.New("mpi: world shut down while receiving")
+			return message{}, fmt.Errorf("mpi: receiving (source %d, tag %d): %w", from, tag, ErrShutdown)
+		}
+		if from != AnySource && dead != nil && dead(from) {
+			return message{}, fmt.Errorf("mpi: rank %d exited before sending (tag %d): %w", from, tag, ErrRankExited)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return message{}, fmt.Errorf("mpi: no message (source %d, tag %d) within %v: %w", from, tag, timeout, ErrTimeout)
 		}
 		m.cond.Wait()
 	}
@@ -87,9 +113,11 @@ type Stats struct {
 
 // World is a communicator universe of P in-process ranks.
 type World struct {
-	size      int
-	mailboxes []*mailbox
-	stats     []Stats
+	size        int
+	mailboxes   []*mailbox
+	stats       []Stats
+	exited      []atomic.Bool // per-rank: goroutine returned from Run's body
+	interceptor Interceptor   // nil = deliver everything verbatim
 }
 
 // NewWorld creates a world of the given size. It panics on size < 1
@@ -98,7 +126,12 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic("mpi: world size must be >= 1")
 	}
-	w := &World{size: size, mailboxes: make([]*mailbox, size), stats: make([]Stats, size)}
+	w := &World{
+		size:      size,
+		mailboxes: make([]*mailbox, size),
+		stats:     make([]Stats, size),
+		exited:    make([]atomic.Bool, size),
+	}
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
 	}
@@ -125,12 +158,16 @@ func (w *World) Comm(rank int) *Comm {
 // watchdog; with a timeout, a hung collective surfaces as an error instead
 // of deadlocking the test suite.
 func (w *World) Run(timeout time.Duration, body func(c *Comm) error) error {
+	for r := range w.exited {
+		w.exited[r].Store(false)
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer w.markExited(rank)
 			defer func() {
 				if rec := recover(); rec != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
@@ -161,11 +198,12 @@ func (w *World) Run(timeout time.Duration, body func(c *Comm) error) error {
 // nil group; sub-communicators created by Split carry a member list and a
 // disjoint tag namespace.
 type Comm struct {
-	world   *World
-	rank    int   // local rank within the communicator
-	group   []int // member world-ranks in rank order; nil = world
-	tagBase int   // tag namespace offset (0 for the world communicator)
-	collSeq int   // per-rank collective sequence; identical across ranks by MPI call-order semantics
+	world       *World
+	rank        int          // local rank within the communicator
+	group       []int        // member world-ranks in rank order; nil = world
+	tagBase     int          // tag namespace offset (0 for the world communicator)
+	collSeq     int          // per-rank collective sequence; identical across ranks by MPI call-order semantics
+	recvTimeout atomic.Int64 // receive deadline in ns; 0 = block forever (atomic: Iallreduce reads it off-goroutine)
 }
 
 // Rank returns this rank's index within the communicator.
@@ -207,7 +245,16 @@ func (c *Comm) send(to, tag int, buf []byte) {
 	st.BytesSent.Add(uint64(len(buf)))
 	st.MessagesSent.Add(1)
 	c.world.stats[dst].BytesReceived.Add(uint64(len(buf)))
-	c.world.mailboxes[dst].put(message{from: self, tag: tag, data: data})
+	frames := [][]byte{data}
+	if ic := c.world.interceptor; ic != nil {
+		// The interceptor owns the copy: it may mutate, drop (nil), or
+		// duplicate it. Stats above count the logical send exactly once
+		// regardless, so traffic accounting stays fault-independent.
+		frames = ic(self, dst, tag, data)
+	}
+	for _, f := range frames {
+		c.world.mailboxes[dst].put(message{from: self, tag: tag, data: f})
+	}
 }
 
 // Recv blocks until a message from `from` (or AnySource) with tag arrives,
@@ -223,7 +270,7 @@ func (c *Comm) Recv(from, tag int, buf []byte) (int, int, error) {
 	if from != AnySource {
 		wireFrom = c.worldRank(from)
 	}
-	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(wireFrom, c.tagBase+tag)
+	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(wireFrom, c.tagBase+tag, c.RecvTimeout(), c.world.isDead)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -240,7 +287,7 @@ func (c *Comm) Recv(from, tag int, buf []byte) (int, int, error) {
 
 // recv is the internal path used by collectives (tag already namespaced).
 func (c *Comm) recv(from, tag int, buf []byte) (int, error) {
-	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(c.worldRank(from), tag)
+	msg, err := c.world.mailboxes[c.worldRank(c.rank)].get(c.worldRank(from), tag, c.RecvTimeout(), c.world.isDead)
 	if err != nil {
 		return 0, err
 	}

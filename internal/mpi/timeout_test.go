@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRecvTimeoutTyped: a receive with no matching sender unblocks within
+// the deadline and reports ErrTimeout, not a hang or a shutdown error.
+func TestRecvTimeoutTyped(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return nil // never sends
+		}
+		c.SetRecvTimeout(50 * time.Millisecond)
+		start := time.Now()
+		_, _, err := c.Recv(AnySource, 7, make([]byte, 8))
+		if err == nil {
+			return errors.New("Recv succeeded with no sender")
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("want ErrTimeout, got %v", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			return fmt.Errorf("timeout took %v, deadline not honored", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTimeoutMessageWins: a message that is already queued is always
+// returned even when the deadline has long expired — timeouts only fire
+// when nothing matches.
+func TestRecvTimeoutMessageWins(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 3, []byte("hi"))
+		}
+		// Wait for the eager send to land, then recv with a tiny deadline.
+		time.Sleep(20 * time.Millisecond)
+		c.SetRecvTimeout(time.Nanosecond)
+		buf := make([]byte, 8)
+		n, src, err := c.Recv(1, 3, buf)
+		if err != nil {
+			return fmt.Errorf("queued message lost to deadline: %v", err)
+		}
+		if n != 2 || src != 1 || string(buf[:2]) != "hi" {
+			return fmt.Errorf("bad message: n=%d src=%d %q", n, src, buf[:n])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvFromExitedRank is the shutdown-ordering satellite: when a peer
+// exits the Run body without sending, a pending Recv on it returns a typed
+// ErrRankExited instead of hanging. But a peer that sent *before* exiting
+// is indistinguishable from a live one — the queued message wins.
+func TestRecvFromExitedRank(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(testTimeout, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return nil // exits immediately, never sends
+		case 2:
+			if err := c.Send(0, 9, []byte("sent-then-exit")); err != nil {
+				return err
+			}
+			return nil
+		default:
+			// Rank 1 is dead and never sent: typed error, no hang.
+			_, _, err := c.Recv(1, 9, make([]byte, 32))
+			if !errors.Is(err, ErrRankExited) {
+				return fmt.Errorf("recv from silent dead rank: want ErrRankExited, got %v", err)
+			}
+			// Rank 2 sent eagerly before exiting: the message must win over
+			// the dead flag, whatever order the exits landed in.
+			buf := make([]byte, 32)
+			n, _, err := c.Recv(2, 9, buf)
+			if err != nil {
+				return fmt.Errorf("recv of eager-sent message from exited rank: %v", err)
+			}
+			if string(buf[:n]) != "sent-then-exit" {
+				return fmt.Errorf("bad payload %q", buf[:n])
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectiveUnblocksOnPeerExit: a rank erroring out of a collective
+// early must not strand the others. Every surviving rank's collective
+// returns an error (typed, eventually rooted in the dead rank) and Run
+// terminates without tripping its watchdog.
+func TestCollectiveUnblocksOnPeerExit(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoRing, AlgoRecursiveDoubling, AlgoReduceBcast} {
+		algo := algo
+		t.Run(fmt.Sprintf("algo=%d", algo), func(t *testing.T) {
+			w := NewWorld(4)
+			injected := errors.New("injected failure")
+			err := w.Run(testTimeout, func(c *Comm) error {
+				if c.Rank() == 2 {
+					return injected // dies before entering the collective
+				}
+				buf := make([]byte, 4*8)
+				err := c.AllreduceAlgo(algo, buf, buf, 4, Uint64, SumInt64)
+				if err == nil {
+					return fmt.Errorf("rank %d: collective succeeded despite dead peer", c.Rank())
+				}
+				if !errors.Is(err, ErrRankExited) {
+					return fmt.Errorf("rank %d: want ErrRankExited in chain, got %v", c.Rank(), err)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("Run returned nil; want the injected failure")
+			}
+			if !errors.Is(err, injected) {
+				t.Fatalf("joined error missing injected failure: %v", err)
+			}
+			if errors.Is(err, ErrShutdown) {
+				t.Fatalf("watchdog fired — a rank hung instead of failing typed: %v", err)
+			}
+		})
+	}
+}
+
+// TestRunResetsExitedFlags: a world reused for a second Run must not see
+// stale dead-rank flags from the first.
+func TestRunResetsExitedFlags(t *testing.T) {
+	w := NewWorld(2)
+	for round := 0; round < 2; round++ {
+		err := w.Run(testTimeout, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 1, []byte{42})
+			}
+			_, _, err := c.Recv(0, 1, make([]byte, 4))
+			return err
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
