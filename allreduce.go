@@ -4,42 +4,37 @@ import (
 	"fmt"
 
 	"hear/internal/core"
-	"hear/internal/mempool"
 	"hear/internal/mpi"
 )
 
-// maxSyncCipherPool caps the pooled sync-path ciphertext buffer; larger
+// maxSyncCipherPool caps the retained sync-path ciphertext buffer; larger
 // messages fall back to a transient allocation (at that size the copy
 // and crypto dominate mem_alloc anyway, and the cap keeps an occasional
 // huge allreduce from pinning its buffer in the context forever).
 const maxSyncCipherPool = 4 << 20
 
 // cipherBuf returns an n-byte ciphertext buffer for the sync data path
-// and the release function that recycles it. Buffers up to
-// maxSyncCipherPool come from a lazily sized per-context pool, so
-// repeated allreduces stop paying the mem_alloc/mem_free phases Figure 4
-// charges to every call; the pipelined path has its own block pool.
+// and a release function. The context retains a single buffer, grown
+// geometrically and reused by every later call it fits — growing for a
+// large message keeps serving smaller ones, and a grow/shrink/grow train
+// allocates only on genuine high-water-mark increases. Repeated
+// allreduces therefore stop paying the mem_alloc/mem_free phases Figure 4
+// charges to every call; the pipelined path has its own block pool. The
+// release function is a no-op today (a Context is single-goroutine, so
+// the buffer is free again by the next call) but stays in the signature
+// so the recycling point remains explicit at the call site.
 func (c *Context) cipherBuf(n int) ([]byte, func()) {
 	if n > maxSyncCipherPool {
 		return make([]byte, n), func() {}
 	}
-	if c.syncPool == nil || c.syncPool.BlockSize() < n {
+	if cap(c.syncBuf) < n {
 		size := 4 << 10
 		for size < n {
 			size <<= 1
 		}
-		p, err := mempool.New(size, 1, 0)
-		if err != nil {
-			return make([]byte, n), func() {}
-		}
-		c.syncPool = p
+		c.syncBuf = make([]byte, size)
 	}
-	pool := c.syncPool
-	b, err := pool.Get()
-	if err != nil {
-		return make([]byte, n), func() {}
-	}
-	return b[:n], func() { pool.Put(b[:cap(b)]) }
+	return c.syncBuf[:n], func() {}
 }
 
 // allreduce is the common encrypted data path: advance k_c, encrypt,
@@ -75,6 +70,11 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 	if err := c.eng.Encrypt(s, c.st, plain, cipher, n); err != nil {
 		return err
 	}
+	// The blocking reduction below is this call's communication window:
+	// kick the prefetcher now so the next epoch's noise (and this epoch's
+	// decrypt plane, when cold) generates on the worker pool while this
+	// goroutine waits on the network or the INC tree.
+	c.kickPrefetch(s, n)
 	if c.opts.INC != nil {
 		if err := c.opts.INC.Allreduce(c.rank, cipher); err != nil {
 			return fmt.Errorf("hear: INC reduction: %w", err)
@@ -140,6 +140,12 @@ func (c *Context) allreducePipelined(comm *mpi.Comm, s core.Scheme, plain []byte
 		req, err := comm.Iallreduce(block[:elems*cs], block[:elems*cs], elems, mpi.CipherType(cs), op)
 		if err != nil {
 			return fmt.Errorf("hear: pipelined reduction start: %w", err)
+		}
+		if off == 0 {
+			// First block is in flight: the pipeline's overlap window has
+			// opened, so speculative generation for the next epoch rides
+			// along with the remaining blocks' crypto.
+			c.kickPrefetch(s, n)
 		}
 		cur := &inflight{req: req, buf: block, off: off, elems: elems}
 		if prev != nil {

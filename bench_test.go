@@ -7,9 +7,11 @@ package hear
 
 import (
 	"testing"
+	"time"
 
 	"hear/internal/adversary"
 	"hear/internal/baseline"
+	"hear/internal/chaos"
 	"hear/internal/core"
 	"hear/internal/dnn"
 	"hear/internal/engine"
@@ -488,3 +490,55 @@ func benchmarkE2E(b *testing.B, elems int) {
 func BenchmarkE2EAllreduce2(b *testing.B)     { benchmarkE2E(b, 2) }
 func BenchmarkE2EAllreduce4Ki(b *testing.B)   { benchmarkE2E(b, 4096) }
 func BenchmarkE2EAllreduce256Ki(b *testing.B) { benchmarkE2E(b, 256*1024) }
+
+// --- noise prefetch overlap (On vs Off pins the tentpole's speedup) ---
+
+// benchmarkPrefetch measures a steady-state Allreduce train over a link
+// with a per-message delivery delay (a chaos FaultDelay rule standing in
+// for real network latency). The delay sleeps on the sender goroutine, so
+// the run has a genuine communication window for the prefetcher to hide
+// next-epoch keystream generation in — on a single core the On/Off gap is
+// pure overlap, not extra parallelism. The headline pair runs the software
+// ChaCha20 backend, where keystream generation dominates the host-side
+// cost (the regime of every non-AES-NI host); the AES-NI pair is the
+// same train where generation is a small slice of wall time, so the
+// overlap's ceiling is correspondingly low.
+func benchmarkPrefetch(b *testing.B, backend string, elems, budget int) {
+	const p = 2
+	w := mpi.NewWorld(p)
+	delay := chaos.NewRule(chaos.LayerMPI, chaos.FaultDelay)
+	delay.Delay = 2 * time.Millisecond
+	w.SetInterceptor(chaos.NewPlan(7, delay).MPIInterceptor())
+	ctxs, err := Init(w, Options{Rand: &seqReader{next: 11}, NoisePrefetch: budget, PRFBackend: backend})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(elems * 8))
+	b.ResetTimer()
+	err = w.Run(0, func(c *mpi.Comm) error {
+		data := make([]int64, elems)
+		out := make([]int64, elems)
+		for i := 0; i < b.N; i++ {
+			if err := ctxs[c.Rank()].AllreduceInt64Sum(c, data, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPrefetchAllreduce512KiOff(b *testing.B) {
+	benchmarkPrefetch(b, prf.BackendChaCha20, 64<<10, 0)
+}
+func BenchmarkPrefetchAllreduce512KiOn(b *testing.B) {
+	benchmarkPrefetch(b, prf.BackendChaCha20, 64<<10, 16<<20)
+}
+func BenchmarkPrefetchAllreduceAES512KiOff(b *testing.B) {
+	benchmarkPrefetch(b, prf.BackendAESFast, 64<<10, 0)
+}
+func BenchmarkPrefetchAllreduceAES512KiOn(b *testing.B) {
+	benchmarkPrefetch(b, prf.BackendAESFast, 64<<10, 16<<20)
+}

@@ -9,6 +9,7 @@
 //	hearbench fig8       16 B latency scaling to 1152 ranks
 //	hearbench fig9       DNN training relative iteration time
 //	hearbench map        §5.3.1 MAP adversary success probabilities
+//	hearbench prefetch   noise prefetch overlap speedup (BENCH_prefetch.json)
 //	hearbench inc        INC's latency/bandwidth advantages (intro claims)
 //	hearbench ablation   design-choice ablations (canceling, PRF backend, op cost)
 //	hearbench validate   §6 correctness validation (float error, int memcmp)
@@ -47,6 +48,7 @@ func main() {
 		"fig8":     fig8,
 		"fig9":     fig9,
 		"map":      mapAttack,
+		"prefetch": prefetchExp,
 		"inc":      incExp,
 		"ablation": ablation,
 		"validate": validate,

@@ -1,0 +1,69 @@
+package core
+
+import "hear/internal/hfp"
+
+// This file collects the NoiseProfiler implementations of every scheme
+// whose bulk noise reads are statically describable. Keeping them in one
+// place makes the seam auditable: a scheme's profile must list exactly the
+// Keystream calls its EncryptAt/DecryptAt perform, with the same
+// bytes-per-element stride, or the prefetcher would serve bytes from the
+// wrong stream position. The offset cross-check tests pin each profile
+// against the scheme's observed reads.
+
+// The canceling integer schemes (eqs. 1–3) all read width bytes per
+// element: self + next streams on encrypt (next dropped for the last rank
+// by the prefetcher, mirroring the cancel flag), root stream on decrypt.
+
+func (s *IntSum) NoiseProfile() NoiseProfile {
+	return NoiseProfile{
+		BytesPerElem: s.width,
+		Encrypt:      []NoiseClass{NoiseSelf, NoiseNext},
+		Decrypt:      []NoiseClass{NoiseRoot},
+	}
+}
+
+func (s *IntProd) NoiseProfile() NoiseProfile {
+	return NoiseProfile{
+		BytesPerElem: s.width,
+		Encrypt:      []NoiseClass{NoiseSelf, NoiseNext},
+		Decrypt:      []NoiseClass{NoiseRoot},
+	}
+}
+
+func (s *IntXor) NoiseProfile() NoiseProfile {
+	return NoiseProfile{
+		BytesPerElem: s.width,
+		Encrypt:      []NoiseClass{NoiseSelf, NoiseNext},
+		Decrypt:      []NoiseClass{NoiseRoot},
+	}
+}
+
+// FloatSum (v1, eq. 7) draws its noise cells from the collective-key-only
+// stream on both sides, hfp.NoiseBytes per element.
+func (s *FloatSum) NoiseProfile() NoiseProfile {
+	return NoiseProfile{
+		BytesPerElem: hfp.NoiseBytes,
+		Encrypt:      []NoiseClass{NoiseCollective},
+		Decrypt:      []NoiseClass{NoiseCollective},
+	}
+}
+
+// FloatProd (eq. 6) is the canceling shape with hfp.NoiseBytes cells.
+func (s *FloatProd) NoiseProfile() NoiseProfile {
+	return NoiseProfile{
+		BytesPerElem: hfp.NoiseBytes,
+		Encrypt:      []NoiseClass{NoiseSelf, NoiseNext},
+		Decrypt:      []NoiseClass{NoiseRoot},
+	}
+}
+
+// The wrapper schemes consume noise only through their inner scheme, so
+// they inherit its profile verbatim.
+
+func (s *FloatSumV2) NoiseProfile() NoiseProfile { return s.prod.NoiseProfile() }
+
+func (s *FixedSum) NoiseProfile() NoiseProfile { return s.inner.NoiseProfile() }
+
+func (s *FixedProd) NoiseProfile() NoiseProfile { return s.inner.NoiseProfile() }
+
+func (s *ParitySum) NoiseProfile() NoiseProfile { return s.inner.NoiseProfile() }

@@ -147,9 +147,22 @@ func (p *aesFast) Keystream(dst []byte, nonce, off uint64) {
 		ctr.XORKeyStream(dst, dst)
 		return
 	}
-	span := make([]byte, inner+len(dst))
-	ctr.XORKeyStream(span, span)
-	copy(dst, span[inner:])
+	// Unaligned start: dst is pure output, so synthesize the head block in
+	// dst[:BlockSize] (the branch above the small-message cutoff guarantees
+	// the room), slide the bytes from inner on to the front, and let the
+	// same CTR stream continue over the remainder — no per-call heap span,
+	// which matters because the engine's sharded paths land on this branch
+	// whenever a shard boundary splits a block.
+	for i := range dst[:BlockSize] {
+		dst[i] = 0
+	}
+	ctr.XORKeyStream(dst[:BlockSize], dst[:BlockSize])
+	n := copy(dst, dst[inner:BlockSize])
+	rest := dst[n:]
+	for i := range rest {
+		rest[i] = 0
+	}
+	ctr.XORKeyStream(rest, rest)
 }
 
 // --- SHA1 backend ---

@@ -188,6 +188,26 @@ func TestKeystreamLooksUniform(t *testing.T) {
 	}
 }
 
+// TestAESFastUnalignedKeystreamAllocs pins the bulk path's unaligned
+// branch at the same allocation count as the aligned one: the head block
+// is synthesized inside dst and the CTR stream continues in place, instead
+// of a transient inner+len(dst) heap span per call.
+func TestAESFastUnalignedKeystreamAllocs(t *testing.T) {
+	p, err := NewAESFast(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 8192)
+	aligned := testing.AllocsPerRun(200, func() { p.Keystream(dst, 42, 0) })
+	for _, off := range []uint64{1, 5, 15, 17, 31} {
+		off := off
+		unaligned := testing.AllocsPerRun(200, func() { p.Keystream(dst, 42, off) })
+		if unaligned > aligned {
+			t.Errorf("offset %d: %v allocs/op, aligned path does %v", off, unaligned, aligned)
+		}
+	}
+}
+
 func TestZeroLengthKeystream(t *testing.T) {
 	for _, p := range backends(t) {
 		p.Keystream(nil, 1, 0)

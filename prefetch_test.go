@@ -1,0 +1,377 @@
+package hear
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"hear/internal/chaos"
+	"hear/internal/mpi"
+	"hear/internal/noise"
+)
+
+// The prefetch integration tests pin the tentpole property end to end:
+// with NoisePrefetch enabled, every scheme on every data path produces
+// ciphertexts and results bit-identical to the serial non-prefetched run,
+// across multiple epochs so the speculated planes actually serve.
+
+const prefetchTestBudget = 4 << 20
+
+func bits64(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func bits32(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// prefetchRuns drives one collective of every scheme with deterministic
+// rank/iteration-dependent data and returns the result's exact bit pattern.
+var prefetchRuns = []struct {
+	name string
+	run  func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error)
+}{
+	{"int64-sum", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(c.Rank()+1)*1000003 + int64(i)*31 + int64(iter)*7
+		}
+		out := make([]int64, n)
+		if err := ctx.AllreduceInt64Sum(c, in, out); err != nil {
+			return nil, err
+		}
+		return marshal64(out), nil
+	}},
+	{"int32-sum", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]int32, n)
+		for i := range in {
+			in[i] = int32(c.Rank()*7 + i*3 + iter)
+		}
+		out := make([]int32, n)
+		if err := ctx.AllreduceInt32Sum(c, in, out); err != nil {
+			return nil, err
+		}
+		b := make([]byte, 4*n)
+		for i, v := range out {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+		}
+		return b, nil
+	}},
+	{"int64-prod", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]uint64, n)
+		for i := range in {
+			in[i] = uint64(c.Rank()) + 2 + uint64(i%3) + uint64(iter)
+		}
+		out := make([]uint64, n)
+		if err := ctx.AllreduceUint64Prod(c, in, out); err != nil {
+			return nil, err
+		}
+		b := make([]byte, 8*n)
+		for i, v := range out {
+			binary.LittleEndian.PutUint64(b[i*8:], v)
+		}
+		return b, nil
+	}},
+	{"int64-xor", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]uint64, n)
+		for i := range in {
+			in[i] = uint64(c.Rank())<<40 ^ uint64(i)*0x9E3779B9 ^ uint64(iter)
+		}
+		out := make([]uint64, n)
+		if err := ctx.AllreduceUint64Xor(c, in, out); err != nil {
+			return nil, err
+		}
+		b := make([]byte, 8*n)
+		for i, v := range out {
+			binary.LittleEndian.PutUint64(b[i*8:], v)
+		}
+		return b, nil
+	}},
+	{"float32-sum", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = 0.25 + float32(i%13)/16 + float32(c.Rank())/8 + float32(iter)/32
+		}
+		out := make([]float32, n)
+		if err := ctx.AllreduceFloat32Sum(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits32(out), nil
+	}},
+	{"float32-prod", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = 1 + float32(c.Rank()+1)/16 + float32(i%5)/64
+		}
+		out := make([]float32, n)
+		if err := ctx.AllreduceFloat32Prod(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits32(out), nil
+	}},
+	{"float32-sum-v2", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = 0.5 - float32(i%4)/8 + float32(c.Rank())/4
+		}
+		out := make([]float32, n)
+		if err := ctx.AllreduceFloat32SumV2(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits32(out), nil
+	}},
+	{"float64-sum", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 0.125 + float64(i%11)/32 + float64(c.Rank())/4 + float64(iter)/64
+		}
+		out := make([]float64, n)
+		if err := ctx.AllreduceFloat64Sum(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits64(out), nil
+	}},
+	{"float64-prod", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 1 + float64(c.Rank()+1)/32 + float64(i%7)/128
+		}
+		out := make([]float64, n)
+		if err := ctx.AllreduceFloat64Prod(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits64(out), nil
+	}},
+	{"float64-sum-v2", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 0.25 + float64(i%9)/16 - float64(c.Rank())/8
+		}
+		out := make([]float64, n)
+		if err := ctx.AllreduceFloat64SumV2(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits64(out), nil
+	}},
+	{"fixed-sum", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 0.25*float64(c.Rank()+1) + float64(i%7)/8
+		}
+		out := make([]float64, n)
+		if err := ctx.AllreduceFixedSum(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits64(out), nil
+	}},
+	{"fixed-prod", func(ctx *Context, c *mpi.Comm, n, iter int) ([]byte, error) {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 1.25 + float64(i%2)/4
+		}
+		out := make([]float64, n)
+		if err := ctx.AllreduceFixedProd(c, in, out); err != nil {
+			return nil, err
+		}
+		return bits64(out), nil
+	}},
+}
+
+// runPrefetchMatrix runs every scheme for iters epochs on a fresh world
+// and returns the result fingerprints indexed [scheme][rank] (iterations
+// concatenated). opts.Rand is pinned so twin calls share the key schedule.
+func runPrefetchMatrix(t *testing.T, opts Options, p, n, iters int) (map[string][][]byte, []*Context) {
+	t.Helper()
+	opts.Rand = &seqReader{next: 42}
+	w, ctxs := initWorld(t, p, opts)
+	out := make(map[string][][]byte, len(prefetchRuns))
+	for _, pr := range prefetchRuns {
+		out[pr.name] = make([][]byte, p)
+	}
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		ctx := ctxs[c.Rank()]
+		for _, pr := range prefetchRuns {
+			for iter := 0; iter < iters; iter++ {
+				b, err := pr.run(ctx, c, n, iter)
+				if err != nil {
+					return fmt.Errorf("%s iter %d: %w", pr.name, iter, err)
+				}
+				out[pr.name][c.Rank()] = append(out[pr.name][c.Rank()], b...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ctxs
+}
+
+func comparePrefetchMatrices(t *testing.T, base, pre map[string][][]byte) {
+	t.Helper()
+	for name, ranks := range base {
+		for r := range ranks {
+			if !bytes.Equal(base[name][r], pre[name][r]) {
+				t.Errorf("%s rank %d: prefetched results differ from baseline", name, r)
+			}
+		}
+	}
+}
+
+// TestPrefetchSchemesBitIdenticalSync: every scheme on the sync data path,
+// three epochs deep, must be bit-identical with and without prefetch.
+func TestPrefetchSchemesBitIdenticalSync(t *testing.T) {
+	const p, n, iters = 3, 2048, 3
+	base, _ := runPrefetchMatrix(t, Options{}, p, n, iters)
+	pre, ctxs := runPrefetchMatrix(t, Options{NoisePrefetch: prefetchTestBudget}, p, n, iters)
+	comparePrefetchMatrices(t, base, pre)
+	for r, ctx := range ctxs {
+		s := ctx.PrefetchStats()
+		if s.GenPlanes == 0 {
+			t.Errorf("rank %d: prefetch generated nothing — the comparison was vacuous", r)
+		}
+		if s.HitBytes == 0 {
+			t.Errorf("rank %d: prefetch never hit (stats %+v)", r, s)
+		}
+	}
+}
+
+// TestPrefetchSchemesBitIdenticalPipelined: same matrix over the pipelined
+// (Iallreduce) data path, whose kick fires from the first in-flight block.
+func TestPrefetchSchemesBitIdenticalPipelined(t *testing.T) {
+	const p, n, iters = 3, 2048, 3
+	pipeOpts := Options{PipelineBlockBytes: 8 << 10}
+	base, _ := runPrefetchMatrix(t, pipeOpts, p, n, iters)
+	pipeOpts.NoisePrefetch = prefetchTestBudget
+	pre, ctxs := runPrefetchMatrix(t, pipeOpts, p, n, iters)
+	comparePrefetchMatrices(t, base, pre)
+	for r, ctx := range ctxs {
+		if s := ctx.PrefetchStats(); s.HitBytes == 0 {
+			t.Errorf("rank %d: pipelined prefetch never hit (stats %+v)", r, s)
+		}
+	}
+}
+
+// TestPrefetchSurvivesVerifiedRetry drives the epoch-invalidation path for
+// real: a corrupting switch forces the verified-retry ladder, whose extra
+// Advance calls leave the speculated planes one epoch behind. Epoch tags
+// must turn them into misses — the recovered sums stay correct — and the
+// retries must be observable.
+func TestPrefetchSurvivesVerifiedRetry(t *testing.T) {
+	const p, n = 4, 1024
+	dataTree, tagTree := buildVerifiedTrees(t, p)
+	corrupt := chaos.NewRule(chaos.LayerINC, chaos.FaultCorrupt)
+	plan := chaos.NewPlan(0xC0BB, corrupt)
+	dataTree.SetInterceptor(plan.INCInterceptor(0))
+
+	w, ctxs := initWorld(t, p, Options{
+		INC: dataTree, INCTags: tagTree, VerifiedRetry: 2,
+		NoisePrefetch: prefetchTestBudget,
+	})
+	verifier, err := NewVerifier(0xFA117)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(testTimeout, func(c *mpi.Comm) error {
+		data := make([]int64, n)
+		want := make([]int64, n)
+		for i := range data {
+			data[i] = int64(c.Rank()+1)*100 + int64(i)
+			for r := 0; r < p; r++ {
+				want[i] += int64(r+1)*100 + int64(i)
+			}
+		}
+		out := make([]int64, n)
+		for round := 0; round < 3; round++ {
+			if err := ctxs[c.Rank()].AllreduceInt64SumVerified(c, verifier, data, out); err != nil {
+				return err
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					return fmt.Errorf("rank %d round %d elem %d: got %d, want %d", c.Rank(), round, i, out[i], want[i])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ctx := range ctxs {
+		if ctx.VerifiedRetries() < 1 {
+			t.Errorf("rank %d: no verified retries — the ladder never fired", r)
+		}
+		s := ctx.PrefetchStats()
+		if s.MissBytes == 0 {
+			t.Errorf("rank %d: retry epochs produced no misses (stats %+v) — stale planes may have served", r, s)
+		}
+	}
+	if len(plan.Events()) == 0 {
+		t.Fatal("the corruption rule never fired")
+	}
+}
+
+// TestPrefetchStatsOffByDefault: without the option, stats stay zero and
+// no prefetcher is attached.
+func TestPrefetchStatsOffByDefault(t *testing.T) {
+	w, ctxs := initWorld(t, 2, Options{})
+	err := w.Run(testTimeout, func(c *mpi.Comm) error {
+		in := make([]int64, 1024)
+		return ctxs[c.Rank()].AllreduceInt64Sum(c, in, make([]int64, 1024))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ctx := range ctxs {
+		if s := ctx.PrefetchStats(); s != (noise.Stats{}) {
+			t.Errorf("rank %d: stats nonzero with prefetch off: %+v", r, s)
+		}
+	}
+}
+
+// TestCipherBufGrowShrinkNoRealloc pins the sync-path ciphertext scratch:
+// once grown, trains of grow/shrink calls reuse the same block with zero
+// allocations per call.
+func TestCipherBufGrowShrinkNoRealloc(t *testing.T) {
+	_, ctxs := initWorld(t, 1, Options{})
+	ctx := ctxs[0]
+	sizes := []int{64 << 10, 4 << 10, 128, 100 << 10, 32 << 10, 128 << 10, 1 << 10}
+	// Warm to the largest size in the train.
+	buf, done := ctx.cipherBuf(128 << 10)
+	if len(buf) != 128<<10 {
+		t.Fatalf("warm buf len %d", len(buf))
+	}
+	done()
+	bad := -1
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, n := range sizes {
+			b, release := ctx.cipherBuf(n)
+			if len(b) != n {
+				bad = n
+			}
+			release()
+		}
+	})
+	if bad >= 0 {
+		t.Fatalf("cipherBuf returned wrong length for %d", bad)
+	}
+	if allocs != 0 {
+		t.Errorf("grow/shrink train allocates %v per run, want 0", allocs)
+	}
+	// Above the pooling cap the buffer is a fresh one-shot allocation.
+	big, release := ctx.cipherBuf(5 << 20)
+	if len(big) != 5<<20 {
+		t.Fatalf("oversized buf len %d", len(big))
+	}
+	release()
+}
