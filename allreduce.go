@@ -2,6 +2,7 @@ package hear
 
 import (
 	"fmt"
+	"time"
 
 	"hear/internal/core"
 	"hear/internal/mpi"
@@ -56,11 +57,15 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 	if c.opts.RecvTimeout > 0 && comm != nil {
 		comm.SetRecvTimeout(c.opts.RecvTimeout)
 	}
+	c.mx.plainBytes.Add(uint64(n * s.PlainSize()))
+	t0 := time.Now()
+	defer func() { c.mx.callSeconds.Observe(time.Since(t0).Seconds()) }()
 	c.st.Advance()
 
 	if c.opts.PipelineBlockBytes > 0 && comm != nil && c.opts.INC == nil {
 		blockElems := c.opts.PipelineBlockBytes / s.CipherSize()
 		if blockElems >= 1 && n > blockElems {
+			c.mx.pipelinedCalls.Inc()
 			return c.allreducePipelined(comm, s, plain, n, blockElems)
 		}
 	}
@@ -76,10 +81,12 @@ func (c *Context) allreduce(comm *mpi.Comm, s core.Scheme, plain []byte, n int) 
 	// goroutine waits on the network or the INC tree.
 	c.kickPrefetch(s, n)
 	if c.opts.INC != nil {
+		c.mx.incCalls.Inc()
 		if err := c.opts.INC.Allreduce(c.rank, cipher); err != nil {
 			return fmt.Errorf("hear: INC reduction: %w", err)
 		}
 	} else {
+		c.mx.syncCalls.Inc()
 		op := mpi.OpFrom("hear/"+s.Name(), c.eng.ReduceFunc(s))
 		ct := mpi.CipherType(s.CipherSize())
 		if err := comm.AllreduceAlgo(c.opts.Algorithm, cipher, cipher, n, ct, op); err != nil {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"hear/internal/metrics"
+)
+
+// startAdmin binds the opt-in admin listener and serves the observability
+// endpoints on it:
+//
+//	/metrics        Prometheus text exposition (?format=json for the JSON
+//	                snapshot — identical counter semantics)
+//	/healthz        liveness probe; 200 with a one-line body
+//	/debug/pprof/   the standard net/http/pprof profile index
+//
+// The mux is explicit — nothing registers on http.DefaultServeMux, so a
+// stray import cannot widen the surface. The listener is separate from
+// the aggregation port on purpose: operators can firewall it
+// independently, and a wedged admin scrape can never block a round.
+func startAdmin(addr string, reg *metrics.Registry, healthy func() bool) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		samples := reg.Gather()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			metrics.WriteJSON(w, samples)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, samples)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if healthy != nil && !healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "shutting down")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l)
+	return l, nil
+}

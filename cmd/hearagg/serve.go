@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hear/internal/aggsvc"
+	"hear/internal/metrics"
 )
 
 func runServe(args []string) error {
@@ -23,11 +24,16 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
 	maxFrame := fs.Int("max-frame", aggsvc.DefaultMaxFrameBytes, "reject frames larger than this")
 	quiet := fs.Bool("quiet", false, "suppress per-round log lines")
+	admin := fs.String("admin", "", "opt-in HTTP admin listener serving /metrics, /healthz, /debug/pprof (empty = disabled)")
 	fs.Parse(args)
 
 	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	var reg *metrics.Registry
+	if *admin != "" {
+		reg = metrics.New()
 	}
 	s, err := aggsvc.NewServer(aggsvc.Config{
 		Group:         *group,
@@ -37,9 +43,18 @@ func runServe(args []string) error {
 		Workers:       *workers,
 		MaxFrameBytes: *maxFrame,
 		Logf:          logf,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err
+	}
+	if *admin != "" {
+		al, err := startAdmin(*admin, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer al.Close()
+		fmt.Printf("hearagg: admin on http://%s (/metrics /healthz /debug/pprof)\n", al.Addr())
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

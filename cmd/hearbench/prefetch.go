@@ -8,6 +8,7 @@ import (
 
 	"hear"
 	"hear/internal/chaos"
+	"hear/internal/metrics"
 	"hear/internal/mpi"
 	"hear/internal/prf"
 )
@@ -41,6 +42,11 @@ type prefetchRow struct {
 	ColdHitRate    float64 `json:"cold_hit_rate"`
 	WarmHitRate    float64 `json:"warm_hit_rate"`
 	SpeedupPercent float64 `json:"speedup_percent"`
+	// Metrics is the prefetch-on run's registry snapshot (internal/metrics
+	// Map form: name{labels} → value) — the same counters `hearagg serve
+	// -admin` exposes on /metrics, so a benchmark row and a live scrape
+	// can be compared number for number.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type prefetchReport struct {
@@ -57,7 +63,7 @@ type prefetchReport struct {
 // prefetchTrain times itersN steady-state calls of a 512 KiB Int64Sum
 // Allreduce and returns ns/call plus the prefetcher's cold (first call)
 // and warm (timed train) hit rates, both 0 when budget is 0.
-func prefetchTrain(backend string, budget, itersN int) (nsPerCall, coldHit, warmHit float64, err error) {
+func prefetchTrain(backend string, budget, itersN int, reg *metrics.Registry) (nsPerCall, coldHit, warmHit float64, err error) {
 	w := mpi.NewWorld(prefetchRanks)
 	rule := chaos.NewRule(chaos.LayerMPI, chaos.FaultDelay)
 	rule.Delay = prefetchDelay
@@ -66,6 +72,7 @@ func prefetchTrain(backend string, budget, itersN int) (nsPerCall, coldHit, warm
 		Rand:          &seqReader{next: 11},
 		PRFBackend:    backend,
 		NoisePrefetch: budget,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return 0, 0, 0, err
@@ -133,11 +140,12 @@ func prefetchExp() error {
 		prefetchRanks, prefetchElems*8>>10, prefetchDelay, itersN)
 	fmt.Printf("%-14s %14s %14s %10s %10s %9s\n", "backend", "off ns/call", "on ns/call", "cold hit", "warm hit", "speedup")
 	for _, backend := range []string{prf.BackendChaCha20, prf.BackendAESFast} {
-		offNs, _, _, err := prefetchTrain(backend, 0, itersN)
+		offNs, _, _, err := prefetchTrain(backend, 0, itersN, nil)
 		if err != nil {
 			return err
 		}
-		onNs, cold, warm, err := prefetchTrain(backend, prefetchBudget, itersN)
+		reg := metrics.New()
+		onNs, cold, warm, err := prefetchTrain(backend, prefetchBudget, itersN, reg)
 		if err != nil {
 			return err
 		}
@@ -150,6 +158,7 @@ func prefetchExp() error {
 			ColdHitRate:    cold,
 			WarmHitRate:    warm,
 			SpeedupPercent: 100 * (1 - onNs/offNs),
+			Metrics:        reg.Map(),
 		}
 		report.Rows = append(report.Rows, row)
 		fmt.Printf("%-14s %14.0f %14.0f %9.1f%% %9.1f%% %8.1f%%\n",

@@ -17,6 +17,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ import (
 	"hear/internal/chaos"
 	"hear/internal/core/fold"
 	"hear/internal/inc"
+	"hear/internal/metrics"
 	"hear/internal/mpi"
 )
 
@@ -43,15 +46,34 @@ var (
 	kill    = flag.Bool("kill", false, "inc mode: kill every switch (timeout path) instead of corrupting frames")
 	quorum  = flag.Int("quorum", 0, "gateway mode: server quorum; >0 mutes one client to demo straggler eviction")
 	verbose = flag.Bool("v", false, "print every chaos event")
+	mdump   = flag.String("metrics", "", `dump per-campaign metrics snapshots as JSON ("-" = stdout, else a file path)`)
 )
+
+// campaignReg is the metrics registry of the campaign currently running
+// (nil without -metrics): the hear contexts, the gateway, and the chaos
+// plans all publish into it, so the dump shows the fault volume next to
+// the retry/abort counters it caused.
+var campaignReg *metrics.Registry
 
 func main() {
 	flag.Parse()
+	snapshots := map[string]json.RawMessage{}
 	run := func(name string, f func() error) {
 		fmt.Printf("=== %s campaign (seed %d, %d ranks, %d rounds) ===\n", name, *seed, *ranks, *rounds)
+		if *mdump != "" {
+			campaignReg = metrics.New()
+		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s campaign FAILED: %v\n", name, err)
 			os.Exit(1)
+		}
+		if campaignReg != nil {
+			var buf bytes.Buffer
+			if err := campaignReg.WriteJSON(&buf); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			snapshots[name] = json.RawMessage(buf.Bytes())
 		}
 		fmt.Println()
 	}
@@ -69,6 +91,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+	if *mdump != "" {
+		doc, err := json.MarshalIndent(snapshots, "", "  ")
+		if err == nil && *mdump == "-" {
+			fmt.Println(string(doc))
+		} else if err == nil {
+			err = os.WriteFile(*mdump, doc, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("all campaigns passed: every surviving rank agreed on a correct verified aggregate")
 }
@@ -119,12 +153,14 @@ func incCampaign() error {
 		rule.Prob = *prob
 	}
 	plan := chaos.NewPlan(*seed, rule)
+	plan.RegisterMetrics(campaignReg)
 	dataTree.SetInterceptor(plan.INCInterceptor(0))
 
 	w := mpi.NewWorld(p)
 	ctxs, err := hear.Init(w, hear.Options{
 		INC: dataTree, INCTags: tagTree,
 		VerifiedRetry: 2, RecvTimeout: 2 * time.Second,
+		Metrics: campaignReg,
 	})
 	if err != nil {
 		return err
@@ -186,6 +222,7 @@ func gatewayCampaign() error {
 	}
 	s, err := aggsvc.NewServer(aggsvc.Config{
 		Group: p, Quorum: *quorum, RoundTimeout: 2 * time.Second,
+		Metrics: campaignReg,
 	})
 	if err != nil {
 		return err
@@ -207,9 +244,10 @@ func gatewayCampaign() error {
 	}
 	rule.Match.Conn = 0 // client 0's first connection only
 	plan := chaos.NewPlan(*seed, rule)
+	plan.RegisterMetrics(campaignReg)
 
 	w := mpi.NewWorld(p)
-	ctxs, err := hear.Init(w, hear.Options{})
+	ctxs, err := hear.Init(w, hear.Options{Metrics: campaignReg})
 	if err != nil {
 		return err
 	}
@@ -316,6 +354,7 @@ func mpiCampaign() error {
 	reorder := chaos.NewRule(chaos.LayerMPI, chaos.FaultReorder)
 	reorder.Prob = 0.1
 	plan := chaos.NewPlan(*seed, drop, delay, dup, reorder)
+	plan.RegisterMetrics(campaignReg)
 
 	w := mpi.NewWorld(p)
 	w.SetInterceptor(plan.MPIInterceptor())
@@ -363,6 +402,7 @@ func mpiCampaign() error {
 	crash.Match.Rank = p - 1
 	crash.Match.Round = 1
 	crashPlan := chaos.NewPlan(*seed, crash)
+	crashPlan.RegisterMetrics(campaignReg)
 	w2 := mpi.NewWorld(p)
 	typed := make([]bool, p)
 	err = w2.Run(60*time.Second, func(c *mpi.Comm) error {

@@ -310,6 +310,7 @@ func (g *GatewaySealer) Seal(vals []int64, epoch uint64) (cipher, tags []byte, e
 	if err := s.Encrypt(g.ctx.st, marshal64(vals), cipher, n); err != nil {
 		return nil, nil, err
 	}
+	g.ctx.mx.sealOps.Inc()
 	if g.verifier == nil {
 		return cipher, nil, nil
 	}
@@ -363,6 +364,7 @@ func (g *GatewaySealer) Verify(reducedCipher, reducedTags []byte) error {
 		sigma[i] = binary.LittleEndian.Uint64(reducedTags[i*8:])
 	}
 	if bad := g.verifier.Verify(g.ctx.st, lanes, sigma, g.ctx.size); bad >= 0 {
+		g.ctx.mx.verifyFailures.Inc()
 		return &ErrVerificationFailed{Element: bad}
 	}
 	return nil
@@ -384,6 +386,7 @@ func (g *GatewaySealer) Open(reduced []byte, out []int64) error {
 	if err := s.Decrypt(g.ctx.st, reduced, buf, n); err != nil {
 		return err
 	}
+	g.ctx.mx.openOps.Inc()
 	unmarshal64(buf, out[:n])
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"hear/internal/inc"
 	"hear/internal/keys"
 	"hear/internal/mempool"
+	"hear/internal/metrics"
 	"hear/internal/mpi"
 	"hear/internal/noise"
 	"hear/internal/prf"
@@ -100,6 +101,14 @@ type Options struct {
 	// mpi.ErrTimeout instead of hanging on a crashed or severed peer.
 	// 0 waits forever (the classic MPI behavior).
 	RecvTimeout time.Duration
+	// Metrics, when non-nil, publishes this communicator's telemetry into
+	// the given registry under the hear_* namespace: per-path allreduce
+	// call counters and latency histogram, verified-retry attempt counters
+	// per ladder rung, gateway sealer operations, and snapshot-time
+	// sources for the cipher engine's shard phases, the noise prefetcher,
+	// and the pipeline mempool. The hot-path instruments are atomic and
+	// allocation-free; nil (the default) disables all of it.
+	Metrics *metrics.Registry
 	// EnableP2P generates the §8 pairwise key matrix at initialization,
 	// enabling SendEncrypted/RecvEncrypted and the encrypted non-reducing
 	// collectives. Costs Θ(N) key space per rank instead of Θ(1).
@@ -134,6 +143,7 @@ type Context struct {
 	schemes map[string]core.Scheme
 	pool    *mempool.Pool
 	eng     *engine.Engine // shared multicore cipher engine (Options.Workers)
+	mx      *ctxMetrics    // hot-path instruments; no-op when Options.Metrics is nil
 
 	// syncBuf lazily caches the sync data path's ciphertext buffer so
 	// repeated allreduces stop paying mem_alloc/mem_free (Fig. 4) per
@@ -166,8 +176,8 @@ type Context struct {
 // exchange.
 func Init(w *mpi.World, opts Options) ([]*Context, error) {
 	opts.fill()
-	if opts.PipelineBlockBytes < 0 {
-		return nil, fmt.Errorf("hear: negative pipeline block size %d", opts.PipelineBlockBytes)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	states, err := keys.Generate(w.Size(), keys.Config{Backend: opts.PRFBackend, Rand: opts.Rand})
 	if err != nil {
@@ -197,6 +207,7 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 	// One cipher engine for all contexts: rank goroutines of one world
 	// share the node's cores, so a shared pool avoids oversubscription.
 	eng := engine.New(opts.Workers)
+	mx := newCtxMetrics(opts.Metrics)
 
 	ctxs := make([]*Context, w.Size())
 	for i := range ctxs {
@@ -216,6 +227,7 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 			schemes: make(map[string]core.Scheme),
 			pool:    pool,
 			eng:     eng,
+			mx:      mx,
 		}
 		if matrix != nil {
 			ctx.pairKeys = matrix[i]
@@ -228,6 +240,7 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 		}
 		ctxs[i] = ctx
 	}
+	registerTelemetry(opts.Metrics, eng, ctxs)
 	return ctxs, nil
 }
 

@@ -33,8 +33,8 @@ func InitOverComm(comm *mpi.Comm, opts Options, rng io.Reader) (*Context, error)
 		return nil, fmt.Errorf("hear: nil communicator")
 	}
 	opts.fill()
-	if opts.PipelineBlockBytes < 0 {
-		return nil, fmt.Errorf("hear: negative pipeline block size %d", opts.PipelineBlockBytes)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if rng == nil {
 		rng = rand.Reader
@@ -101,6 +101,7 @@ func InitOverComm(comm *mpi.Comm, opts Options, rng io.Reader) (*Context, error)
 		// (conceptually) separate nodes, so each context runs its own
 		// worker pool. Idle workers cost nothing.
 		eng: engine.New(opts.Workers),
+		mx:  newCtxMetrics(opts.Metrics),
 	}
 	if opts.PipelineBlockBytes > 0 {
 		pool, err := mempool.New(opts.PipelineBlockBytes, 3, 0)
@@ -149,5 +150,6 @@ func InitOverComm(comm *mpi.Comm, opts Options, rng io.Reader) (*Context, error)
 		}
 		ctx.sendSeq = make([]uint64, n)
 	}
+	registerTelemetry(opts.Metrics, ctx.eng, []*Context{ctx})
 	return ctx, nil
 }

@@ -1,0 +1,89 @@
+package aggsvc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hear/internal/metrics"
+)
+
+// TestGatewayMetricsEndToEnd drives a real completed round and a real
+// aborted round through one server and asserts the registry moves in
+// lockstep with the gateway's own accounting: round counters advance,
+// traffic bytes accumulate, and the same snapshot renders as a Prometheus
+// exposition.
+func TestGatewayMetricsEndToEnd(t *testing.T) {
+	reg := metrics.New()
+	_, l := startPipeServer(t, Config{
+		Group:        2,
+		RoundTimeout: 100 * time.Millisecond,
+		Metrics:      reg,
+	})
+
+	// Round 1: both participants show up — completes.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		c := dialPipe(t, l, ClientOptions{})
+		go func(i int) {
+			defer wg.Done()
+			out := make([]int64, 8)
+			_, errs[i] = c.Aggregate([]int64{1, 2, 3, 4, 5, 6, 7, 8}, out)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Round 2: one participant alone — aborts at the deadline.
+	c := dialPipe(t, l, ClientOptions{Timeout: 5 * time.Second})
+	out := make([]int64, 1)
+	_, err := c.Aggregate([]int64{9}, out)
+	var aerr *AbortError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("lone aggregate = %v, want *AbortError", err)
+	}
+
+	m := reg.Map()
+	if got := m["hear_gateway_rounds_completed_total"]; got != 1 {
+		t.Errorf("rounds_completed = %g, want 1", got)
+	}
+	if got := m["hear_gateway_rounds_aborted_total"]; got != 1 {
+		t.Errorf("rounds_aborted = %g, want 1", got)
+	}
+	if got := m["hear_gateway_clients_joined_total"]; got != 3 {
+		t.Errorf("clients_joined = %g, want 3", got)
+	}
+	if m["hear_gateway_bytes_in_total"] == 0 || m["hear_gateway_bytes_out_total"] == 0 {
+		t.Errorf("traffic not accounted: in=%g out=%g",
+			m["hear_gateway_bytes_in_total"], m["hear_gateway_bytes_out_total"])
+	}
+	if m[`hear_gateway_phase_ops_total{phase="fold"}`] == 0 {
+		t.Error("fold phase did not publish")
+	}
+	if got := m["hear_gateway_rounds_active"]; got != 0 {
+		t.Errorf("rounds_active gauge = %g, want 0 after both rounds ended", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE hear_gateway_rounds_completed_total counter",
+		"hear_gateway_rounds_completed_total 1",
+		"# TYPE hear_gateway_rounds_active gauge",
+		`hear_gateway_phase_seconds_total{phase="fold"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	enginepool "hear/internal/engine/pool"
 	"hear/internal/inc"
 	"hear/internal/mempool"
+	"hear/internal/metrics"
 	"hear/internal/trace"
 )
 
@@ -81,6 +83,12 @@ type Config struct {
 	// Logf, when non-nil, receives one line per round outcome and
 	// connection error.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, publishes the gateway's counters into the
+	// registry under hear_gateway_*: the StatsMap totals (rounds, clients,
+	// traffic, pool behavior) plus per-phase fold timings. The registry
+	// reads the server's own atomics at snapshot time, so the numbers are
+	// identical to a STATS frame taken at the same moment.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() error {
@@ -156,6 +164,8 @@ type Server struct {
 	statsServed     atomic.Uint64
 	framesRejected  atomic.Uint64
 	activeRounds    atomic.Int64
+	bytesIn         atomic.Uint64
+	bytesOut        atomic.Uint64
 }
 
 // NewServer validates cfg, starts the fold worker pool, and returns a
@@ -178,7 +188,41 @@ func NewServer(cfg Config) (*Server, error) {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	s.registerMetrics(cfg.Metrics)
 	return s, nil
+}
+
+// registerMetrics publishes the server's accounting as a snapshot-time
+// source: counters keep their StatsMap names under a hear_gateway_ prefix
+// with a _total suffix, point-in-time values become gauges, and the fold
+// phases export as seconds/ops pairs keyed by phase.
+func (s *Server) registerMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	gauges := map[string]bool{"rounds_active": true, "pool_blocks": true}
+	r.RegisterSource(func(emit func(metrics.Sample)) {
+		for k, v := range s.StatsMap() {
+			if strings.HasPrefix(k, "phase_") {
+				continue // exported structured below, not as raw ns blobs
+			}
+			if gauges[k] {
+				emit(metrics.Sample{Name: "hear_gateway_" + k,
+					Kind: metrics.KindGauge, Value: float64(v)})
+				continue
+			}
+			emit(metrics.Sample{Name: "hear_gateway_" + k + "_total",
+				Kind: metrics.KindCounter, Value: float64(v)})
+		}
+		snap := s.phases.Snapshot()
+		for _, ph := range snap.Phases() {
+			labels := metrics.Labels{"phase": ph}
+			emit(metrics.Sample{Name: "hear_gateway_phase_seconds_total", Labels: labels,
+				Kind: metrics.KindCounter, Value: snap.Sum(ph).Seconds()})
+			emit(metrics.Sample{Name: "hear_gateway_phase_ops_total", Labels: labels,
+				Kind: metrics.KindCounter, Value: float64(snap.Count(ph))})
+		}
+	})
 }
 
 // ListenAndServe binds a TCP listener and serves until Close.
@@ -283,6 +327,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		// The payload is consumed by the branch below (or the connection
+		// dies); account the whole frame here where its size is known.
+		s.bytesIn.Add(uint64(frameHeaderBytes + plen))
 		switch t {
 		case FrameStatsReq:
 			if err := discard(conn, plen); err != nil {
@@ -501,6 +548,7 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			r.abort(AbortPeerLost, "slot %d disconnected mid-submit: %v", part.slot, err)
 			return false
 		}
+		s.bytesIn.Add(uint64(frameHeaderBytes + plen))
 		if t != FrameSubmit {
 			return violated(AbortProtocol, "slot %d sent %s during submission", part.slot, t)
 		}
@@ -601,6 +649,11 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 func (s *Server) writeWithDeadline(conn net.Conn, t FrameType, payload ...[]byte) error {
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	defer conn.SetWriteDeadline(time.Time{})
+	n := frameHeaderBytes
+	for _, p := range payload {
+		n += len(p)
+	}
+	s.bytesOut.Add(uint64(n))
 	return writeFrame(conn, t, payload...)
 }
 
@@ -627,6 +680,8 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"bytes_folded":     s.bytesFolded.Load(),
 		"stats_served":     s.statsServed.Load(),
 		"frames_rejected":  s.framesRejected.Load(),
+		"bytes_in":         s.bytesIn.Load(),
+		"bytes_out":        s.bytesOut.Load(),
 		"pool_hits":        hits,
 		"pool_misses":      misses,
 		"pool_blocks":      uint64(allocated),

@@ -239,7 +239,10 @@ func TestDeadlineExpiry(t *testing.T) {
 // A dead open round (deadline expired before filling) must not wedge the
 // gateway: the next HELLO starts a fresh round.
 func TestRoundRecoversAfterDeadline(t *testing.T) {
-	_, l := startPipeServer(t, Config{Group: 2, RoundTimeout: 50 * time.Millisecond})
+	// The timeout bounds the recovery round too; keep enough margin that a
+	// loaded test machine can fill it (the lone-client abort just waits
+	// that much longer).
+	_, l := startPipeServer(t, Config{Group: 2, RoundTimeout: 250 * time.Millisecond})
 	c := dialPipe(t, l, ClientOptions{Timeout: 5 * time.Second})
 	out := make([]int64, 1)
 	if _, err := c.Aggregate([]int64{7}, out); err == nil {

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hear/internal/metrics"
 )
 
 // Layer identifies which transport adapter a rule applies to.
@@ -292,6 +294,31 @@ func (p *Plan) Events() []Event {
 		return out[i].N < out[j].N
 	})
 	return out
+}
+
+// RegisterMetrics publishes the plan's injection accounting into a
+// registry as the snapshot-time counter
+// hear_chaos_events_total{layer,fault}, so a chaos campaign's fault
+// volume lands in the same namespace as the counters it perturbs. A nil
+// registry is a no-op.
+func (p *Plan) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterSource(func(emit func(metrics.Sample)) {
+		counts := map[[2]string]uint64{}
+		for _, e := range p.Events() {
+			counts[[2]string{e.Layer.String(), e.Fault.String()}]++
+		}
+		for k, n := range counts {
+			emit(metrics.Sample{
+				Name:   "hear_chaos_events_total",
+				Labels: metrics.Labels{"layer": k[0], "fault": k[1]},
+				Kind:   metrics.KindCounter,
+				Value:  float64(n),
+			})
+		}
+	})
 }
 
 // Digest hashes the sorted fault schedule; two runs of the same campaign

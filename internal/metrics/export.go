@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, histograms
+// expanded into cumulative _bucket series plus _sum and _count. Samples
+// must be sorted by name, as Gather returns them.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	lastFamily := ""
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if s.Kind == KindHistogram {
+			if err := writePromHistogram(w, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writePromLine(w, s.Name, renderLabels(s.Labels), s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, s *Sample) error {
+	base := renderLabels(s.Labels)
+	cum := uint64(0)
+	for i, n := range s.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		ls := `le="` + le + `"`
+		if base != "" {
+			ls = base + "," + ls
+		}
+		if err := writePromLine(w, s.Name+"_bucket", ls, float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writePromLine(w, s.Name+"_sum", base, s.Sum); err != nil {
+		return err
+	}
+	return writePromLine(w, s.Name+"_count", base, float64(s.Count))
+}
+
+func writePromLine(w io.Writer, name, labels string, v float64) error {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v))
+	return err
+}
+
+// formatFloat renders values the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest-roundtrip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonSample is the stable JSON shape of one sample.
+type jsonSample struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Kind    string            `json:"kind"`
+	Value   *float64          `json:"value,omitempty"`
+	Bounds  []float64         `json:"bounds,omitempty"`
+	Buckets []uint64          `json:"buckets,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+}
+
+// WriteJSON renders a snapshot as a JSON document: {"metrics": [...]},
+// sample order preserved (Gather's name order), so two snapshots of the
+// same registry diff cleanly.
+func WriteJSON(w io.Writer, samples []Sample) error {
+	out := struct {
+		Metrics []jsonSample `json:"metrics"`
+	}{Metrics: make([]jsonSample, 0, len(samples))}
+	for i := range samples {
+		s := &samples[i]
+		js := jsonSample{Name: s.Name, Labels: s.Labels, Kind: s.Kind.String()}
+		if s.Kind == KindHistogram {
+			js.Bounds = s.Bounds
+			js.Buckets = s.Buckets
+			count, sum := s.Count, s.Sum
+			js.Count, js.Sum = &count, &sum
+		} else {
+			v := s.Value
+			js.Value = &v
+		}
+		out.Metrics = append(out.Metrics, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WritePrometheus is the registry-level convenience: Gather then render.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Gather())
+}
+
+// WriteJSON is the registry-level convenience: Gather then render.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return WriteJSON(w, r.Gather())
+}

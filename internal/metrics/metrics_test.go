@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentCounts drives every instrument kind from many
+// goroutines and checks the totals are exact — run under -race -cpu 1,2,4
+// in CI (the metrics-race job).
+func TestMetricsConcurrentCounts(t *testing.T) {
+	r := New()
+	c := r.Counter("hear_test_ops_total", nil)
+	g := r.Gauge("hear_test_occupancy", nil)
+	h := r.Histogram("hear_test_latency_seconds", nil, []float64{0.5, 1.5, 2.5})
+
+	const goroutines, perG = 16, 999 // perG divisible by 3: j%3 fills buckets evenly
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Add(2)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j % 3)) // 0, 1, 2 → one per bucket
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != 2*goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	// perG observations per goroutine of mean 1 → sum = goroutines*perG.
+	if got := h.Sum(); math.Abs(got-float64(goroutines*perG)) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %d", got, goroutines*perG)
+	}
+	var snap *Sample
+	for _, s := range r.Gather() {
+		if s.Name == "hear_test_latency_seconds" {
+			s := s
+			snap = &s
+		}
+	}
+	if snap == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	third := uint64(goroutines * perG / 3)
+	for i, n := range snap.Buckets[:3] {
+		if n != third {
+			t.Errorf("bucket %d = %d, want %d", i, n, third)
+		}
+	}
+	if snap.Buckets[3] != 0 {
+		t.Errorf("+Inf bucket = %d, want 0", snap.Buckets[3])
+	}
+}
+
+// TestSnapshotIsolation pins that Gather's samples are copies: later
+// recording must not mutate an already-taken snapshot.
+func TestSnapshotIsolation(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", nil)
+	h := r.Histogram("h", nil, []float64{1})
+	c.Add(5)
+	h.Observe(0.5)
+
+	snap := r.Gather()
+	c.Add(100)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	for _, s := range snap {
+		switch s.Name {
+		case "c_total":
+			if s.Value != 5 {
+				t.Errorf("snapshot counter = %g, want 5", s.Value)
+			}
+		case "h":
+			if s.Count != 1 || s.Buckets[0] != 1 || s.Buckets[1] != 0 {
+				t.Errorf("snapshot histogram mutated: %+v", s)
+			}
+		}
+	}
+}
+
+// TestReregistrationShares pins interning: the same (name, labels) yields
+// the same instrument, and a kind clash panics instead of corrupting the
+// export.
+func TestReregistrationShares(t *testing.T) {
+	r := New()
+	a := r.Counter("shared_total", Labels{"path": "sync"})
+	b := r.Counter("shared_total", Labels{"path": "sync"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	other := r.Counter("shared_total", Labels{"path": "inc"})
+	if a == other {
+		t.Error("distinct labels returned the same counter")
+	}
+	a.Add(1)
+	b.Add(1)
+	if a.Value() != 2 {
+		t.Errorf("shared counter = %d, want 2", a.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("shared_total", Labels{"path": "sync"})
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", nil)
+	g := r.Gauge("y", nil)
+	h := r.Histogram("z", nil, []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments accumulated")
+	}
+	r.RegisterSource(func(emit func(Sample)) { emit(Sample{Name: "s"}) })
+	if r.Gather() != nil || r.Map() != nil {
+		t.Error("nil registry gathered samples")
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := New()
+	// A name with invalid runes sanitizes; a label value with the three
+	// escapable characters must round-trip per the text format.
+	r.Counter("bad.name-with spaces", Labels{"msg": "a\\b\"c\nd"}).Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE bad_name_with_spaces counter") {
+		t.Errorf("name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="a\\b\"c\nd"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "\nd\"") {
+		t.Errorf("raw newline leaked into exposition:\n%s", out)
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", Labels{"op": "enc"}, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{op="enc",le="1"} 1`,
+		`lat_bucket{op="enc",le="2"} 2`,
+		`lat_bucket{op="enc",le="+Inf"} 3`,
+		`lat_sum{op="enc"} 101`,
+		`lat_count{op="enc"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSourcePublishesIntoNamespace(t *testing.T) {
+	r := New()
+	r.Counter("own_total", nil).Add(2)
+	r.RegisterSource(func(emit func(Sample)) {
+		emit(Sample{Name: "ext total", Kind: KindCounter, Value: 9})
+		emit(Sample{Name: "a_first", Kind: KindGauge, Value: 1})
+	})
+	samples := r.Gather()
+	names := make([]string, len(samples))
+	for i, s := range samples {
+		names[i] = s.Name
+	}
+	// Sorted namespace: source samples interleave with registered ones.
+	want := []string{"a_first", "ext_total", "own_total"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	m := r.Map()
+	if m["ext_total"] != 9 || m["own_total"] != 2 {
+		t.Errorf("Map = %v", m)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("c_total", Labels{"k": "v"}).Add(4)
+	r.Histogram("h", nil, []float64{1}).Observe(0.25)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string            `json:"name"`
+			Labels  map[string]string `json:"labels"`
+			Kind    string            `json:"kind"`
+			Value   *float64          `json:"value"`
+			Buckets []uint64          `json:"buckets"`
+			Count   *uint64           `json:"count"`
+			Sum     *float64          `json:"sum"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("metrics = %+v", doc.Metrics)
+	}
+	if doc.Metrics[0].Name != "c_total" || *doc.Metrics[0].Value != 4 || doc.Metrics[0].Labels["k"] != "v" {
+		t.Errorf("counter sample = %+v", doc.Metrics[0])
+	}
+	if doc.Metrics[1].Name != "h" || *doc.Metrics[1].Count != 1 || *doc.Metrics[1].Sum != 0.25 {
+		t.Errorf("histogram sample = %+v", doc.Metrics[1])
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x9":  "ok_name:x9",
+		"9leading":    "_leading",
+		"with.dots":   "with_dots",
+		"with spaces": "with_spaces",
+		"":            "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHotPathAllocFree pins the acceptance criterion directly: 0 allocs
+// per op on every hot-path instrument operation.
+func TestHotPathAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", nil)
+	g := r.Gauge("g", nil)
+	h := r.Histogram("h", nil, DurationBuckets)
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %g/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %g/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.002) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %g/op", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench_total", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_seconds", nil, DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := New().Counter("bench_par_total", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

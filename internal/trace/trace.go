@@ -119,10 +119,13 @@ func (b *Breakdown) MedianCycles(phase string) float64 {
 }
 
 // MedianOverheadPercent is OverheadPercent on medians.
-func (b *Breakdown) MedianOverheadPercent() float64 {
+func (b *Breakdown) MedianOverheadPercent() (float64, bool) {
 	comm := b.Median(PhaseComm)
-	if comm == 0 {
-		return 0
+	if b.counts[PhaseComm] == 0 || comm == 0 {
+		// Comm never recorded — or recorded as zero time, below the clock's
+		// resolution: either way "overhead as a % of comm" has no value, as
+		// opposed to a genuine 0% (comm measured, no other phases).
+		return 0, false
 	}
 	var other time.Duration
 	for _, p := range b.Phases() {
@@ -130,7 +133,7 @@ func (b *Breakdown) MedianOverheadPercent() float64 {
 			other += b.Median(p)
 		}
 	}
-	return 100 * float64(other) / float64(comm)
+	return 100 * float64(other) / float64(comm), true
 }
 
 // MedianString renders the median breakdown as a Figure 4-style row.
@@ -145,8 +148,17 @@ func (b *Breakdown) MedianString() string {
 		total += c
 		fmt.Fprintf(&sb, "%s=%.0fcy", p, c)
 	}
-	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%.1f%%", total, b.MedianOverheadPercent())
+	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%s", total, formatOverhead(b.MedianOverheadPercent()))
 	return sb.String()
+}
+
+// formatOverhead renders an overhead percentage, distinguishing a
+// measured 0.0% from "comm was never (usably) measured".
+func formatOverhead(pct float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", pct)
 }
 
 // Sum returns the accumulated duration of a phase across all iterations.
@@ -180,11 +192,14 @@ func (b *Breakdown) Total() time.Duration {
 
 // OverheadPercent returns the non-comm share relative to comm — the
 // percentage annotations of Figure 4 ("7.1%" for AES-NI, "75.5%" for
-// SHA1).
-func (b *Breakdown) OverheadPercent() float64 {
+// SHA1). The boolean reports whether the percentage is meaningful: false
+// when the comm phase was never recorded (or measured as zero time), so
+// callers can render "n/a" instead of a bogus 0.0% that is
+// indistinguishable from a genuinely overhead-free run.
+func (b *Breakdown) OverheadPercent() (float64, bool) {
 	comm := b.Mean(PhaseComm)
-	if comm == 0 {
-		return 0
+	if b.counts[PhaseComm] == 0 || comm == 0 {
+		return 0, false
 	}
 	var other time.Duration
 	for _, p := range b.Phases() {
@@ -192,7 +207,7 @@ func (b *Breakdown) OverheadPercent() float64 {
 			other += b.Mean(p)
 		}
 	}
-	return 100 * float64(other) / float64(comm)
+	return 100 * float64(other) / float64(comm), true
 }
 
 // Phases lists recorded phases in canonical order, then any extras sorted.
@@ -250,8 +265,21 @@ func (s *SyncBreakdown) Start(phase string) func() {
 	return func() { s.AddDuration(phase, time.Since(t0)) }
 }
 
+// SetKeepSamples toggles per-duration sample retention on the underlying
+// breakdown, enabling true medians on snapshots (see Breakdown.KeepSamples
+// for the cost trade-off). Samples recorded while retention was off are
+// not reconstructed.
+func (s *SyncBreakdown) SetKeepSamples(keep bool) {
+	s.mu.Lock()
+	s.b.KeepSamples = keep
+	s.mu.Unlock()
+}
+
 // Snapshot returns an independent copy of the accumulated breakdown,
-// safe to read while recording continues.
+// safe to read while recording continues. The copy carries everything the
+// accumulator holds — totals, counts, byte counters, and (with
+// KeepSamples) the retained samples, so Median on a snapshot is the real
+// median, not a silent fall-back to the mean.
 func (s *SyncBreakdown) Snapshot() *Breakdown {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -265,6 +293,10 @@ func (s *SyncBreakdown) Snapshot() *Breakdown {
 	for p, n := range s.b.bytes {
 		c.bytes[p] = n
 	}
+	c.KeepSamples = s.b.KeepSamples
+	for p, samples := range s.b.samples {
+		c.samples[p] = append([]time.Duration(nil), samples...)
+	}
 	return c
 }
 
@@ -277,7 +309,7 @@ func (b *Breakdown) String() string {
 		}
 		fmt.Fprintf(&sb, "%s=%.0fcy", p, b.MeanCycles(p))
 	}
-	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%.1f%%",
-		b.Total().Seconds()*NominalGHz*1e9, b.OverheadPercent())
+	fmt.Fprintf(&sb, "  total=%.0fcy overhead=%s",
+		b.Total().Seconds()*NominalGHz*1e9, formatOverhead(b.OverheadPercent()))
 	return sb.String()
 }

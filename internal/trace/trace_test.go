@@ -38,13 +38,51 @@ func TestOverheadPercent(t *testing.T) {
 	b.AddDuration(PhaseComm, 1000*time.Microsecond)
 	b.AddDuration(PhaseEncrypt, 50*time.Microsecond)
 	b.AddDuration(PhaseDecrypt, 21*time.Microsecond)
-	got := b.OverheadPercent()
+	got, ok := b.OverheadPercent()
+	if !ok {
+		t.Fatal("overhead not measurable despite a recorded comm phase")
+	}
 	if got < 7.0 || got > 7.2 {
 		t.Errorf("overhead = %.2f%%, want 7.1%%", got)
 	}
 	empty := NewBreakdown()
-	if empty.OverheadPercent() != 0 {
-		t.Error("empty breakdown has non-zero overhead")
+	if pct, ok := empty.OverheadPercent(); ok || pct != 0 {
+		t.Error("empty breakdown reports a measurable overhead")
+	}
+}
+
+// TestOverheadDistinguishesZeroFromUnmeasured is the regression test for
+// the overhead=0.0% ambiguity: a breakdown with comm but no other phases
+// is genuinely 0%, a breakdown that never timed comm is n/a — they used
+// to render identically.
+func TestOverheadDistinguishesZeroFromUnmeasured(t *testing.T) {
+	zero := NewBreakdown()
+	zero.AddDuration(PhaseComm, time.Millisecond)
+	if pct, ok := zero.OverheadPercent(); !ok || pct != 0 {
+		t.Errorf("comm-only breakdown = (%.1f, %v), want measurable 0%%", pct, ok)
+	}
+	if s := zero.String(); !strings.Contains(s, "overhead=0.0%") {
+		t.Errorf("comm-only String() = %q, want overhead=0.0%%", s)
+	}
+
+	unmeasured := NewBreakdown()
+	unmeasured.AddDuration(PhaseEncrypt, time.Millisecond)
+	if _, ok := unmeasured.OverheadPercent(); ok {
+		t.Error("breakdown without comm reports a measurable overhead")
+	}
+	if s := unmeasured.String(); !strings.Contains(s, "overhead=n/a") {
+		t.Errorf("comm-less String() = %q, want overhead=n/a", s)
+	}
+	if s := unmeasured.MedianString(); !strings.Contains(s, "overhead=n/a") {
+		t.Errorf("comm-less MedianString() = %q, want overhead=n/a", s)
+	}
+
+	// Comm recorded but below clock resolution: also not a usable divisor.
+	zeroDur := NewBreakdown()
+	zeroDur.AddDuration(PhaseComm, 0)
+	zeroDur.AddDuration(PhaseEncrypt, time.Millisecond)
+	if _, ok := zeroDur.OverheadPercent(); ok {
+		t.Error("zero-duration comm reports a measurable overhead")
 	}
 }
 
@@ -107,12 +145,12 @@ func TestMedianCyclesAndOverhead(t *testing.T) {
 	if got := b.MedianCycles(PhaseComm); got < 2090 || got > 2110 {
 		t.Errorf("median cycles = %g", got)
 	}
-	if got := b.MedianOverheadPercent(); got < 9.9 || got > 10.1 {
-		t.Errorf("median overhead = %g%%, want 10%%", got)
+	if got, ok := b.MedianOverheadPercent(); !ok || got < 9.9 || got > 10.1 {
+		t.Errorf("median overhead = %g%% (ok=%v), want 10%%", got, ok)
 	}
 	empty := NewBreakdown()
-	if empty.MedianOverheadPercent() != 0 {
-		t.Error("empty breakdown overhead != 0")
+	if pct, ok := empty.MedianOverheadPercent(); ok || pct != 0 {
+		t.Error("empty breakdown reports a measurable median overhead")
 	}
 }
 
@@ -190,5 +228,42 @@ func TestSyncBreakdownConcurrent(t *testing.T) {
 	}
 	if s.Snapshot().Count("fold") != 801 {
 		t.Error("Start/stop did not record")
+	}
+}
+
+// TestSyncSnapshotKeepsSamples is the regression test for the
+// Snapshot-drops-samples bug: totals/counts/bytes were copied but the
+// retained samples were not, so Median on a snapshot silently degraded to
+// the mean — exactly the outlier-poisoned statistic KeepSamples exists to
+// avoid.
+func TestSyncSnapshotKeepsSamples(t *testing.T) {
+	s := NewSyncBreakdown()
+	s.SetKeepSamples(true)
+	for i := 0; i < 9; i++ {
+		s.AddDuration(PhaseComm, time.Microsecond)
+	}
+	s.AddDuration(PhaseComm, time.Minute) // the stall an accurate median must shrug off
+	s.AddBytes("prefetch_hit_bytes", 4096)
+
+	snap := s.Snapshot()
+	if got := snap.Median(PhaseComm); got != time.Microsecond {
+		t.Errorf("snapshot median = %v, want 1µs (mean fallback = sample loss)", got)
+	}
+	if !snap.KeepSamples {
+		t.Error("snapshot lost the KeepSamples flag")
+	}
+	if got := snap.Bytes("prefetch_hit_bytes"); got != 4096 {
+		t.Errorf("snapshot bytes = %d", got)
+	}
+
+	// The copy is deep: recording after the snapshot must not leak into
+	// it, and vice versa.
+	s.AddDuration(PhaseComm, time.Minute)
+	if got := snap.Median(PhaseComm); got != time.Microsecond {
+		t.Errorf("snapshot median mutated by later recording: %v", got)
+	}
+	snap.AddDuration(PhaseComm, time.Minute)
+	if got := s.Snapshot().Count(PhaseComm); got != 11 {
+		t.Errorf("live accumulator mutated by snapshot write: count = %d", got)
 	}
 }

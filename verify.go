@@ -111,10 +111,12 @@ func (c *Context) AllreduceInt64SumVerified(comm *mpi.Comm, verifier *homac.Vect
 		if attempt > 0 {
 			path = nextPath(path)
 		}
+		c.mx.verifiedAttempts[path].Inc()
 		err = c.verifiedAttempt(comm, verifier, send, recv, path)
 		if err == nil {
 			if attempt > 0 {
 				c.verifiedRetries += attempt
+				c.mx.verifiedRetries.Add(uint64(attempt))
 			}
 			return nil
 		}
@@ -124,9 +126,11 @@ func (c *Context) AllreduceInt64SumVerified(comm *mpi.Comm, verifier *homac.Vect
 		if comm == nil {
 			// The fallback rungs are host collectives; without a
 			// communicator there is nothing to degrade onto.
+			c.mx.verifiedFailures.Inc()
 			return fmt.Errorf("hear: verified allreduce failed and no communicator for host fallback: %w", err)
 		}
 	}
+	c.mx.verifiedFailures.Inc()
 	if c.opts.VerifiedRetry > 0 {
 		return fmt.Errorf("hear: verified allreduce failed after %d attempts (last path %s): %w",
 			c.opts.VerifiedRetry+1, path, err)
