@@ -218,10 +218,13 @@ func New() *Registry {
 // register interns (name, labels, kind); re-registration of the same
 // name+labels returns the existing instrument so independent subsystems
 // (e.g. several gateway clients in one process) share one counter.
+// The instrument itself is allocated here, while r.mu is held, so two
+// goroutines racing to register the same series always observe the same
+// fully-built instrument (callers only read the field after return).
 // Registering the same series under a different kind is a programming
 // error and panics — silently exporting one series under two types would
 // corrupt every downstream consumer.
-func (r *Registry) register(name string, kind Kind, labels Labels) *metric {
+func (r *Registry) register(name string, kind Kind, labels Labels, bounds []float64) *metric {
 	name = SanitizeName(name)
 	key := name + "\x00" + renderLabels(labels)
 	r.mu.Lock()
@@ -233,6 +236,16 @@ func (r *Registry) register(name string, kind Kind, labels Labels) *metric {
 		return m
 	}
 	m := &metric{name: name, kind: kind, labels: copyLabels(labels)}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		m.h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+	}
 	r.byKey[key] = m
 	r.order = append(r.order, m)
 	return m
@@ -243,11 +256,7 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 	if r == nil {
 		return nil
 	}
-	m := r.register(name, KindCounter, labels)
-	if m.c == nil {
-		m.c = &Counter{}
-	}
-	return m.c
+	return r.register(name, KindCounter, labels, nil).c
 }
 
 // Gauge registers (or retrieves) a gauge. Nil-registry safe.
@@ -255,11 +264,7 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
-	m := r.register(name, KindGauge, labels)
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
-	return m.g
+	return r.register(name, KindGauge, labels, nil).g
 }
 
 // Histogram registers (or retrieves) a histogram over the given bucket
@@ -274,13 +279,7 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending at %d", name, i))
 		}
 	}
-	m := r.register(name, KindHistogram, labels)
-	if m.h == nil {
-		b := make([]float64, len(bounds))
-		copy(b, bounds)
-		m.h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
-	}
-	return m.h
+	return r.register(name, KindHistogram, labels, bounds).h
 }
 
 // RegisterSource adds a snapshot-time publisher. Nil-registry safe.
@@ -400,6 +399,13 @@ func SanitizeName(name string) string {
 	return sb.String()
 }
 
+// SanitizeLabelName maps an arbitrary string onto the Prometheus label-name
+// charset [a-zA-Z_][a-zA-Z0-9_]* — like SanitizeName but without ':', which
+// is legal in metric names only. Replaces every invalid rune with '_'.
+func SanitizeLabelName(name string) string {
+	return strings.ReplaceAll(SanitizeName(name), ":", "_")
+}
+
 // renderLabels serializes labels as k1="v1",k2="v2" with keys sorted and
 // values escaped; "" for empty. Used for interning keys and exposition.
 func renderLabels(l Labels) string {
@@ -416,7 +422,7 @@ func renderLabels(l Labels) string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(SanitizeName(k))
+		sb.WriteString(SanitizeLabelName(k))
 		sb.WriteString(`="`)
 		sb.WriteString(EscapeLabelValue(l[k]))
 		sb.WriteByte('"')

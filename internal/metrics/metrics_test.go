@@ -65,6 +65,33 @@ func TestMetricsConcurrentCounts(t *testing.T) {
 	if snap.Buckets[3] != 0 {
 		t.Errorf("+Inf bucket = %d, want 0", snap.Buckets[3])
 	}
+
+	// Concurrent registration of the same series: every goroutine must get
+	// the same instrument (the instrument is built under the registry lock),
+	// so no increments are lost to a racing duplicate.
+	r2 := New()
+	var wg2 sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for j := 0; j < perG; j++ {
+				r2.Counter("hear_test_shared_total", nil).Inc()
+				r2.Gauge("hear_test_shared_gauge", nil).Add(1)
+				r2.Histogram("hear_test_shared_seconds", nil, []float64{1}).Observe(0.5)
+			}
+		}()
+	}
+	wg2.Wait()
+	if got := r2.Counter("hear_test_shared_total", nil).Value(); got != goroutines*perG {
+		t.Errorf("concurrently registered counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r2.Gauge("hear_test_shared_gauge", nil).Value(); got != goroutines*perG {
+		t.Errorf("concurrently registered gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := r2.Histogram("hear_test_shared_seconds", nil, []float64{1}).Count(); got != goroutines*perG {
+		t.Errorf("concurrently registered histogram count = %d, want %d", got, goroutines*perG)
+	}
 }
 
 // TestSnapshotIsolation pins that Gather's samples are copies: later
@@ -260,6 +287,32 @@ func TestSanitizeName(t *testing.T) {
 		if got := SanitizeName(in); got != want {
 			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestSanitizeLabelName pins that label keys reject ':' — legal in metric
+// names but not in Prometheus label names — so rendered exposition stays
+// parseable by scrapers.
+func TestSanitizeLabelName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x9": "ok_name_x9",
+		"plain_key":  "plain_key",
+		"9leading":   "_leading",
+		"with.dots":  "with_dots",
+	}
+	for in, want := range cases {
+		if got := SanitizeLabelName(in); got != want {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	r := New()
+	r.Counter("colon_label_total", Labels{"name:space": "v"}).Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `name_space="v"`) {
+		t.Errorf("label key with ':' not sanitized:\n%s", sb.String())
 	}
 }
 
