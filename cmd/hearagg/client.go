@@ -9,6 +9,7 @@ import (
 
 	"hear"
 	"hear/internal/aggsvc"
+	"hear/internal/homac"
 	"hear/internal/mpi"
 )
 
@@ -19,6 +20,7 @@ func runClient(args []string) error {
 	rounds := fs.Int("rounds", 1, "aggregation rounds per connection")
 	elems := fs.Int("elems", 8192, "int64 elements per vector")
 	check := fs.Bool("check", true, "compare every aggregate against the plaintext reference")
+	scheme := fs.String("scheme", "sum", "aggregation scheme: sum, prod, or xor (prod and xor require -verify 0)")
 	verify := fs.Uint64("verify", 1, "HoMAC verification key seed (0 disables tag lanes)")
 	seed := fs.Int64("seed", 1, "input data seed")
 	stats := fs.Bool("stats", false, "dump gateway counters and exit")
@@ -32,6 +34,22 @@ func runClient(args []string) error {
 	if *conns < 1 || *rounds < 1 || *elems < 1 {
 		return fmt.Errorf("conns, rounds, elems must be positive")
 	}
+	var kind hear.SchemeKind
+	fold := func(a, v int64) int64 { return a + v }
+	unit := int64(0)
+	switch *scheme {
+	case "sum":
+		kind = hear.Int64Sum
+	case "prod":
+		kind = hear.Int64Prod
+		fold = func(a, v int64) int64 { return int64(uint64(a) * uint64(v)) }
+		unit = 1
+	case "xor":
+		kind = hear.Int64Xor
+		fold = func(a, v int64) int64 { return a ^ v }
+	default:
+		return fmt.Errorf("unknown -scheme %q (want sum, prod, or xor)", *scheme)
+	}
 
 	// All participants live in this process: one in-process world supplies
 	// the coordinated contexts the gateway never sees.
@@ -40,26 +58,32 @@ func runClient(args []string) error {
 	if err != nil {
 		return err
 	}
+	var verifier *homac.Vector
+	if *verify != 0 {
+		if kind != hear.Int64Sum {
+			return fmt.Errorf("-scheme %s cannot carry a HoMAC tag lane (tag aggregation is additive); pass -verify 0", *scheme)
+		}
+		if verifier, err = hear.NewVerifier(*verify); err != nil {
+			return err
+		}
+	}
 	sealers := make([]*hear.GatewaySealer, *conns)
 	for i, c := range ctxs {
-		if *verify != 0 {
-			v, err := hear.NewVerifier(*verify)
-			if err != nil {
-				return err
-			}
-			sealers[i] = c.NewGatewaySealer(v)
-		} else {
-			sealers[i] = c.NewGatewaySealer(nil)
+		if sealers[i], err = c.NewGatewaySealerScheme(kind, verifier); err != nil {
+			return err
 		}
 	}
 
 	inputs := make([][]int64, *conns)
 	want := make([]int64, *elems)
+	for j := range want {
+		want[j] = unit
+	}
 	for i := range inputs {
 		inputs[i] = make([]int64, *elems)
 		for j := range inputs[i] {
 			inputs[i][j] = *seed*int64(i+1) + int64(j) - int64(*elems)/2
-			want[j] += inputs[i][j]
+			want[j] = fold(want[j], inputs[i][j])
 		}
 	}
 

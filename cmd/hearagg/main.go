@@ -12,8 +12,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
+
+	"hear/internal/aggsvc"
 )
 
 func main() {
@@ -37,13 +40,42 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hearagg:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// abortExitBase offsets typed gateway aborts into their own exit-code
+// range: a round aborted with AbortCode c exits with abortExitBase+c, so
+// scripts and CI can branch on the failure class (21 protocol-violation …
+// 29 upstream-failure) without parsing stderr. Codes clamp at 125 to stay
+// clear of the shell's 126/127/128+signal conventions.
+const abortExitBase = 20
+
+// exitCode maps a failure to the process exit code: typed aborts land in
+// the abortExitBase range, everything else exits 1.
+func exitCode(err error) int {
+	var aerr *aggsvc.AbortError
+	if !errors.As(err, &aerr) {
+		return 1
+	}
+	c := abortExitBase + int(aerr.Code)
+	if c > 125 {
+		c = 125
+	}
+	if c < abortExitBase {
+		c = abortExitBase
+	}
+	return c
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   hearagg serve  [flags]   run the aggregation gateway
   hearagg client [flags]   run N clients against a gateway (load test)
-run "hearagg serve -h" or "hearagg client -h" for flags`)
+run "hearagg serve -h" or "hearagg client -h" for flags
+
+exit codes: 0 success, 1 generic failure, 2 usage; a typed gateway abort
+exits 20+code (21 protocol-violation, 22 version-mismatch, 23 round-
+mismatch, 24 oversized-frame, 25 deadline-expired, 26 participant-lost,
+27 server-shutdown, 28 straggler-evicted, 29 upstream-failure)`)
 }

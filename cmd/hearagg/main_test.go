@@ -1,0 +1,53 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hear/internal/aggsvc"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 1}, // exitCode is only called on failure paths
+		{errors.New("dial tcp: refused"), 1},
+		{&aggsvc.AbortError{Code: aggsvc.AbortProtocol}, 21},
+		{&aggsvc.AbortError{Code: aggsvc.AbortDeadline}, 25},
+		{&aggsvc.AbortError{Code: aggsvc.AbortStraggler}, 28},
+		{&aggsvc.AbortError{Code: aggsvc.AbortUpstream}, 29},
+		// Wrapping (the client prefixes "conn N round R:") must not lose
+		// the typed code.
+		{fmt.Errorf("conn 3 round 1: %w", &aggsvc.AbortError{Code: aggsvc.AbortUpstream}), 29},
+		// Unknown future codes clamp below the shell's reserved range.
+		{&aggsvc.AbortError{Code: aggsvc.AbortCode(60000)}, 125},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestParseCohortStatic(t *testing.T) {
+	got, err := parseCohortStatic("10.0.0.7=0, 10.0.0.9=2,h=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"10.0.0.7": 0, "10.0.0.9": 2, "h": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	if m, err := parseCohortStatic(""); err != nil || m != nil {
+		t.Fatalf("empty flag: %v, %v", m, err)
+	}
+	for _, bad := range []string{"host", "=3", "h=x", "h=1,,"} {
+		if _, err := parseCohortStatic(bad); err == nil {
+			t.Errorf("accepted malformed %q", bad)
+		}
+	}
+}

@@ -7,12 +7,36 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"hear/internal/aggsvc"
+	"hear/internal/aggsvc/federation"
 	"hear/internal/metrics"
 )
+
+// parseCohortStatic parses the -cohort-static flag: comma-separated
+// host=cohort pairs.
+func parseCohortStatic(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	static := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		host, idx, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || host == "" {
+			return nil, fmt.Errorf("malformed -cohort-static entry %q (want host=cohort)", pair)
+		}
+		n, err := strconv.Atoi(idx)
+		if err != nil {
+			return nil, fmt.Errorf("malformed -cohort-static cohort in %q: %v", pair, err)
+		}
+		static[host] = n
+	}
+	return static, nil
+}
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("hearagg serve", flag.ExitOnError)
@@ -25,6 +49,12 @@ func runServe(args []string) error {
 	maxFrame := fs.Int("max-frame", aggsvc.DefaultMaxFrameBytes, "reject frames larger than this")
 	quiet := fs.Bool("quiet", false, "suppress per-round log lines")
 	admin := fs.String("admin", "", "opt-in HTTP admin listener serving /metrics, /healthz, /debug/pprof (empty = disabled)")
+	upstream := fs.String("upstream", "", "federate: relay each cohort's partial fold to this upstream gateway (empty = this gateway is a flat root)")
+	cohorts := fs.Int("cohorts", 1, "shard arriving clients into this many independently-filling cohorts")
+	cohortStatic := fs.String("cohort-static", "", "pin client hosts to cohorts, e.g. \"10.0.0.7=0,10.0.0.9=2\" (others hash)")
+	tier := fs.Int("tier", 0, "this gateway's tier in the federation (metrics label only)")
+	upstreamTimeout := fs.Duration("upstream-timeout", federation.DefaultTimeout, "bound one upstream exchange; should exceed the upstream's -deadline")
+	upstreamRetry := fs.Int("upstream-retry", 3, "re-attempts of a failed upstream dial (the exchange itself is never retried)")
 	fs.Parse(args)
 
 	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
@@ -35,6 +65,25 @@ func runServe(args []string) error {
 	if *admin != "" {
 		reg = metrics.New()
 	}
+	static, err := parseCohortStatic(*cohortStatic)
+	if err != nil {
+		return err
+	}
+	var uplink aggsvc.UplinkDialer
+	if *upstream != "" {
+		u, err := federation.New(federation.Config{
+			Addr:      *upstream,
+			Timeout:   *upstreamTimeout,
+			DialRetry: *upstreamRetry,
+			Tier:      *tier,
+			Metrics:   reg,
+			Logf:      logf,
+		})
+		if err != nil {
+			return err
+		}
+		uplink = u.Dialer()
+	}
 	s, err := aggsvc.NewServer(aggsvc.Config{
 		Group:         *group,
 		Elems:         *elems,
@@ -42,6 +91,9 @@ func runServe(args []string) error {
 		ChunkBytes:    *chunk,
 		Workers:       *workers,
 		MaxFrameBytes: *maxFrame,
+		Cohorts:       *cohorts,
+		CohortStatic:  static,
+		Uplink:        uplink,
 		Logf:          logf,
 		Metrics:       reg,
 	})
@@ -62,8 +114,12 @@ func runServe(args []string) error {
 	}
 	// The "listening" line goes to stdout so scripts (and the CI smoke test)
 	// can wait for readiness by watching for it.
-	fmt.Printf("hearagg: listening on %s (group=%d deadline=%s chunk=%dB)\n",
-		l.Addr(), *group, *deadline, *chunk)
+	role := "flat root"
+	if *upstream != "" {
+		role = fmt.Sprintf("tier %d -> %s", *tier, *upstream)
+	}
+	fmt.Printf("hearagg: listening on %s (group=%d cohorts=%d deadline=%s chunk=%dB, %s)\n",
+		l.Addr(), *group, *cohorts, *deadline, *chunk, role)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

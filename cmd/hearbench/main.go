@@ -10,6 +10,7 @@
 //	hearbench fig9       DNN training relative iteration time
 //	hearbench map        §5.3.1 MAP adversary success probabilities
 //	hearbench prefetch   noise prefetch overlap speedup (BENCH_prefetch.json)
+//	hearbench federation gateway-federation fan-in scaling (BENCH_federation.json)
 //	hearbench inc        INC's latency/bandwidth advantages (intro claims)
 //	hearbench ablation   design-choice ablations (canceling, PRF backend, op cost)
 //	hearbench validate   §6 correctness validation (float error, int memcmp)
@@ -39,19 +40,20 @@ func main() {
 		cmd = "all"
 	}
 	experiments := map[string]func() error{
-		"table1":   table1,
-		"fig3":     fig3,
-		"fig4":     fig4,
-		"fig5":     fig5,
-		"fig6":     fig6,
-		"fig7":     fig7,
-		"fig8":     fig8,
-		"fig9":     fig9,
-		"map":      mapAttack,
-		"prefetch": prefetchExp,
-		"inc":      incExp,
-		"ablation": ablation,
-		"validate": validate,
+		"table1":     table1,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"fig5":       fig5,
+		"fig6":       fig6,
+		"fig7":       fig7,
+		"fig8":       fig8,
+		"fig9":       fig9,
+		"map":        mapAttack,
+		"prefetch":   prefetchExp,
+		"federation": federationExp,
+		"inc":        incExp,
+		"ablation":   ablation,
+		"validate":   validate,
 	}
 	if cmd == "all" {
 		names := make([]string, 0, len(experiments))

@@ -253,7 +253,8 @@ func (c *Context) checkComm(comm *mpi.Comm) error {
 // the gateway.
 
 // GatewaySealer adapts one rank's Context to the gateway client's
-// seal/open cycle under the int64 SUM scheme. A nil verifier disables the
+// seal/open cycle under one of the 64-bit integer schemes (SUM by default;
+// see NewGatewaySealerScheme for PROD and XOR). A nil verifier disables the
 // HoMAC tag lane (Seal returns nil tags and Verify accepts anything), which
 // trades integrity for halving the upload.
 //
@@ -267,14 +268,50 @@ func (c *Context) checkComm(comm *mpi.Comm) error {
 // schedule instead of desynchronizing the whole group.
 type GatewaySealer struct {
 	ctx      *Context
+	kind     SchemeKind
 	verifier *homac.Vector
 }
 
-// NewGatewaySealer builds the gateway adapter for this context. verifier
-// may be nil to skip result verification; otherwise all participants must
-// share it (same (p, Z), see NewVerifier).
+// NewGatewaySealer builds the gateway adapter for this context under the
+// int64 SUM scheme. verifier may be nil to skip result verification;
+// otherwise all participants must share it (same (p, Z), see NewVerifier).
 func (c *Context) NewGatewaySealer(verifier *homac.Vector) *GatewaySealer {
-	return &GatewaySealer{ctx: c, verifier: verifier}
+	return &GatewaySealer{ctx: c, kind: Int64Sum, verifier: verifier}
+}
+
+// NewGatewaySealerScheme builds the gateway adapter under one of the
+// gateway-foldable 64-bit integer schemes: Int64Sum, Int64Prod, or
+// Int64Xor. The gateway folds each with the matching keyless kernel and
+// stays key-blind for all three. HoMAC tags aggregate only linearly, so a
+// verifier is accepted with Int64Sum alone; PROD and XOR rounds run
+// untagged (the gateway refuses a tagged HELLO for those schemes).
+func (c *Context) NewGatewaySealerScheme(kind SchemeKind, verifier *homac.Vector) (*GatewaySealer, error) {
+	switch kind {
+	case Int64Sum:
+	case Int64Prod, Int64Xor:
+		if verifier != nil {
+			return nil, fmt.Errorf("hear: HoMAC verification is additive; scheme %s cannot carry a tag lane", kind)
+		}
+	default:
+		return nil, fmt.Errorf("hear: scheme %s is not gateway-foldable (want %s, %s, or %s)",
+			kind, Int64Sum, Int64Prod, Int64Xor)
+	}
+	return &GatewaySealer{ctx: c, kind: kind, verifier: verifier}, nil
+}
+
+// SchemeID is the wire identifier the gateway client advertises in HELLO,
+// so the gateway picks the matching fold kernel. The values mirror
+// aggsvc's SchemeInt64* constants structurally (this package must not
+// import the gateway); a test pins the mapping.
+func (g *GatewaySealer) SchemeID() uint8 {
+	switch g.kind {
+	case Int64Prod:
+		return 2
+	case Int64Xor:
+		return 3
+	default:
+		return 1
+	}
 }
 
 // Tagged reports whether this sealer produces a HoMAC tag lane.
@@ -285,13 +322,13 @@ func (g *GatewaySealer) Tagged() bool { return g.verifier != nil }
 func (g *GatewaySealer) Epoch() uint64 { return g.ctx.st.Epoch() }
 
 // Seal advances the collective key to the given epoch (0 means "advance
-// exactly once") and encrypts vals under the int64 SUM scheme, returning
+// exactly once") and encrypts vals under the sealer's scheme, returning
 // the ciphertext lane and, when verification is enabled, the HoMAC tag
 // lane (both little-endian 64-bit lanes). Sealing at an epoch at or below
 // the current one is refused: the key schedule only moves forward, and a
 // regression would reuse PRF streams.
 func (g *GatewaySealer) Seal(vals []int64, epoch uint64) (cipher, tags []byte, err error) {
-	s, err := g.ctx.intSum(64)
+	s, err := g.ctx.Scheme(g.kind)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,7 +375,7 @@ func (g *GatewaySealer) Seal(vals []int64, epoch uint64) (cipher, tags []byte, e
 // (after missing a round's JOIN) simply misses the cache. A no-op when
 // prefetching is disabled.
 func (g *GatewaySealer) PrefetchNext(elems int) {
-	s, err := g.ctx.intSum(64)
+	s, err := g.ctx.Scheme(g.kind)
 	if err != nil {
 		return
 	}
@@ -374,7 +411,7 @@ func (g *GatewaySealer) Verify(reducedCipher, reducedTags []byte) error {
 // recent Seal call (decryption uses the collective key that call advanced
 // to), exactly as Allreduce decryption follows its own encryption.
 func (g *GatewaySealer) Open(reduced []byte, out []int64) error {
-	s, err := g.ctx.intSum(64)
+	s, err := g.ctx.Scheme(g.kind)
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,13 @@ type Sealer interface {
 	Epoch() uint64
 }
 
+// SchemeIDer is optionally implemented by Sealers bound to a wire scheme
+// other than the default SchemeInt64Sum; the client advertises the id in
+// HELLO so the gateway picks the matching keyless fold kernels.
+type SchemeIDer interface {
+	SchemeID() uint8
+}
+
 // NoisePrefetcher is optionally implemented by Sealers that can precompute
 // the next round's sealing material while the current round's aggregate is
 // in flight (hear.GatewaySealer when Options.NoisePrefetch is enabled).
@@ -158,7 +165,7 @@ func retryable(err error) bool {
 	var aerr *AbortError
 	if errors.As(err, &aerr) {
 		switch aerr.Code {
-		case AbortDeadline, AbortPeerLost, AbortStraggler:
+		case AbortDeadline, AbortPeerLost, AbortStraggler, AbortUpstream:
 			return true
 		}
 	}
@@ -239,7 +246,11 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	if c.sealer.Tagged() {
 		flags |= FlagTagged
 	}
-	hello := helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: flags,
+	scheme := SchemeInt64Sum
+	if sid, ok := c.sealer.(SchemeIDer); ok {
+		scheme = sid.SchemeID()
+	}
+	hello := helloFrame{Version: ProtocolVersion, Scheme: scheme, Flags: flags,
 		Elems: len(vals), Epoch: c.sealer.Epoch()}
 	if err := writeFrame(c.conn, FrameHello, encodeHello(hello)); err != nil {
 		return Round{}, &errTransient{fmt.Errorf("aggsvc: hello: %w", err)}

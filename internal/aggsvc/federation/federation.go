@@ -1,0 +1,330 @@
+// Package federation cascades key-blind partial folds across gateway
+// tiers: the gateway-of-gateways topology that scales HEAR's secure
+// aggregation from one flat internal/aggsvc box to millions of clients.
+//
+// A leaf gateway folds its cohort's sealed lanes with the ordinary worker-
+// pool fold kernels, then acts as a *client* of an upstream gateway: it
+// speaks the existing HELLO/JOIN/SUBMIT/RESULT frame protocol to submit
+// the partial aggregate, and fans the globally reduced RESULT back down to
+// its cohort. The cascade is safe for exactly the reason the paper trusts
+// an in-network switch: HEAR's canceling-noise schemes make every
+// aggregator key-blind, and the fold operators are associative and
+// commutative, so a tree of partial folds is bit-identical to one flat
+// fold — this package imports no key material and cannot decrypt at any
+// tier (see TestFederationKeyBlind).
+//
+// Epoch negotiation reuses the HELLO/JOIN seal-epoch machinery unchanged:
+// a leaf advertises its cohort's *maximum* HELLO epoch upstream (without
+// the +1 a flat round would apply) and forwards the upstream JOIN's epoch
+// verbatim down to its cohort. The max+1 rule therefore runs exactly once,
+// at the federation's root, and every client of the whole tree seals at
+// the same epoch a flat round over the same client set would have agreed
+// on.
+package federation
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"hear/internal/aggsvc"
+	"hear/internal/metrics"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultTimeout     = 30 * time.Second
+	DefaultDialBackoff = 50 * time.Millisecond
+)
+
+// Config configures one gateway's uplink to its upstream tier.
+type Config struct {
+	// Addr is the upstream gateway's TCP address. Ignored when Dial is set.
+	Addr string
+	// Dial, when non-nil, produces upstream connections (tests use
+	// PipeListener.Dial; production leaves it nil for TCP).
+	Dial func() (net.Conn, error)
+	// Timeout bounds one whole upstream exchange — HELLO through RESULT —
+	// so a wedged upstream tier cannot hang a leaf's cohorts forever
+	// (default 30s). It should exceed the upstream gateway's round
+	// deadline.
+	Timeout time.Duration
+	// DialRetry is how many times a failed upstream dial is re-attempted
+	// (with DialBackoff between tries) before the cohort's round aborts.
+	// Dialing happens before anything is sealed, so retrying it is always
+	// safe; the exchange itself is never retried — a re-rounded upstream
+	// could name a different seal epoch than the one the cohort already
+	// sealed at, so mid-round failures abort typed (AbortUpstream) and the
+	// *clients* re-round end to end.
+	DialRetry int
+	// DialBackoff is the sleep between dial attempts (default 50ms).
+	DialBackoff time.Duration
+	// MaxFrameBytes bounds upstream frames (default aggsvc's).
+	MaxFrameBytes int
+	// Tier labels this gateway's depth in the federation (leaves are tier
+	// 0's aggregators; the root has no uplink). Only used for metrics.
+	Tier int
+	// Metrics, when non-nil, publishes per-tier federation counters:
+	// upstream rounds/failures/dial retries, negotiate and relay
+	// latencies, and in-flight exchanges, all labeled with the tier.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives one line per upstream failure.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Addr == "" && c.Dial == nil {
+		return fmt.Errorf("federation: neither upstream address nor dialer configured")
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.DialRetry < 0 {
+		return fmt.Errorf("federation: negative dial retry %d", c.DialRetry)
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = DefaultDialBackoff
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Uplink connects a gateway to its upstream tier. Its Dialer plugs into
+// aggsvc.Config.Uplink; each cohort round gets an independent upstream
+// exchange, so many cohorts cascade concurrently over separate
+// connections.
+type Uplink struct {
+	cfg Config
+
+	rounds      *metrics.Counter
+	failures    *metrics.Counter
+	dialRetries *metrics.Counter
+	inflight    *metrics.Gauge
+	negotiateS  *metrics.Histogram
+	relayS      *metrics.Histogram
+}
+
+// latencyBounds bucket upstream phase latencies from sub-millisecond
+// (in-process pipes) to tens of seconds (a straggling upstream round).
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 30}
+
+// New validates cfg and returns an uplink ready for Dialer.
+func New(cfg Config) (*Uplink, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	u := &Uplink{cfg: cfg}
+	if r := cfg.Metrics; r != nil {
+		labels := metrics.Labels{"tier": strconv.Itoa(cfg.Tier)}
+		u.rounds = r.Counter("hear_federation_upstream_rounds_total", labels)
+		u.failures = r.Counter("hear_federation_upstream_failures_total", labels)
+		u.dialRetries = r.Counter("hear_federation_upstream_dial_retries_total", labels)
+		u.inflight = r.Gauge("hear_federation_upstream_inflight", labels)
+		u.negotiateS = r.Histogram("hear_federation_negotiate_seconds", labels, latencyBounds)
+		u.relayS = r.Histogram("hear_federation_relay_seconds", labels, latencyBounds)
+		r.Gauge("hear_federation_tier", labels).Set(int64(cfg.Tier))
+	}
+	return u, nil
+}
+
+// Dialer returns the aggsvc.Config.Uplink hook: it dials the upstream
+// gateway (with retry — nothing is sealed yet) and hands back the
+// exchange.
+func (u *Uplink) Dialer() aggsvc.UplinkDialer {
+	return func(cohort int) (aggsvc.UplinkRound, error) {
+		conn, err := u.dial()
+		if err != nil {
+			u.failures.Inc()
+			u.cfg.Logf("federation: cohort %d: upstream dial failed: %v", cohort, err)
+			return nil, err
+		}
+		u.inflight.Add(1)
+		return &wireRound{u: u, cohort: cohort, conn: conn, done: make(chan error, 1)}, nil
+	}
+}
+
+func (u *Uplink) dial() (net.Conn, error) {
+	dial := u.cfg.Dial
+	if dial == nil {
+		addr := u.cfg.Addr
+		timeout := u.cfg.Timeout
+		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+	}
+	var lastErr error
+	for attempt := 0; attempt <= u.cfg.DialRetry; attempt++ {
+		if attempt > 0 {
+			u.dialRetries.Inc()
+			time.Sleep(u.cfg.DialBackoff)
+		}
+		conn, err := dial()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// lanePair carries the two lanes of one exchange direction.
+type lanePair struct{ data, tags []byte }
+
+// cascadeSealer is the pass-through "sealer" a leaf presents to the
+// upstream tier. It holds no keys: Seal hands over the cohort's already-
+// folded lanes, Verify captures the global lanes (the *clients* verify —
+// a leaf cannot, and must not need to), and Open is a no-op. The channel
+// rendezvous is what splits aggsvc.Client's single Aggregate call into
+// the two phases a cascade needs: the epoch handshake before the cohort
+// seals, and the lane relay after it folds.
+type cascadeSealer struct {
+	scheme uint8
+	tagged bool
+	epoch  uint64 // the cohort's max HELLO epoch, advertised upstream
+
+	epochCh  chan uint64   // ← Seal: the upstream JOIN's agreed epoch
+	lanesCh  chan lanePair // → Seal: the cohort's folded partial lanes
+	globalCh chan lanePair // ← Verify: the globally reduced lanes
+	closeCh  chan struct{} // broken rendezvous: the leaf round died
+}
+
+func (s *cascadeSealer) Tagged() bool    { return s.tagged }
+func (s *cascadeSealer) SchemeID() uint8 { return s.scheme }
+func (s *cascadeSealer) Epoch() uint64   { return s.epoch }
+
+// Seal reports the upstream-agreed epoch to the waiting Negotiate, then
+// blocks until Relay supplies the folded partial lanes.
+func (s *cascadeSealer) Seal(_ []int64, epoch uint64) (cipher, tags []byte, err error) {
+	s.epochCh <- epoch
+	select {
+	case l := <-s.lanesCh:
+		return l.data, l.tags, nil
+	case <-s.closeCh:
+		return nil, nil, fmt.Errorf("federation: leaf round ended before its fold completed")
+	}
+}
+
+// Verify captures the globally reduced lanes; verification itself belongs
+// to the key-holding clients at the tree's leaves.
+func (s *cascadeSealer) Verify(reducedCipher, reducedTags []byte) error {
+	s.globalCh <- lanePair{reducedCipher, reducedTags}
+	return nil
+}
+
+// Open is a no-op: a key-blind tier has nothing to decrypt.
+func (s *cascadeSealer) Open([]byte, []int64) error { return nil }
+
+// wireRound is one upstream exchange: an aggsvc.Client round driven on its
+// own goroutine, with the cascadeSealer as the rendezvous between the
+// server core's Negotiate/Relay phases and the client's Seal/Verify
+// callbacks.
+type wireRound struct {
+	u      *Uplink
+	cohort int
+	conn   net.Conn
+
+	sealer *cascadeSealer
+	done   chan error // the Aggregate goroutine's outcome
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+// Negotiate starts the upstream round and blocks until its JOIN names the
+// federation's agreed seal epoch.
+func (w *wireRound) Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch uint64) (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("federation: uplink round closed")
+	}
+	w.sealer = &cascadeSealer{
+		scheme:   scheme,
+		tagged:   tagged,
+		epoch:    cohortEpoch,
+		epochCh:  make(chan uint64, 1),
+		lanesCh:  make(chan lanePair),
+		globalCh: make(chan lanePair, 1),
+		closeCh:  make(chan struct{}),
+	}
+	client := aggsvc.NewClient(w.conn, w.sealer, aggsvc.ClientOptions{
+		Timeout:       w.u.cfg.Timeout,
+		MaxFrameBytes: w.u.cfg.MaxFrameBytes,
+	})
+	w.started = true
+	w.mu.Unlock()
+
+	w.u.rounds.Inc()
+	start := time.Now()
+	go func() {
+		// The dummy vector sizes HELLO's element count; the cascade sealer
+		// ignores its contents and hands over real lanes.
+		dummy := make([]int64, elems)
+		_, err := client.Aggregate(dummy, dummy)
+		w.done <- err
+	}()
+	select {
+	case epoch := <-w.sealer.epochCh:
+		w.u.negotiateS.Observe(time.Since(start).Seconds())
+		return epoch, nil
+	case err := <-w.done:
+		w.u.failures.Inc()
+		w.u.cfg.Logf("federation: cohort %d: upstream negotiation failed: %v", w.cohort, err)
+		if err == nil {
+			err = fmt.Errorf("federation: upstream round ended before JOIN")
+		}
+		return 0, err
+	}
+}
+
+// Relay hands the cohort's folded partial lanes to the in-flight upstream
+// round and blocks for the globally reduced ones.
+func (w *wireRound) Relay(data, tags []byte) ([]byte, []byte, error) {
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if !started {
+		return nil, nil, fmt.Errorf("federation: Relay before Negotiate")
+	}
+	start := time.Now()
+	select {
+	case w.sealer.lanesCh <- lanePair{data, tags}:
+	case err := <-w.done:
+		w.u.failures.Inc()
+		if err == nil {
+			err = fmt.Errorf("federation: upstream round ended before the relay")
+		}
+		w.u.cfg.Logf("federation: cohort %d: upstream relay failed: %v", w.cohort, err)
+		return nil, nil, err
+	}
+	if err := <-w.done; err != nil {
+		w.u.failures.Inc()
+		w.u.cfg.Logf("federation: cohort %d: upstream relay failed: %v", w.cohort, err)
+		return nil, nil, err
+	}
+	w.u.relayS.Observe(time.Since(start).Seconds())
+	g := <-w.sealer.globalCh
+	return g.data, g.tags, nil
+}
+
+// Close releases the upstream connection and breaks any pending
+// rendezvous, so a leaf round dying underneath a blocked exchange unwinds
+// promptly. Safe to call concurrently and repeatedly.
+func (w *wireRound) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	sealer := w.sealer
+	w.mu.Unlock()
+	if sealer != nil {
+		close(sealer.closeCh)
+	}
+	w.u.inflight.Add(-1)
+	return w.conn.Close()
+}

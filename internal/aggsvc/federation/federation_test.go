@@ -1,0 +1,378 @@
+package federation_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hear"
+	"hear/internal/aggsvc"
+	"hear/internal/aggsvc/federation"
+	"hear/internal/homac"
+	"hear/internal/metrics"
+	"hear/internal/mpi"
+)
+
+// newSealers builds size gateway participants sharing one Init world under
+// the given scheme. seed != 0 attaches a shared HoMAC verifier (Int64Sum
+// only — tags aggregate linearly).
+func newSealers(t *testing.T, size int, kind hear.SchemeKind, seed uint64) []*hear.GatewaySealer {
+	t.Helper()
+	w := mpi.NewWorld(size)
+	ctxs, err := hear.Init(w, hear.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verifier *homac.Vector
+	if seed != 0 {
+		if verifier, err = hear.NewVerifier(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealers := make([]*hear.GatewaySealer, size)
+	for i, c := range ctxs {
+		if sealers[i], err = c.NewGatewaySealerScheme(kind, verifier); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sealers
+}
+
+// roundRobin assigns arriving connections to cohorts in rotation. Pipe
+// connections all share the remote address "pipe", so the production
+// host-hash policy cannot spread them; any balanced assignment yields the
+// same aggregate (the folds are commutative across the whole client set).
+func roundRobin(cohorts int) func(net.Addr) int {
+	var n atomic.Int64
+	return func(net.Addr) int { return int((n.Add(1) - 1) % int64(cohorts)) }
+}
+
+// startTier launches one gateway tier on an in-process pipe listener.
+func startTier(t *testing.T, cfg aggsvc.Config) *aggsvc.PipeListener {
+	t.Helper()
+	s, err := aggsvc.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := aggsvc.NewPipeListener()
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return l
+}
+
+// uplinkTo wires a downstream tier to the given upstream listener.
+func uplinkTo(t *testing.T, l *aggsvc.PipeListener, tier int, reg *metrics.Registry) aggsvc.UplinkDialer {
+	t.Helper()
+	u, err := federation.New(federation.Config{
+		Dial:    l.Dial,
+		Timeout: 30 * time.Second,
+		Tier:    tier,
+		Metrics: reg,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Dialer()
+}
+
+// runClients drives every sealer through `rounds` aggregation rounds
+// against the listener and returns the final round's outputs.
+func runClients(t *testing.T, l *aggsvc.PipeListener, sealers []*hear.GatewaySealer, inputs [][]int64, rounds int) ([][]int64, []error) {
+	t.Helper()
+	n := len(sealers)
+	outs := make([][]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := aggsvc.NewClient(conn, sealers[i], aggsvc.ClientOptions{Timeout: 30 * time.Second})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.Close()
+			outs[i] = make([]int64, len(inputs[i]))
+			for r := 0; r < rounds; r++ {
+				if _, err := c.Aggregate(inputs[i], outs[i]); err != nil {
+					errs[i] = fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// TestFederationTwoTierBitIdentical is the acceptance scenario: for each
+// gateway-foldable scheme, the same client set aggregates through a
+// 2-tier federation (leaf gateway with 3 cohorts cascading into a root)
+// and through a flat gateway; the decrypted aggregates must be
+// bit-identical to each other and to the plaintext reference, and both
+// topologies must land on the same seal epoch.
+func TestFederationTwoTierBitIdentical(t *testing.T) {
+	const clients, cohorts, elems, rounds = 6, 3, 257, 2
+	cases := []struct {
+		name string
+		kind hear.SchemeKind
+		seed uint64 // 0 = untagged
+		fold func(acc, v int64) int64
+		unit int64
+	}{
+		{"sum-verified", hear.Int64Sum, 0xfed5, func(a, v int64) int64 { return a + v }, 0},
+		{"prod", hear.Int64Prod, 0, func(a, v int64) int64 { return int64(uint64(a) * uint64(v)) }, 1},
+		{"xor", hear.Int64Xor, 0, func(a, v int64) int64 { return a ^ v }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inputs := make([][]int64, clients)
+			want := make([]int64, elems)
+			for j := range want {
+				want[j] = tc.unit
+			}
+			for i := range inputs {
+				inputs[i] = make([]int64, elems)
+				for j := range inputs[i] {
+					// Mixed signs and parities; exact for all three folds.
+					inputs[i][j] = int64((i+2)*(j+3)) - 41
+					want[j] = tc.fold(want[j], inputs[i][j])
+				}
+			}
+
+			// Federated: leaf (3 cohorts of 2) cascading into a root of 3.
+			rootL := startTier(t, aggsvc.Config{Group: cohorts, Logf: t.Logf})
+			leafL := startTier(t, aggsvc.Config{
+				Group:    clients / cohorts,
+				Cohorts:  cohorts,
+				CohortBy: roundRobin(cohorts),
+				Uplink:   uplinkTo(t, rootL, 0, nil),
+				Logf:     t.Logf,
+			})
+			fedSealers := newSealers(t, clients, tc.kind, tc.seed)
+			fedOuts, errs := runClients(t, leafL, fedSealers, inputs, rounds)
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("federated client %d: %v", i, err)
+				}
+			}
+
+			// Flat: the same client set against one gateway.
+			flatL := startTier(t, aggsvc.Config{Group: clients, Logf: t.Logf})
+			flatSealers := newSealers(t, clients, tc.kind, tc.seed)
+			flatOuts, errs := runClients(t, flatL, flatSealers, inputs, rounds)
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("flat client %d: %v", i, err)
+				}
+			}
+
+			for i := 0; i < clients; i++ {
+				for j := 0; j < elems; j++ {
+					if fedOuts[i][j] != want[j] {
+						t.Fatalf("federated client %d elem %d = %d, want %d", i, j, fedOuts[i][j], want[j])
+					}
+					if fedOuts[i][j] != flatOuts[i][j] {
+						t.Fatalf("client %d elem %d: federated %d != flat %d", i, j, fedOuts[i][j], flatOuts[i][j])
+					}
+				}
+			}
+			// The cascade applies the max+1 epoch rule exactly once, at the
+			// root, so both topologies advance the key schedule identically.
+			if fe, fl := fedSealers[0].Epoch(), flatSealers[0].Epoch(); fe != fl {
+				t.Fatalf("seal epoch diverged: federated %d, flat %d", fe, fl)
+			}
+		})
+	}
+}
+
+// TestFederationThreeTier cascades through leaf → middle → root (8 clients,
+// 4 leaf cohorts, 2 middle cohorts) with verification on, and checks the
+// per-tier federation metrics.
+func TestFederationThreeTier(t *testing.T) {
+	const clients, elems, rounds = 8, 33, 2
+	reg := metrics.New()
+	rootL := startTier(t, aggsvc.Config{Group: 2, Logf: t.Logf})
+	midL := startTier(t, aggsvc.Config{
+		Group: 2, Cohorts: 2, CohortBy: roundRobin(2),
+		Uplink: uplinkTo(t, rootL, 1, reg), Logf: t.Logf,
+	})
+	leafL := startTier(t, aggsvc.Config{
+		Group: 2, Cohorts: 4, CohortBy: roundRobin(4),
+		Uplink: uplinkTo(t, midL, 0, reg), Logf: t.Logf,
+	})
+
+	sealers := newSealers(t, clients, hear.Int64Sum, 0x3f3d)
+	inputs := make([][]int64, clients)
+	want := make([]int64, elems)
+	for i := range inputs {
+		inputs[i] = make([]int64, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = int64(i*100+j) - 250
+			want[j] += inputs[i][j]
+		}
+	}
+	outs, errs := runClients(t, leafL, sealers, inputs, rounds)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		for j := range outs[i] {
+			if outs[i][j] != want[j] {
+				t.Fatalf("client %d elem %d = %d, want %d", i, j, outs[i][j], want[j])
+			}
+		}
+	}
+
+	m := reg.Map()
+	if got := m[`hear_federation_upstream_rounds_total{tier="0"}`]; got != 4*rounds {
+		t.Errorf("leaf upstream rounds = %v, want %d", got, 4*rounds)
+	}
+	if got := m[`hear_federation_upstream_rounds_total{tier="1"}`]; got != 2*rounds {
+		t.Errorf("middle upstream rounds = %v, want %d", got, 2*rounds)
+	}
+	for _, tier := range []string{"0", "1"} {
+		if got := m[`hear_federation_upstream_failures_total{tier="`+tier+`"}`]; got != 0 {
+			t.Errorf("tier %s failures = %v, want 0", tier, got)
+		}
+		if got := m[`hear_federation_upstream_inflight{tier="`+tier+`"}`]; got != 0 {
+			t.Errorf("tier %s inflight = %v, want 0", tier, got)
+		}
+	}
+}
+
+// TestFederationUpstreamDialAbort pins the typed failure path: when the
+// upstream tier is unreachable, the leaf's clients get AbortUpstream — a
+// retryable, diagnosable code — not a hang or a generic protocol error.
+func TestFederationUpstreamDialAbort(t *testing.T) {
+	const clients = 2
+	reg := metrics.New()
+	u, err := federation.New(federation.Config{
+		Dial:        func() (net.Conn, error) { return nil, errors.New("connection refused") },
+		DialRetry:   2,
+		DialBackoff: time.Millisecond,
+		Tier:        0,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafL := startTier(t, aggsvc.Config{Group: clients, Uplink: u.Dialer(), Logf: t.Logf})
+
+	sealers := newSealers(t, clients, hear.Int64Sum, 0)
+	inputs := [][]int64{make([]int64, 8), make([]int64, 8)}
+	_, errs := runClients(t, leafL, sealers, inputs, 1)
+	for i, err := range errs {
+		var aerr *aggsvc.AbortError
+		if !errors.As(err, &aerr) || aerr.Code != aggsvc.AbortUpstream {
+			t.Errorf("client %d got %v, want AbortUpstream", i, err)
+		}
+	}
+	m := reg.Map()
+	if got := m[`hear_federation_upstream_dial_retries_total{tier="0"}`]; got != 2 {
+		t.Errorf("dial retries = %v, want 2", got)
+	}
+	if got := m[`hear_federation_upstream_failures_total{tier="0"}`]; got != 1 {
+		t.Errorf("upstream failures = %v, want 1", got)
+	}
+}
+
+// TestFederationWedgedRootUnwinds pins the watcher path: a root that
+// accepts the uplink HELLO but can never fill its round must not wedge the
+// leaf — the leaf's own deadline aborts the round, the abort closes the
+// pending upstream exchange, and every client unblocks well before the
+// upstream timeout.
+func TestFederationWedgedRootUnwinds(t *testing.T) {
+	const clients = 2
+	// Root requires 2 cohort partials but only one leaf cohort exists, so
+	// its round can never fill.
+	rootL := startTier(t, aggsvc.Config{Group: 2, RoundTimeout: time.Minute, Logf: t.Logf})
+	leafL := startTier(t, aggsvc.Config{
+		Group:        clients,
+		RoundTimeout: 400 * time.Millisecond,
+		Uplink:       uplinkTo(t, rootL, 0, nil),
+		Logf:         t.Logf,
+	})
+	sealers := newSealers(t, clients, hear.Int64Sum, 0)
+	inputs := [][]int64{make([]int64, 4), make([]int64, 4)}
+	start := time.Now()
+	_, errs := runClients(t, leafL, sealers, inputs, 1)
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		var aerr *aggsvc.AbortError
+		if !errors.As(err, &aerr) {
+			t.Errorf("client %d got %v, want a typed abort", i, err)
+		}
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("leaf took %v to unwind from a wedged root", elapsed)
+	}
+}
+
+// TestFederationKeyBlind extends the gateway's central security property
+// to the cascade: the federation package relays sealed lanes between tiers
+// and must never link key material — not the hear root package, not
+// internal/keys, not internal/homac.
+func TestFederationKeyBlind(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	out, err := exec.Command(goBin, "list", "-deps", "hear/internal/aggsvc/federation").Output()
+	if err != nil {
+		t.Fatalf("go list -deps: %v", err)
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		if dep == "hear" || dep == "hear/internal/keys" || dep == "hear/internal/homac" {
+			t.Errorf("federation depends on key-bearing package %q", dep)
+		}
+	}
+}
+
+// TestFederationSchemeIDMapping pins the structural contract between the
+// root package's GatewaySealer (which cannot import the gateway) and the
+// wire scheme identifiers the gateway dispatches folds on.
+func TestFederationSchemeIDMapping(t *testing.T) {
+	w := mpi.NewWorld(1)
+	ctxs, err := hear.Init(w, hear.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		kind hear.SchemeKind
+		want uint8
+	}{
+		{hear.Int64Sum, aggsvc.SchemeInt64Sum},
+		{hear.Int64Prod, aggsvc.SchemeInt64Prod},
+		{hear.Int64Xor, aggsvc.SchemeInt64Xor},
+	} {
+		g, err := ctxs[0].NewGatewaySealerScheme(tc.kind, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.SchemeID(); got != tc.want {
+			t.Errorf("%s: SchemeID = %d, want %d", tc.kind, got, tc.want)
+		}
+	}
+	// Non-foldable kinds and tagged non-sum schemes are refused up front.
+	if _, err := ctxs[0].NewGatewaySealerScheme(hear.Float64Sum, nil); err == nil {
+		t.Error("Float64Sum accepted as a gateway scheme")
+	}
+	v, err := hear.NewVerifier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctxs[0].NewGatewaySealerScheme(hear.Int64Prod, v); err == nil {
+		t.Error("verifier accepted for a non-additive scheme")
+	}
+}

@@ -70,9 +70,12 @@ const (
 
 // Scheme identifiers carried in HELLO. The gateway folds lanes with the
 // advertised scheme's keyless kernels; it never learns the datatype beyond
-// the lane width.
+// the lane width. Only the additive scheme supports a HoMAC tag lane —
+// tag aggregation is linear, so PROD and XOR rounds run untagged.
 const (
-	SchemeInt64Sum uint8 = 1
+	SchemeInt64Sum  uint8 = 1
+	SchemeInt64Prod uint8 = 2
+	SchemeInt64Xor  uint8 = 3
 )
 
 // HELLO flag bits.
@@ -104,6 +107,7 @@ const (
 	AbortPeerLost                       // another participant disconnected mid-round
 	AbortShutdown                       // the gateway is shutting down
 	AbortStraggler                      // deadline expired but quorum finished; stragglers were evicted, retry
+	AbortUpstream                       // a federated gateway's upstream tier failed the round
 )
 
 func (c AbortCode) String() string {
@@ -124,6 +128,8 @@ func (c AbortCode) String() string {
 		return "server-shutdown"
 	case AbortStraggler:
 		return "straggler-evicted"
+	case AbortUpstream:
+		return "upstream-failure"
 	}
 	return fmt.Sprintf("abort(%d)", uint16(c))
 }

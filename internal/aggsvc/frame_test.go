@@ -1,0 +1,292 @@
+package aggsvc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Every payload codec must round-trip exactly and reject truncated
+// buffers with an error, never a panic: the decoders run on bytes an
+// untrusted peer framed.
+
+func TestHelloRoundTrip(t *testing.T) {
+	cases := []helloFrame{
+		{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: FlagTagged, Elems: 8192, Epoch: 7},
+		{Version: 0xffff, Scheme: SchemeInt64Prod, Flags: 0, Elems: 0, Epoch: math.MaxUint64},
+		{Version: 0, Scheme: SchemeInt64Xor, Flags: 0xff, Elems: math.MaxUint32, Epoch: 0},
+	}
+	for _, want := range cases {
+		p := encodeHello(want)
+		if len(p) != helloPayloadBytes {
+			t.Fatalf("HELLO payload %d B, want %d", len(p), helloPayloadBytes)
+		}
+		got, err := decodeHello(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+	}
+	for _, n := range []int{0, 1, helloPayloadBytes - 1, helloPayloadBytes + 1} {
+		if _, err := decodeHello(make([]byte, n)); err == nil {
+			t.Errorf("decodeHello accepted %d B payload", n)
+		}
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	cases := []joinFrame{
+		{Round: 1, Slot: 0, Group: 8, DeadlineMS: 10_000, ChunkBytes: 64 << 10, Epoch: 3},
+		{Round: math.MaxUint64, Slot: math.MaxUint32, Group: 1, DeadlineMS: 0, ChunkBytes: 0, Epoch: math.MaxUint64},
+	}
+	for _, want := range cases {
+		p := encodeJoin(want)
+		if len(p) != joinPayloadBytes {
+			t.Fatalf("JOIN payload %d B, want %d", len(p), joinPayloadBytes)
+		}
+		got, err := decodeJoin(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+	}
+	for _, n := range []int{0, joinPayloadBytes - 1, joinPayloadBytes + 3} {
+		if _, err := decodeJoin(make([]byte, n)); err == nil {
+			t.Errorf("decodeJoin accepted %d B payload", n)
+		}
+	}
+}
+
+func TestSubmitHeaderRoundTrip(t *testing.T) {
+	want := submitHeader{Round: 42, Lane: LaneTag, Offset: 1 << 20}
+	p := encodeSubmitHeader(want)
+	if len(p) != submitHeaderBytes {
+		t.Fatalf("SUBMIT header %d B, want %d", len(p), submitHeaderBytes)
+	}
+	// Chunk bytes follow the header in a real payload; trailing bytes must
+	// not disturb the decode.
+	got, err := decodeSubmitHeader(append(p, 0xde, 0xad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip %+v -> %+v", want, got)
+	}
+	for n := 0; n < submitHeaderBytes; n++ {
+		if _, err := decodeSubmitHeader(make([]byte, n)); err == nil {
+			t.Errorf("decodeSubmitHeader accepted %d B payload", n)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	cases := []struct {
+		round      uint64
+		data, tags []byte
+	}{
+		{7, []byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 10, 11, 12, 13, 14, 15, 16}},
+		{0, []byte{0xaa}, nil},
+		{math.MaxUint64, nil, nil},
+	}
+	for _, tc := range cases {
+		p := encodeResult(tc.round, tc.data, tc.tags)
+		round, data, tags, err := decodeResult(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != tc.round || !bytes.Equal(data, tc.data) || !bytes.Equal(tags, tc.tags) {
+			t.Fatalf("round trip (%d, %x, %x) -> (%d, %x, %x)",
+				tc.round, tc.data, tc.tags, round, data, tags)
+		}
+		// The lane lengths are exact, so every strict prefix must be
+		// rejected — a short read cannot decode into silently shorter lanes.
+		for n := 0; n < len(p); n++ {
+			if _, _, _, err := decodeResult(p[:n]); err == nil {
+				t.Fatalf("decodeResult accepted %d of %d B", n, len(p))
+			}
+		}
+	}
+	// A declared lane length pointing past the payload must not panic.
+	bad := encodeResult(1, []byte{1, 2, 3, 4}, nil)
+	bad[8] = 0xff // data lane claims 255 B
+	if _, _, _, err := decodeResult(bad); err == nil {
+		t.Error("decodeResult accepted an overrunning data lane")
+	}
+}
+
+func TestAbortRoundTrip(t *testing.T) {
+	want := &AbortError{Round: 9, Code: AbortUpstream, Msg: "upstream tier unreachable"}
+	got, err := decodeAbort(encodeAbort(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("round trip %+v -> %+v", want, got)
+	}
+	// Messages are capped on encode; a declared length past the payload is
+	// clamped on decode instead of read out of bounds.
+	long := &AbortError{Round: 1, Code: AbortDeadline, Msg: string(make([]byte, 1<<13))}
+	p := encodeAbort(long)
+	if len(p) != 12+1<<12 {
+		t.Fatalf("oversized abort message not capped: %d B payload", len(p))
+	}
+	clamped, err := decodeAbort(p[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clamped.Msg) != 8 {
+		t.Fatalf("clamped message %d B, want 8", len(clamped.Msg))
+	}
+	for n := 0; n < 12; n++ {
+		if _, err := decodeAbort(make([]byte, n)); err == nil {
+			t.Errorf("decodeAbort accepted %d B payload", n)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	want := map[string]uint64{
+		"rounds_completed": 12,
+		"cohorts":          4,
+		"bytes_folded":     1 << 30,
+	}
+	keys := []string{"bytes_folded", "cohorts", "rounds_completed"}
+	p := encodeStats(want, keys)
+	got, err := decodeStats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip %v -> %v", want, got)
+	}
+	for n := 0; n < len(p); n++ {
+		if _, err := decodeStats(p[:n]); err == nil {
+			t.Fatalf("decodeStats accepted %d of %d B", n, len(p))
+		}
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, FrameSubmit, []byte{1, 2, 3}, []byte{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	ft, n, err := readFrameHeader(&buf, DefaultMaxFrameBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != FrameSubmit || n != 5 {
+		t.Fatalf("header (%v, %d), want (SUBMIT, 5)", ft, n)
+	}
+	// Oversized frames are rejected by declared length, before any payload
+	// byte is consumed.
+	buf.Reset()
+	if err := writeFrame(&buf, FrameResult, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	var tooBig *ErrFrameTooLarge
+	if _, _, err := readFrameHeader(&buf, 64); !errors.As(err, &tooBig) {
+		t.Fatalf("oversized frame got %v, want ErrFrameTooLarge", err)
+	}
+	// A zero-length body (no type byte counted) is malformed.
+	if _, _, err := readFrameHeader(bytes.NewReader([]byte{0, 0, 0, 0, 1}), 64); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+// The fuzz targets pin the decoders' only contract on adversarial bytes:
+// no panics, no out-of-bounds, and anything that decodes re-encodes
+// consistently. `go test` runs the seed corpus; `go test -fuzz` explores.
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(encodeHello(helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Elems: 4, Epoch: 1}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		h, err := decodeHello(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeHello(h), p) {
+			t.Fatalf("decode/encode not idempotent for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeJoin(f *testing.F) {
+	f.Add(encodeJoin(joinFrame{Round: 3, Group: 2, ChunkBytes: 1 << 16, Epoch: 9}))
+	f.Add(make([]byte, joinPayloadBytes-1))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		j, err := decodeJoin(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeJoin(j), p) {
+			t.Fatalf("decode/encode not idempotent for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeSubmitHeader(f *testing.F) {
+	f.Add(encodeSubmitHeader(submitHeader{Round: 1, Lane: LaneData, Offset: 0}))
+	f.Add(make([]byte, submitHeaderBytes+64))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		h, err := decodeSubmitHeader(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeSubmitHeader(h), p[:submitHeaderBytes]) {
+			t.Fatalf("decode/encode not idempotent for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(encodeResult(5, []byte{1, 2, 3, 4}, []byte{5, 6, 7, 8}))
+	f.Add(encodeResult(0, nil, nil))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		round, data, tags, err := decodeResult(p)
+		if err != nil {
+			return
+		}
+		r2, d2, t2, err := decodeResult(encodeResult(round, data, tags))
+		if err != nil || r2 != round || !bytes.Equal(d2, data) || !bytes.Equal(t2, tags) {
+			t.Fatalf("re-encode of decoded RESULT diverged (%v)", err)
+		}
+	})
+}
+
+func FuzzDecodeAbort(f *testing.F) {
+	f.Add(encodeAbort(&AbortError{Round: 1, Code: AbortProtocol, Msg: "x"}))
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		e, err := decodeAbort(p)
+		if err != nil {
+			return
+		}
+		if len(e.Msg) > len(p) {
+			t.Fatalf("decoded message longer than payload: %d > %d", len(e.Msg), len(p))
+		}
+	})
+}
+
+func FuzzDecodeStats(f *testing.F) {
+	f.Add(encodeStats(map[string]uint64{"a": 1, "bb": 2}, []string{"a", "bb"}))
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := decodeStats(p)
+		if err != nil {
+			return
+		}
+		// Each decoded entry consumed >= 9 bytes after the count prefix.
+		if len(m) > 0 && len(p) < 2+9*1 {
+			t.Fatalf("%d entries decoded from %d B", len(m), len(p))
+		}
+	})
+}

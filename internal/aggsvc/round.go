@@ -33,11 +33,19 @@ type participant struct {
 // roundState is one aggregation round: N participants, two lane
 // accumulators, a deadline, and a single outcome — RESULT for everyone or
 // a typed ABORT for everyone.
+//
+// A federated round (one whose gateway has an Uplink) adds a second stage:
+// after the local fold completes, the cascade driver relays the partial
+// aggregate upstream and the round's RESULT carries the globally reduced
+// lanes instead of the local ones. The seal epoch of a federated round is
+// imposed by the upstream tier (fixEpoch) rather than derived locally.
 type roundState struct {
-	id     uint64
-	params roundParams
-	group  int
-	quorum int // 0 = no eviction policy; see Config.Quorum
+	id        uint64
+	cohort    int
+	params    roundParams
+	group     int
+	quorum    int  // 0 = no eviction policy; see Config.Quorum
+	federated bool // RESULT comes from the uplink, not the local fold
 
 	deadline time.Time
 	timer    *time.Timer
@@ -60,6 +68,20 @@ type roundState struct {
 	fullCh   chan struct{} // closed when the membership seals at group size
 	doneCh   chan struct{}
 	endOnce  sync.Once // server-side end-of-round bookkeeping
+
+	// Seal-epoch fix point. JOIN may only be written once the round's seal
+	// epoch is known: immediately at fill for flat rounds, after the
+	// upstream JOIN names it for federated ones.
+	joinCh     chan struct{}
+	epochSet   bool
+	epochFixed uint64
+
+	// Relay stage (federated rounds only).
+	relayCh    chan struct{} // closed when the uplink exchange resolves
+	relaySet   bool
+	relayErr   *AbortError
+	globalData []byte
+	globalTags []byte
 }
 
 // laneSize returns the byte length of one lane.
@@ -130,12 +152,16 @@ func (r *roundState) abort(code AbortCode, format string, args ...any) {
 	}
 	parts := make([]*participant, len(r.parts))
 	copy(parts, r.parts)
-	close(r.doneCh)
 	r.mu.Unlock()
+	// Poke every participant's blocked read *before* releasing the
+	// outcome waiters: finishRound clears the poke once it wakes, so a
+	// poke landing after the clear would kill a healthy connection's next
+	// (post-round) read.
 	past := time.Unix(1, 0)
 	for _, p := range parts {
 		p.conn.SetReadDeadline(past)
 	}
+	close(r.doneCh)
 }
 
 // outcome blocks until the round ends and returns its abort error (nil
@@ -169,15 +195,94 @@ func (r *roundState) slotOf(p *participant) int {
 	return p.slot
 }
 
-// sealEpoch is the key epoch this round's participants must seal at: one
-// past the highest epoch any of them advertised. A participant that fell
-// behind the group's key schedule (it requested a JOIN it never received,
-// while its peers sealed) catches up by advancing to this value; nobody is
-// ever asked to move backwards.
+// sealEpoch is the key epoch this round's participants must seal at. For a
+// flat round it is fixed at fill time as one past the highest epoch any
+// participant advertised, so a rank that fell behind the group's key
+// schedule catches up and nobody moves backwards. For a federated round it
+// is whatever the upstream tier's JOIN named — the root of the federation
+// applies the max+1 rule exactly once over every cohort's advertised
+// maximum, so all clients of the whole tree seal at one epoch. Valid only
+// after joinCh has closed.
 func (r *roundState) sealEpoch() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.maxEpoch + 1
+	return r.epochFixed
+}
+
+// cohortEpoch is the highest key epoch this round's participants advertised
+// — what a leaf gateway forwards upstream in its own HELLO, *without* the
+// +1 a flat round would apply: the increment belongs to the federation's
+// root alone, so the cascaded epoch equals the flat-round epoch for the
+// same client set. Stable once the membership seals.
+func (r *roundState) cohortEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxEpoch
+}
+
+// fixEpoch fixes the round's seal epoch and releases the JOIN writers. The
+// first fix wins; flat rounds fix at fill, federated rounds when the
+// upstream JOIN arrives.
+func (r *roundState) fixEpoch(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fixEpochLocked(epoch)
+}
+
+func (r *roundState) fixEpochLocked(epoch uint64) {
+	if r.epochSet {
+		return
+	}
+	r.epochSet = true
+	r.epochFixed = epoch
+	close(r.joinCh)
+}
+
+// finishRelay resolves a federated round's second stage with the globally
+// reduced lanes the upstream tier returned.
+func (r *roundState) finishRelay(data, tags []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.relaySet {
+		return
+	}
+	r.relaySet = true
+	r.globalData = data
+	r.globalTags = tags
+	close(r.relayCh)
+}
+
+// failRelay resolves a federated round's second stage with a typed failure;
+// every participant receives it as its round outcome.
+func (r *roundState) failRelay(aerr *AbortError) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.relaySet {
+		return
+	}
+	r.relaySet = true
+	r.relayErr = aerr
+	close(r.relayCh)
+}
+
+// relayOutcome blocks until the relay stage resolves and returns its
+// failure (nil means resultLanes now carries the global aggregate).
+func (r *roundState) relayOutcome() *AbortError {
+	<-r.relayCh
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.relayErr
+}
+
+// resultLanes returns the lanes RESULT should carry: the globally reduced
+// ones for a federated round, the local fold otherwise.
+func (r *roundState) resultLanes() (data, tags []byte) {
+	if !r.federated {
+		return r.data, r.tags
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.globalData, r.globalTags
 }
 
 // leave removes a participant from a round whose membership is still open —
@@ -236,12 +341,14 @@ func (r *roundState) expire(timeout time.Duration) {
 		}
 		parts := make([]*participant, len(r.parts))
 		copy(parts, r.parts)
-		close(r.doneCh)
 		r.mu.Unlock()
+		// Poke before close(doneCh), as in abort: the outcome waiters
+		// clear the poke on wake.
 		past := time.Unix(1, 0)
 		for _, p := range parts {
 			p.conn.SetReadDeadline(past)
 		}
+		close(r.doneCh)
 		return
 	}
 	r.mu.Unlock()
@@ -249,34 +356,42 @@ func (r *roundState) expire(timeout time.Duration) {
 		r.id, timeout, r.group)
 }
 
-// roundManager groups arriving HELLOs into rounds of exactly group
-// participants.
+// roundManager shards arriving HELLOs into per-cohort rounds of exactly
+// group participants: each cohort fills its own rounds independently, so
+// one gateway multiplexes many concurrent rounds — the sharding a
+// federation's leaf tier needs to keep millions of clients off a single
+// round queue. Rounds are keyed by (round ID, cohort): IDs are globally
+// unique across cohorts, and each cohort holds at most one filling round.
 type roundManager struct {
-	group   int
-	quorum  int
-	timeout time.Duration
-	chunk   int
+	group     int
+	quorum    int
+	timeout   time.Duration
+	chunk     int
+	federated bool // rounds defer their seal epoch to the uplink
 
 	mu     sync.Mutex
 	nextID uint64
-	open   *roundState // collecting participants; nil when none or sealed
+	open   map[int]*roundState // cohort → collecting round; absent when none or sealed
 }
 
-// join admits a client into the open round (creating one if needed) and
-// returns its participant record, plus whether this join created the
-// round. A HELLO whose parameters disagree with the open round is refused
-// without poisoning that round. epoch is the joiner's advertised key
-// epoch; the round tracks the max so JOIN can name the group's agreed
-// seal epoch.
-func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64) (*roundState, *participant, bool, *AbortError) {
+// join admits a client into its cohort's open round (creating one if
+// needed) and returns its participant record, plus whether this join
+// created the round. A HELLO whose parameters disagree with the cohort's
+// open round is refused without poisoning that round. epoch is the
+// joiner's advertised key epoch; the round tracks the max so JOIN can name
+// the group's agreed seal epoch.
+func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64, cohort int) (*roundState, *participant, bool, *AbortError) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r := m.open
+	if m.open == nil {
+		m.open = make(map[int]*roundState)
+	}
+	r := m.open[cohort]
 	created := false
 	if r != nil && (r.params != params || r.aborted()) {
 		if r.aborted() {
 			// The open round died (deadline) before filling; start fresh.
-			m.open = nil
+			delete(m.open, cohort)
 			r = nil
 		} else {
 			return nil, nil, false, &AbortError{Round: r.id, Code: AbortMismatch,
@@ -285,24 +400,29 @@ func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64) (*r
 	}
 	if r == nil {
 		r = &roundState{
-			id:       m.nextID,
-			params:   params,
-			group:    m.group,
-			quorum:   m.quorum,
-			deadline: time.Now().Add(m.timeout),
-			data:     make([]byte, params.elems*8),
-			chunk:    m.chunk,
-			fullCh:   make(chan struct{}),
-			doneCh:   make(chan struct{}),
+			id:        m.nextID,
+			cohort:    cohort,
+			params:    params,
+			group:     m.group,
+			quorum:    m.quorum,
+			federated: m.federated,
+			deadline:  time.Now().Add(m.timeout),
+			data:      make([]byte, params.elems*8),
+			chunk:     m.chunk,
+			fullCh:    make(chan struct{}),
+			doneCh:    make(chan struct{}),
+			joinCh:    make(chan struct{}),
+			relayCh:   make(chan struct{}),
 		}
 		m.nextID++
 		created = true
+		identitySeed(params.scheme, r.data)
 		if params.tagged {
 			r.tags = make([]byte, params.elems*8)
 		}
 		timeout := m.timeout
 		r.timer = time.AfterFunc(timeout, func() { r.expire(timeout) })
-		m.open = r
+		m.open[cohort] = r
 	}
 	p := &participant{conn: conn}
 	r.mu.Lock()
@@ -314,10 +434,15 @@ func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64) (*r
 	full := len(r.parts) == r.group
 	if full {
 		close(r.fullCh)
+		if !m.federated {
+			// Flat rounds know their seal epoch the moment the membership
+			// seals; federated rounds wait for the upstream JOIN to name it.
+			r.fixEpochLocked(r.maxEpoch + 1)
+		}
 	}
 	r.mu.Unlock()
 	if full {
-		m.open = nil // sealed: it no longer accepts joiners
+		delete(m.open, cohort) // sealed: it no longer accepts joiners
 	}
 	return r, p, created, nil
 }

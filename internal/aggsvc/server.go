@@ -1,8 +1,10 @@
 package aggsvc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"runtime"
@@ -23,17 +25,35 @@ import (
 // laneFolds maps a HELLO scheme id onto the keyless kernels the gateway
 // executes. The folds are typed as internal/inc's Fold: the gateway is that
 // package's switch contract served over TCP — opaque lanes in, the same
-// lanes folded out, no keys anywhere.
+// lanes folded out, no keys anywhere. A nil tag fold means the scheme
+// cannot carry a HoMAC lane (tag aggregation is linear; only SUM rides it)
+// and tagged HELLOs are refused at admission.
 var laneFolds = map[uint8]struct{ data, tag inc.Fold }{
-	SchemeInt64Sum: {data: fold.SumUint64, tag: fold.SumMod61},
+	SchemeInt64Sum:  {data: fold.SumUint64, tag: fold.SumMod61},
+	SchemeInt64Prod: {data: inc.Fold(fold.Prod(64)), tag: nil},
+	SchemeInt64Xor:  {data: fold.Xor, tag: nil},
+}
+
+// identitySeed seeds a fresh accumulator lane with its fold's identity
+// element. A zeroed buffer already is the identity for SUM and XOR; PROD
+// folds multiplicatively, so its lanes start at the word 1 — folding into
+// zeros would annihilate every submission.
+func identitySeed(scheme uint8, lane []byte) {
+	if scheme != SchemeInt64Prod {
+		return
+	}
+	for off := 0; off+8 <= len(lane); off += 8 {
+		binary.LittleEndian.PutUint64(lane[off:], 1)
+	}
 }
 
 // Server phase names reported through STATS (internal/trace timings).
 const (
-	PhaseRecv = "recv" // reading SUBMIT payloads off connections
-	PhaseFold = "fold" // worker-pool lane folding
-	PhaseWait = "wait" // handlers parked until their round resolves
-	PhaseSend = "send" // writing RESULT frames
+	PhaseRecv  = "recv"  // reading SUBMIT payloads off connections
+	PhaseFold  = "fold"  // worker-pool lane folding
+	PhaseWait  = "wait"  // handlers parked until their round resolves
+	PhaseSend  = "send"  // writing RESULT frames
+	PhaseRelay = "relay" // federated: upstream SUBMIT→RESULT exchange
 )
 
 // Defaults for Config zero values.
@@ -80,6 +100,25 @@ type Config struct {
 	// PoolBlocks caps the pooled SUBMIT buffers (default 4×Workers); an
 	// exhausted pool throttles intake instead of growing.
 	PoolBlocks int
+	// Cohorts shards the round manager: arriving clients are partitioned
+	// into this many cohorts, and each cohort fills its own rounds of
+	// Group participants independently (default 1 — the flat gateway).
+	// With an Uplink configured, each cohort's partial fold is relayed
+	// upstream as one federated client.
+	Cohorts int
+	// CohortStatic pins client source hosts (the host part of the remote
+	// address) to cohorts, overriding the hash assignment. Values must lie
+	// in [0, Cohorts).
+	CohortStatic map[string]int
+	// CohortBy, when non-nil, replaces the assignment policy entirely
+	// (tests and custom topologies); it must return a value in
+	// [0, Cohorts).
+	CohortBy func(remote net.Addr) int
+	// Uplink, when non-nil, turns this gateway into a leaf (or middle)
+	// tier of a federation: a filled round negotiates its seal epoch
+	// through the uplink before JOIN, folds its cohort locally, relays the
+	// partial aggregate upstream, and fans the global RESULT back down.
+	Uplink UplinkDialer
 	// Logf, when non-nil, receives one line per round outcome and
 	// connection error.
 	Logf func(format string, args ...any)
@@ -122,6 +161,17 @@ func (c *Config) fill() error {
 	if c.PoolBlocks <= 0 {
 		c.PoolBlocks = 4 * c.Workers
 	}
+	if c.Cohorts == 0 {
+		c.Cohorts = 1
+	}
+	if c.Cohorts < 1 {
+		return fmt.Errorf("aggsvc: cohort count %d < 1", c.Cohorts)
+	}
+	for host, idx := range c.CohortStatic {
+		if idx < 0 || idx >= c.Cohorts {
+			return fmt.Errorf("aggsvc: static cohort %d for %q outside [0, %d)", idx, host, c.Cohorts)
+		}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -149,6 +199,7 @@ type Server struct {
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	handlers  sync.WaitGroup
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -166,6 +217,8 @@ type Server struct {
 	activeRounds    atomic.Int64
 	bytesIn         atomic.Uint64
 	bytesOut        atomic.Uint64
+	roundsRelayed   atomic.Uint64
+	relayFailures   atomic.Uint64
 }
 
 // NewServer validates cfg, starts the fold worker pool, and returns a
@@ -179,8 +232,9 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		rm:        roundManager{group: cfg.Group, quorum: cfg.Quorum, timeout: cfg.RoundTimeout, chunk: cfg.ChunkBytes},
+		cfg: cfg,
+		rm: roundManager{group: cfg.Group, quorum: cfg.Quorum, timeout: cfg.RoundTimeout,
+			chunk: cfg.ChunkBytes, federated: cfg.Uplink != nil},
 		pool:      pool,
 		fold:      enginepool.New(cfg.Workers),
 		phases:    trace.NewSyncBreakdown(),
@@ -200,7 +254,7 @@ func (s *Server) registerMetrics(r *metrics.Registry) {
 	if r == nil {
 		return
 	}
-	gauges := map[string]bool{"rounds_active": true, "pool_blocks": true}
+	gauges := map[string]bool{"rounds_active": true, "pool_blocks": true, "cohorts": true}
 	r.RegisterSource(func(emit func(metrics.Sample)) {
 		for k, v := range s.StatsMap() {
 			if strings.HasPrefix(k, "phase_") {
@@ -252,9 +306,24 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.connsAccepted.Add(1)
 		s.mu.Lock()
+		// Registration and Close's connection sweep exclude each other
+		// under mu; a conn accepted after the sweep must be dropped here
+		// or no one would ever close it (and Close's handler-drain would
+		// wait forever).
+		select {
+		case <-s.closed:
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
 		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn)
+		}()
 	}
 }
 
@@ -274,6 +343,11 @@ func (s *Server) Close() error {
 		// Drains still-queued folds inline, so every accepted task retires
 		// and no round's completion accounting is left dangling.
 		s.fold.Close()
+		// Join the connection handlers: dropped conns poke every blocked
+		// read and in-flight rounds fail closed, so this terminates — and
+		// once it returns, nothing touches cfg.Logf or the metrics
+		// registry again.
+		s.handlers.Wait()
 	})
 	return nil
 }
@@ -306,6 +380,33 @@ func (s *Server) foldChunk(t foldTask) {
 	s.bytesFolded.Add(uint64(t.n))
 	s.pool.Put(t.block[:cap(t.block)])
 	t.r.taskDone()
+}
+
+// assignCohort maps a connection to its cohort: the CohortBy override if
+// set, then a static host pin, then an FNV-1a hash of the remote host —
+// so a client's cohort is stable across reconnects and a fleet spreads
+// evenly without coordination.
+func (s *Server) assignCohort(conn net.Conn) int {
+	if s.cfg.CohortBy != nil {
+		if c := s.cfg.CohortBy(conn.RemoteAddr()); c >= 0 && c < s.cfg.Cohorts {
+			return c
+		}
+		return 0
+	}
+	if s.cfg.Cohorts == 1 {
+		return 0
+	}
+	addr := conn.RemoteAddr().String()
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	if c, ok := s.cfg.CohortStatic[host]; ok {
+		return c
+	}
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return int(h.Sum32() % uint32(s.cfg.Cohorts))
 }
 
 // handle runs one connection: any number of HELLO→round cycles plus STATS
@@ -353,7 +454,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: err.Error()})
 				return
 			}
-			if !s.serveRound(conn, h) {
+			if !s.serveRound(conn, h, s.assignCohort(conn)) {
 				return
 			}
 		default:
@@ -369,8 +470,13 @@ func (s *Server) admit(h helloFrame) *AbortError {
 		return &AbortError{Code: AbortVersion,
 			Msg: fmt.Sprintf("client speaks protocol v%d, server v%d", h.Version, ProtocolVersion)}
 	}
-	if _, ok := laneFolds[h.Scheme]; !ok {
+	folds, ok := laneFolds[h.Scheme]
+	if !ok {
 		return &AbortError{Code: AbortMismatch, Msg: fmt.Sprintf("unknown scheme %d", h.Scheme)}
+	}
+	if h.tagged() && folds.tag == nil {
+		return &AbortError{Code: AbortMismatch,
+			Msg: fmt.Sprintf("scheme %d does not support a tag lane", h.Scheme)}
 	}
 	if h.Elems <= 0 {
 		return &AbortError{Code: AbortProtocol, Msg: fmt.Sprintf("non-positive vector length %d", h.Elems)}
@@ -390,15 +496,16 @@ func (s *Server) admit(h helloFrame) *AbortError {
 	return nil
 }
 
-// serveRound drives one admitted client through a round. It reports
-// whether the connection is still healthy enough to serve another HELLO.
-func (s *Server) serveRound(conn net.Conn, h helloFrame) bool {
+// serveRound drives one admitted client through a round in its cohort. It
+// reports whether the connection is still healthy enough to serve another
+// HELLO.
+func (s *Server) serveRound(conn net.Conn, h helloFrame, cohort int) bool {
 	if aerr := s.admit(h); aerr != nil {
 		s.writeAbort(conn, aerr)
 		return false
 	}
 	folds := laneFolds[h.Scheme]
-	r, part, created, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()}, h.Epoch)
+	r, part, created, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()}, h.Epoch, cohort)
 	if aerr != nil {
 		s.writeAbort(conn, aerr)
 		return false
@@ -406,6 +513,9 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame) bool {
 	if created {
 		s.roundsStarted.Add(1)
 		s.activeRounds.Add(1)
+		if s.cfg.Uplink != nil {
+			go s.runCascade(r)
+		}
 	}
 	s.clientsJoined.Add(1)
 
@@ -462,19 +572,20 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// awaitFull parks an admitted participant until its round's membership
-// seals (fullCh) or the round ends (doneCh). A legal client sends nothing
+// awaitFull parks an admitted participant until its round's seal epoch is
+// fixed (joinCh — at fill for flat rounds, after the upstream JOIN for
+// federated ones) or the round ends (doneCh). A legal client sends nothing
 // between HELLO and JOIN, so the wait probes the connection with short
 // read deadlines: silence means alive, data is a protocol violation, and
 // a dead connection frees the slot — a pre-fill death must not poison the
 // round, because nothing has been sealed against it yet. It reports
-// whether the handler should continue into the round (full or aborted);
-// false means this connection is done for.
+// whether the handler should continue into the round (joinable or
+// aborted); false means this connection is done for.
 func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool {
 	var probe [1]byte
 	for {
 		select {
-		case <-r.fullCh:
+		case <-r.joinCh:
 			conn.SetReadDeadline(time.Time{})
 			return true
 		case <-r.doneCh:
@@ -616,11 +727,17 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 	return true
 }
 
-// finishRound waits for the round outcome and delivers RESULT or ABORT to
-// this participant. It reports whether the round aborted.
+// finishRound waits for the round outcome — including, for federated
+// rounds, the upstream relay stage — and delivers RESULT or ABORT to this
+// participant. It reports whether the round aborted.
 func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 	stopWait := s.phases.Start(PhaseWait)
 	aerr := r.outcome()
+	if aerr == nil && r.federated {
+		// The local fold is a partial aggregate; the round's RESULT is
+		// whatever the upstream tier reduces it into.
+		aerr = r.relayOutcome()
+	}
 	stopWait()
 	conn.SetReadDeadline(time.Time{}) // clear the abort poke, if any
 	r.endOnce.Do(func() {
@@ -638,7 +755,8 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 		return true
 	}
 	stopSend := s.phases.Start(PhaseSend)
-	err := s.writeWithDeadline(conn, FrameResult, encodeResult(r.id, r.data, r.tags))
+	data, tags := r.resultLanes()
+	err := s.writeWithDeadline(conn, FrameResult, encodeResult(r.id, data, tags))
 	stopSend()
 	if err != nil {
 		s.cfg.Logf("aggsvc: round %d: result undeliverable: %v", r.id, err)
@@ -682,6 +800,9 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"frames_rejected":  s.framesRejected.Load(),
 		"bytes_in":         s.bytesIn.Load(),
 		"bytes_out":        s.bytesOut.Load(),
+		"cohorts":          uint64(s.cfg.Cohorts),
+		"rounds_relayed":   s.roundsRelayed.Load(),
+		"relay_failures":   s.relayFailures.Load(),
 		"pool_hits":        hits,
 		"pool_misses":      misses,
 		"pool_blocks":      uint64(allocated),

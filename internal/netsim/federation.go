@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Federation models hierarchical gateway federation (internal/aggsvc/
+// federation): ranks clients hang off a tree of key-blind gateways, each
+// gateway folds a cohort of at most cohortSize uploads and relays one
+// partial aggregate upstream, and the root's global aggregate fans back
+// down the same tree. The model answers the scaling question the flat
+// gateway cannot: a single box serializes all N uploads through one NIC,
+// while a federation serializes at most cohortSize per box per level —
+// the same fan-in argument as the switch-tree INCLatency, but for the
+// TCP gateway tier.
+
+// FederationStats describes one modelled federated round.
+type FederationStats struct {
+	// Levels is the number of gateway tiers the tree actually needs
+	// (leaf tier first in the per-level slices).
+	Levels int
+	// Gateways is the gateway count at each level; the last entry is 1,
+	// the federation root.
+	Gateways []int
+	// FanIn is the maximum per-gateway fan-in at each level.
+	FanIn []int
+	// Latency is one whole round: every upload serialized and folded up
+	// the tree, the global result fanned back down, in seconds.
+	Latency float64
+	// RoundsPerSec is the pipelined round rate, bound by the busiest
+	// gateway's per-round service time.
+	RoundsPerSec float64
+	// ClientsPerSec and BytesPerSec are the aggregate intake at that rate.
+	ClientsPerSec float64
+	BytesPerSec   float64
+}
+
+// Federation sizes a gateway tree for ranks clients with per-round
+// cohorts of at most cohortSize, refusing trees that need more than tiers
+// gateway levels, and returns its modelled latency and throughput for
+// msgBytes-sized sealed lanes.
+func (p Params) Federation(ranks, cohortSize, tiers, msgBytes int) (FederationStats, error) {
+	var s FederationStats
+	if ranks < 1 {
+		return s, fmt.Errorf("netsim: federation over %d ranks", ranks)
+	}
+	if cohortSize < 2 {
+		return s, fmt.Errorf("netsim: federation cohort size %d < 2", cohortSize)
+	}
+	if tiers < 1 {
+		return s, fmt.Errorf("netsim: federation with %d tiers", tiers)
+	}
+	if msgBytes <= 0 {
+		return s, fmt.Errorf("netsim: non-positive message size")
+	}
+
+	// Build the tree level by level: each level packs the previous one
+	// into balanced cohorts until a single root remains.
+	for n := ranks; ; {
+		gws := (n + cohortSize - 1) / cohortSize
+		s.Gateways = append(s.Gateways, gws)
+		s.FanIn = append(s.FanIn, (n+gws-1)/gws)
+		s.Levels++
+		if gws == 1 {
+			break
+		}
+		if s.Levels == tiers {
+			return FederationStats{}, fmt.Errorf(
+				"netsim: %d tiers of %d-wide cohorts reach %.0f clients, not %d",
+				tiers, cohortSize, math.Pow(float64(cohortSize), float64(tiers)), ranks)
+		}
+		n = gws
+	}
+
+	// Per level, one gateway's round costs a network hop, the fan-in's
+	// serialization through its NIC, and the keyless fold (modelled at the
+	// per-rank memory rate). The downlink mirrors the uplink: the global
+	// lanes fan out over the same edges.
+	var busiest float64
+	for _, fanIn := range s.FanIn {
+		lane := float64(fanIn) * float64(msgBytes)
+		oneWay := p.InterNodeLatency + lane/p.NICBandwidth + lane/p.PerRankRate
+		s.Latency += 2 * oneWay
+		if 2*oneWay > busiest {
+			busiest = 2 * oneWay
+		}
+	}
+	// Levels overlap when rounds pipeline, so the sustained rate is set by
+	// the busiest gateway, not the end-to-end latency.
+	s.RoundsPerSec = 1 / busiest
+	s.ClientsPerSec = float64(ranks) * s.RoundsPerSec
+	s.BytesPerSec = float64(ranks) * float64(msgBytes) * s.RoundsPerSec
+	return s, nil
+}
+
+// FederationLatency is the scalar convenience over Federation: the
+// modelled end-to-end latency of one federated round, in seconds. A flat
+// gateway is the tiers=1, cohortSize=ranks special case, which makes the
+// federated-vs-flat comparison a two-call affair.
+func (p Params) FederationLatency(ranks, cohortSize, tiers, msgBytes int) (float64, error) {
+	s, err := p.Federation(ranks, cohortSize, tiers, msgBytes)
+	if err != nil {
+		return 0, err
+	}
+	return s.Latency, nil
+}

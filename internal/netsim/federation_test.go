@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFederationFlatEquivalence(t *testing.T) {
+	p := AriesDefaults()
+	const ranks, msg = 1024, 8192
+	s, err := p.Federation(ranks, ranks, 1, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels != 1 || len(s.Gateways) != 1 || s.Gateways[0] != 1 || s.FanIn[0] != ranks {
+		t.Fatalf("flat tree shape: %+v", s)
+	}
+	// One level, fan-in = ranks: exactly the hand-computed round trip.
+	lane := float64(ranks) * float64(msg)
+	want := 2 * (p.InterNodeLatency + lane/p.NICBandwidth + lane/p.PerRankRate)
+	if math.Abs(s.Latency-want) > 1e-12 {
+		t.Fatalf("flat latency %g, want %g", s.Latency, want)
+	}
+}
+
+func TestFederationTreeShape(t *testing.T) {
+	p := AriesDefaults()
+	s, err := p.Federation(1_000_000, 100, 3, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels != 3 {
+		t.Fatalf("1M clients / cohort 100 needs %d levels, want 3", s.Levels)
+	}
+	wantGW := []int{10_000, 100, 1}
+	for i, g := range s.Gateways {
+		if g != wantGW[i] {
+			t.Fatalf("gateways per level %v, want %v", s.Gateways, wantGW)
+		}
+		if s.FanIn[i] != 100 {
+			t.Fatalf("level %d fan-in %d, want 100", i, s.FanIn[i])
+		}
+	}
+}
+
+func TestFederationExactSmallCase(t *testing.T) {
+	p := Params{NICBandwidth: 1e9, PerRankRate: 1e9, InterNodeLatency: 1e-6}
+	// 4 clients, cohorts of 2: two leaf gateways then one root, fan-in 2
+	// at both levels.
+	s, err := p.Federation(4, 2, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLevel := 2 * (1e-6 + 2000/1e9 + 2000/1e9)
+	if want := 2 * perLevel; math.Abs(s.Latency-want) > 1e-12 {
+		t.Fatalf("latency %g, want %g", s.Latency, want)
+	}
+	if want := 1 / perLevel; math.Abs(s.RoundsPerSec-want) > 1e-6 {
+		t.Fatalf("rounds/s %g, want %g", s.RoundsPerSec, want)
+	}
+	if want := 4 / perLevel; math.Abs(s.ClientsPerSec-want) > 1e-3 {
+		t.Fatalf("clients/s %g, want %g", s.ClientsPerSec, want)
+	}
+}
+
+// TestFederationBeatsFlatAtScale pins the reason the subsystem exists: at
+// a million clients, a 3-tier cascade's worst per-box fan-in is 100, so
+// both its round latency and its sustained intake beat one flat gateway
+// serializing a million uploads through one NIC.
+func TestFederationBeatsFlatAtScale(t *testing.T) {
+	p := AriesDefaults()
+	const ranks, msg = 1_000_000, 1024
+	flat, err := p.Federation(ranks, ranks, 1, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := p.Federation(ranks, 100, 3, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Latency >= flat.Latency {
+		t.Fatalf("federated latency %g >= flat %g", fed.Latency, flat.Latency)
+	}
+	if fed.ClientsPerSec <= flat.ClientsPerSec {
+		t.Fatalf("federated intake %g <= flat %g", fed.ClientsPerSec, flat.ClientsPerSec)
+	}
+	// A shallower tree with huge cohorts sits between the two: its root
+	// still serializes 10k uploads.
+	mid, err := p.Federation(ranks, 10_000, 2, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fed.Latency < mid.Latency && mid.Latency < flat.Latency) {
+		t.Fatalf("latency ordering violated: 3-tier %g, 2-tier %g, flat %g",
+			fed.Latency, mid.Latency, flat.Latency)
+	}
+}
+
+func TestFederationErrors(t *testing.T) {
+	p := AriesDefaults()
+	cases := []struct {
+		name                           string
+		ranks, cohort, tiers, msgBytes int
+	}{
+		{"zero-ranks", 0, 2, 1, 16},
+		{"cohort-too-small", 8, 1, 3, 16},
+		{"zero-tiers", 8, 2, 0, 16},
+		{"zero-msg", 8, 2, 3, 0},
+		{"tree-does-not-reach-root", 1 << 20, 2, 3, 16},
+	}
+	for _, tc := range cases {
+		if _, err := p.Federation(tc.ranks, tc.cohort, tc.tiers, tc.msgBytes); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// One client degenerates to a single root, whatever the tier budget.
+	s, err := p.Federation(1, 2, 1, 16)
+	if err != nil || s.Levels != 1 || s.Gateways[0] != 1 {
+		t.Fatalf("single-rank federation: %+v, %v", s, err)
+	}
+}
