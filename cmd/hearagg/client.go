@@ -100,12 +100,18 @@ func runClient(args []string) error {
 		}
 		mu.Unlock()
 	}
+	// One read-buffer pool for the whole fleet: each client recycles its
+	// high-water frame buffer through it on Close, so -conns clients over
+	// -rounds rounds settle on a handful of RESULT-sized buffers instead
+	// of growing one per connection.
+	rbufs := &sync.Pool{}
 	start := time.Now()
 	for i := 0; i < *conns; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := dialRetry(*addr, sealers[i], aggsvc.ClientOptions{Timeout: *timeout}, *connectTimeout)
+			c, err := dialRetry(*addr, sealers[i],
+				aggsvc.ClientOptions{Timeout: *timeout, ReadBufPool: rbufs}, *connectTimeout)
 			if err != nil {
 				fail(fmt.Errorf("conn %d: %w", i, err))
 				return

@@ -11,6 +11,7 @@
 //	hearbench map        §5.3.1 MAP adversary success probabilities
 //	hearbench prefetch   noise prefetch overlap speedup (BENCH_prefetch.json)
 //	hearbench federation gateway-federation fan-in scaling (BENCH_federation.json)
+//	hearbench wirepath   zero-copy fan-out bytes/sec/core vs legacy codec (BENCH_wirepath.json)
 //	hearbench inc        INC's latency/bandwidth advantages (intro claims)
 //	hearbench ablation   design-choice ablations (canceling, PRF backend, op cost)
 //	hearbench validate   §6 correctness validation (float error, int memcmp)
@@ -51,6 +52,7 @@ func main() {
 		"map":        mapAttack,
 		"prefetch":   prefetchExp,
 		"federation": federationExp,
+		"wirepath":   wirepathExp,
 		"inc":        incExp,
 		"ablation":   ablation,
 		"validate":   validate,

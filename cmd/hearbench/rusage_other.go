@@ -1,0 +1,13 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+const cpuAccounting = "wall-clock fallback (no getrusage)"
+
+// processCPUSeconds falls back to wall time where getrusage is not
+// available; bytes/sec/core then degrades to plain bytes/sec.
+func processCPUSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+const cpuAccounting = "getrusage(RUSAGE_SELF) utime+stime"
+
+// processCPUSeconds returns the CPU seconds (user + system) this process
+// has consumed so far, across all threads. Deltas of it turn the wirepath
+// experiment's byte counts into bytes/sec/core — the unit the zero-copy
+// work targets, since a gateway core spent copying is a core not folding.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

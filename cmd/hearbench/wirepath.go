@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"hear/internal/aggsvc"
+)
+
+// wirepathExp measures the zero-copy wire path against the codec it
+// replaced: a 64-client loopback RESULT fan-out, writer and readers in one
+// process, charged in bytes per second per CPU core (rusage). The legacy
+// variant allocates and copies the full aggregate once per participant and
+// issues one write syscall per payload slice, with fresh-buffer-per-frame
+// readers; the vectored variant encodes the round's lanes exactly once and
+// fans out with writev against shared immutable buffers, with
+// reusable-buffer readers. Emits BENCH_wirepath.json; the allocs/op side
+// of the story is pinned by BenchmarkWirePath / TestWirePathAllocFree in
+// internal/aggsvc.
+
+const wirepathConns = 64
+
+type wirepathRow struct {
+	LaneBytes int `json:"lane_bytes"`
+	Conns     int `json:"conns"`
+	Rounds    int `json:"rounds"`
+	// Payload volume fanned out (rounds × conns × frame bytes).
+	TotalMB float64 `json:"total_mb"`
+	// Legacy = per-participant encode+copy, sequential writes, allocating
+	// readers. Vectored = once-per-round encode, writev fan-out, reusing
+	// readers.
+	LegacyWallMS       float64 `json:"legacy_wall_ms"`
+	LegacyCPUSec       float64 `json:"legacy_cpu_sec"`
+	LegacyBytesPerCore float64 `json:"legacy_bytes_per_sec_core"`
+	VectorWallMS       float64 `json:"vectored_wall_ms"`
+	VectorCPUSec       float64 `json:"vectored_cpu_sec"`
+	VectorBytesPerCore float64 `json:"vectored_bytes_per_sec_core"`
+	Improvement        float64 `json:"improvement"`
+}
+
+type wirepathE2E struct {
+	Clients      int     `json:"clients"`
+	Elems        int     `json:"elems"`
+	Rounds       int     `json:"rounds"`
+	WallMS       float64 `json:"wall_ms"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+type wirepathReport struct {
+	Experiment string        `json:"experiment"`
+	CPUAccount string        `json:"cpu_accounting"`
+	Rows       []wirepathRow `json:"rows"`
+	// FanoutImprovement is the headline bytes/sec/core ratio on the
+	// 64-client 64 KiB-lane fan-out (the gateway's default chunk size).
+	FanoutImprovement float64     `json:"fanout_improvement"`
+	E2E               wirepathE2E `json:"e2e_gateway_round"`
+}
+
+// wirepathFanOut runs one fan-out variant: rounds × FanOutResult* over
+// conns TCP loopback connections, each drained by its own reader
+// goroutine, returning wall time and process CPU consumed.
+func wirepathFanOut(laneBytes, rounds int, vectored bool) (wall time.Duration, cpu float64, err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+
+	writers := make([]io.Writer, 0, wirepathConns)
+	var closers []net.Conn
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	var readers sync.WaitGroup
+	maxFrame := laneBytes + 1<<10
+	for i := 0; i < wirepathConns; i++ {
+		dst, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return 0, 0, err
+		}
+		closers = append(closers, dst)
+		src, err := l.Accept()
+		if err != nil {
+			return 0, 0, err
+		}
+		closers = append(closers, src)
+		writers = append(writers, src)
+		readers.Add(1)
+		go func(c net.Conn) {
+			defer readers.Done()
+			var buf []byte
+			for {
+				if vectored {
+					if _, buf, _, err = aggsvc.ReadFrameInto(c, buf, maxFrame); err != nil {
+						return
+					}
+				} else {
+					if _, _, err := aggsvc.ReadFrameAlloc(c, maxFrame); err != nil {
+						return
+					}
+				}
+			}
+		}(dst)
+	}
+
+	data := make([]byte, laneBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	start := time.Now()
+	cpu0 := processCPUSeconds()
+	for r := 0; r < rounds; r++ {
+		if vectored {
+			err = aggsvc.FanOutResultVectored(writers, uint64(r), data, nil)
+		} else {
+			err = aggsvc.FanOutResultLegacy(writers, uint64(r), data, nil)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	wall = time.Since(start)
+	// Close the write sides so the readers drain the tail and exit, then
+	// charge their CPU too — the legacy codec's per-frame allocation burns
+	// reader cores as surely as writer cores.
+	for _, w := range writers {
+		w.(net.Conn).Close()
+	}
+	readers.Wait()
+	cpu = processCPUSeconds() - cpu0
+	return wall, cpu, nil
+}
+
+// wirepathE2ERound measures whole gateway rounds over loopback TCP: the
+// zero-copy path end to end (HELLO through vectored RESULT fan-out).
+func wirepathE2ERound(clients, elems, rounds int) (wirepathE2E, error) {
+	e := wirepathE2E{Clients: clients, Elems: elems, Rounds: rounds}
+	srv, err := aggsvc.NewServer(aggsvc.Config{Group: clients})
+	if err != nil {
+		return e, err
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return e, err
+	}
+	go srv.Serve(l)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := aggsvc.Dial(l.Addr().String(), passthroughSealer{elems: elems},
+				aggsvc.ClientOptions{Timeout: 30 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			vals := make([]int64, elems)
+			out := make([]int64, elems)
+			for r := 0; r < rounds; r++ {
+				if _, err := c.Aggregate(vals, out); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return e, err
+	default:
+	}
+	e.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	e.RoundsPerSec = float64(rounds) / time.Since(start).Seconds()
+	return e, nil
+}
+
+// passthroughSealer uploads plaintext LE int64 lanes — the transport cost
+// is what wirepath measures; sealing belongs to the other experiments.
+type passthroughSealer struct{ elems int }
+
+func (s passthroughSealer) Seal(vals []int64, _ uint64) ([]byte, []byte, error) {
+	return make([]byte, len(vals)*8), nil, nil
+}
+func (passthroughSealer) Verify(_, _ []byte) error   { return nil }
+func (passthroughSealer) Open([]byte, []int64) error { return nil }
+func (passthroughSealer) Tagged() bool               { return false }
+func (passthroughSealer) Epoch() uint64              { return 0 }
+
+func wirepathExp() error {
+	type cfg struct {
+		lane   int
+		rounds int
+	}
+	cases := []cfg{{4 << 10, 2000}, {64 << 10, 800}, {1 << 20, 80}}
+	e2eRounds := 10
+	if *quick {
+		cases = []cfg{{4 << 10, 40}, {64 << 10, 20}, {1 << 20, 4}}
+		e2eRounds = 2
+	}
+	report := wirepathReport{Experiment: "wirepath", CPUAccount: cpuAccounting}
+
+	fmt.Printf("wire path: %d-conn loopback RESULT fan-out, legacy codec vs zero-copy writev\n", wirepathConns)
+	fmt.Printf("%-10s %8s %14s %14s %8s\n", "lane", "rounds", "legacy B/s/core", "writev B/s/core", "ratio")
+	for _, c := range cases {
+		row := wirepathRow{LaneBytes: c.lane, Conns: wirepathConns, Rounds: c.rounds}
+		frameBytes := 5 + 16 + c.lane // header + RESULT prefixes + data lane
+		total := float64(c.rounds) * float64(wirepathConns) * float64(frameBytes)
+		row.TotalMB = total / (1 << 20)
+
+		wall, cpu, err := wirepathFanOut(c.lane, c.rounds, false)
+		if err != nil {
+			return err
+		}
+		row.LegacyWallMS = float64(wall.Microseconds()) / 1000
+		row.LegacyCPUSec = cpu
+		row.LegacyBytesPerCore = total / cpu
+
+		wall, cpu, err = wirepathFanOut(c.lane, c.rounds, true)
+		if err != nil {
+			return err
+		}
+		row.VectorWallMS = float64(wall.Microseconds()) / 1000
+		row.VectorCPUSec = cpu
+		row.VectorBytesPerCore = total / cpu
+
+		row.Improvement = row.VectorBytesPerCore / row.LegacyBytesPerCore
+		report.Rows = append(report.Rows, row)
+		if c.lane == 64<<10 {
+			report.FanoutImprovement = row.Improvement
+		}
+		fmt.Printf("%-10s %8d %14.1fM %14.1fM %7.2fx\n",
+			fmtBytes(c.lane), c.rounds,
+			row.LegacyBytesPerCore/1e6, row.VectorBytesPerCore/1e6, row.Improvement)
+	}
+
+	e2e, err := wirepathE2ERound(8, 8192, e2eRounds)
+	if err != nil {
+		return err
+	}
+	report.E2E = e2e
+	fmt.Printf("e2e gateway: %d clients × %d elems, %d rounds: %.1f rounds/s\n",
+		e2e.Clients, e2e.Elems, e2e.Rounds, e2e.RoundsPerSec)
+
+	f, err := os.Create("BENCH_wirepath.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_wirepath.json")
+	return nil
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

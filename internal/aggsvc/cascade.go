@@ -99,9 +99,14 @@ func (s *Server) runCascade(r *roundState) {
 	if r.aborted() {
 		return
 	}
-	stopRelay := s.phases.Start(PhaseRelay)
+	// The partial lanes go up zero-copy (they are this round's immutable
+	// accumulators from here on); the global lanes come back already owned
+	// by this round — the uplink copied them out of its read buffer — so
+	// the downlink RESULT fan-out may reference them for the round's whole
+	// lifetime.
+	relayTm := s.phases.StartTimer(PhaseRelay)
 	gdata, gtags, err := u.Relay(r.data, r.tags)
-	stopRelay()
+	relayTm.Stop()
 	if err != nil {
 		s.relayFailures.Add(1)
 		r.failRelay(upstreamAbort(r.id, err))

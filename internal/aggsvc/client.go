@@ -3,7 +3,9 @@ package aggsvc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -84,6 +86,12 @@ type ClientOptions struct {
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
 	JitterSeed      int64
+	// ReadBufPool, when non-nil, is a *sync.Pool of []byte the client draws
+	// its reusable frame read buffer from and returns on Close. Fleets of
+	// clients in one process (cmd/hearagg's load generator, the federation
+	// Uplink) share one pool so sequential rounds recycle a handful of
+	// high-water buffers instead of growing one per client.
+	ReadBufPool *sync.Pool
 }
 
 func (o *ClientOptions) fill() {
@@ -105,6 +113,13 @@ type Client struct {
 	sealer  Sealer
 	opt     ClientOptions
 	attempt uint64 // lifetime retry counter, feeds the jitter hash
+	// rbuf is the reusable frame read buffer: readFrameReuse grows it to
+	// the largest frame seen (bounded by MaxFrameBytes) and every later
+	// frame lands in it without allocating. Frames returned to callers
+	// alias rbuf and are valid only until the next read — aggregateOnce
+	// fully consumes each frame before reading the next, and Sealer.Verify
+	// implementations that retain lanes (the federation cascade) copy.
+	rbuf []byte
 }
 
 // NewClient wraps an established connection (TCP, net.Pipe, ...). Set
@@ -252,11 +267,15 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	}
 	hello := helloFrame{Version: ProtocolVersion, Scheme: scheme, Flags: flags,
 		Elems: len(vals), Epoch: c.sealer.Epoch()}
-	if err := writeFrame(c.conn, FrameHello, encodeHello(hello)); err != nil {
+	b := wireBufs.Get().(*wireBuf)
+	putHello(b.fixed[:helloPayloadBytes], hello)
+	err := b.writeFrame(c.conn, FrameHello, b.fixed[:helloPayloadBytes])
+	wireBufs.Put(b)
+	if err != nil {
 		return Round{}, &errTransient{fmt.Errorf("aggsvc: hello: %w", err)}
 	}
 
-	t, p, err := readFrame(c.conn, c.opt.MaxFrameBytes)
+	t, p, err := c.readFrameReuse()
 	if err != nil {
 		return Round{}, &errTransient{fmt.Errorf("aggsvc: awaiting JOIN: %w", err)}
 	}
@@ -300,7 +319,7 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 		np.PrefetchNext(len(vals))
 	}
 
-	t, p, err = readFrame(c.conn, c.opt.MaxFrameBytes)
+	t, p, err = c.readFrameReuse()
 	if err != nil {
 		return Round{}, &errTransient{fmt.Errorf("aggsvc: awaiting RESULT: %w", err)}
 	}
@@ -332,18 +351,46 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	return Round{ID: join.Round, Slot: join.Slot, Group: join.Group, Elapsed: time.Since(start)}, nil
 }
 
+// submitLane streams one sealed lane as SUBMIT frames. Each frame is one
+// vectored write of the pooled header scratch plus a window of the sealed
+// buffer — the lane bytes are never copied and the loop allocates nothing.
 func (c *Client) submitLane(round uint64, lane uint8, buf []byte, chunk int) error {
+	b := wireBufs.Get().(*wireBuf)
+	defer wireBufs.Put(b)
 	for off := 0; off < len(buf); off += chunk {
 		end := off + chunk
 		if end > len(buf) {
 			end = len(buf)
 		}
-		hdr := encodeSubmitHeader(submitHeader{Round: round, Lane: lane, Offset: off})
-		if err := writeFrame(c.conn, FrameSubmit, hdr, buf[off:end]); err != nil {
+		putSubmitHeader(b.fixed[:submitHeaderBytes], submitHeader{Round: round, Lane: lane, Offset: off})
+		if err := b.writeFrame(c.conn, FrameSubmit, b.fixed[:submitHeaderBytes], buf[off:end]); err != nil {
 			return &errTransient{fmt.Errorf("aggsvc: submit lane %d at %d: %w", lane, off, err)}
 		}
 	}
 	return nil
+}
+
+// readFrameReuse reads one frame into the client's reusable buffer,
+// growing it at most to the length-checked high-water mark. The returned
+// payload aliases the buffer and is valid until the next call.
+func (c *Client) readFrameReuse() (FrameType, []byte, error) {
+	t, n, err := readFrameHeader(c.conn, c.opt.MaxFrameBytes)
+	if err != nil {
+		return t, nil, err
+	}
+	if c.rbuf == nil && c.opt.ReadBufPool != nil {
+		if v := c.opt.ReadBufPool.Get(); v != nil {
+			c.rbuf = v.([]byte)
+		}
+	}
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	p := c.rbuf[:n]
+	if _, err := io.ReadFull(c.conn, p); err != nil {
+		return t, nil, err
+	}
+	return t, p, nil
 }
 
 func (c *Client) abortError(payload []byte) error {
@@ -373,7 +420,7 @@ func (c *Client) ServerStats() (map[string]uint64, error) {
 	if err := writeFrame(c.conn, FrameStatsReq); err != nil {
 		return nil, err
 	}
-	t, p, err := readFrame(c.conn, c.opt.MaxFrameBytes)
+	t, p, err := c.readFrameReuse()
 	if err != nil {
 		return nil, err
 	}
@@ -383,8 +430,13 @@ func (c *Client) ServerStats() (map[string]uint64, error) {
 	return decodeStats(p)
 }
 
-// Close drops the connection.
+// Close drops the connection and, when a ReadBufPool is configured,
+// returns the grown read buffer for the next client in the fleet.
 func (c *Client) Close() error {
+	if c.rbuf != nil && c.opt.ReadBufPool != nil {
+		c.opt.ReadBufPool.Put(c.rbuf)
+		c.rbuf = nil
+	}
 	if c.conn == nil {
 		return nil
 	}

@@ -100,6 +100,12 @@ func (c *Config) fill() error {
 type Uplink struct {
 	cfg Config
 
+	// bufs recycles the per-exchange frame read buffers: each upstream
+	// round's client draws its reusable RESULT/JOIN buffer here and
+	// returns it on Close, so a long-lived leaf's steady state keeps a
+	// handful of high-water buffers instead of allocating one per round.
+	bufs sync.Pool
+
 	rounds      *metrics.Counter
 	failures    *metrics.Counter
 	dialRetries *metrics.Counter
@@ -207,9 +213,18 @@ func (s *cascadeSealer) Seal(_ []int64, epoch uint64) (cipher, tags []byte, err 
 }
 
 // Verify captures the globally reduced lanes; verification itself belongs
-// to the key-holding clients at the tree's leaves.
+// to the key-holding clients at the tree's leaves. The lanes alias the
+// uplink client's recycled read buffer, and the leaf's downlink fan-out
+// outlives this exchange (the buffer returns to the shared pool on Close,
+// where the next cohort's round would scribble over it) — so this is the
+// single copy the cascade pays per cohort round, and everything past it is
+// zero-copy (see DESIGN.md, "Zero-copy wire path").
 func (s *cascadeSealer) Verify(reducedCipher, reducedTags []byte) error {
-	s.globalCh <- lanePair{reducedCipher, reducedTags}
+	g := lanePair{data: append([]byte(nil), reducedCipher...)}
+	if reducedTags != nil {
+		g.tags = append([]byte(nil), reducedTags...)
+	}
+	s.globalCh <- g
 	return nil
 }
 
@@ -253,6 +268,7 @@ func (w *wireRound) Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch 
 	client := aggsvc.NewClient(w.conn, w.sealer, aggsvc.ClientOptions{
 		Timeout:       w.u.cfg.Timeout,
 		MaxFrameBytes: w.u.cfg.MaxFrameBytes,
+		ReadBufPool:   &w.u.bufs,
 	})
 	w.started = true
 	w.mu.Unlock()
@@ -264,6 +280,13 @@ func (w *wireRound) Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch 
 		// ignores its contents and hands over real lanes.
 		dummy := make([]int64, elems)
 		_, err := client.Aggregate(dummy, dummy)
+		// The exchange is over (Verify already copied the global lanes), so
+		// the read buffer can rejoin the pool. Only this goroutine may do
+		// it: wireRound.Close can race a still-blocked Aggregate, and
+		// recycling under a mid-flight read would hand the buffer to
+		// another cohort while ours still writes it. Closing the conn here
+		// is safe — each upstream exchange owns its connection.
+		client.Close()
 		w.done <- err
 	}()
 	select {

@@ -23,6 +23,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
 // ProtocolVersion is the wire protocol version carried in every HELLO.
@@ -156,9 +158,75 @@ func (e *ErrFrameTooLarge) Error() string {
 	return fmt.Sprintf("aggsvc: frame of %d B exceeds the %d B limit", e.Declared, e.Limit)
 }
 
-// writeFrame emits one frame. payload may be split across two slices so
-// callers can prepend a header without copying the body.
+// wireBuf is the pooled scratch one frame emission needs: the 5-byte frame
+// header, room for the largest fixed-size payload encoding (HELLO, JOIN,
+// SUBMIT header, the RESULT lane prefixes), and the reusable iovec backing
+// array for the vectored write. Pooling it keeps every emit path — client
+// HELLO/SUBMIT, server JOIN/RESULT fan-out — allocation-free at steady
+// state.
+type wireBuf struct {
+	hdr   [frameHeaderBytes]byte
+	fixed [joinPayloadBytes]byte // largest fixed payload (32 B)
+	// vecs is the working iovec slice WriteTo consumes; base preserves the
+	// full-capacity backing array so pooled reuse never reallocates it.
+	vecs net.Buffers
+	base net.Buffers
+}
+
+var wireBufs = sync.Pool{
+	New: func() any { return &wireBuf{base: make(net.Buffers, 0, 8)} },
+}
+
+// writeFrame emits one frame as a single vectored write: the header and
+// every payload slice go out through one net.Buffers WriteTo, which on a
+// TCP connection is one writev syscall regardless of how many slices the
+// caller scatter-gathers (a RESULT fan-out passes the round prefix, the
+// shared data lane, the tag length, and the shared tag lane without ever
+// coalescing them into a staging buffer). On writers without vectored
+// support (net.Pipe, bytes.Buffer) WriteTo degrades to sequential writes
+// with identical wire bytes.
 func writeFrame(w io.Writer, t FrameType, payload ...[]byte) error {
+	b := wireBufs.Get().(*wireBuf)
+	err := b.writeFrame(w, t, payload...)
+	wireBufs.Put(b)
+	return err
+}
+
+func (b *wireBuf) writeFrame(w io.Writer, t FrameType, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	binary.LittleEndian.PutUint32(b.hdr[:4], uint32(total+1))
+	b.hdr[4] = byte(t)
+	b.vecs = append(b.base[:0], b.hdr[:])
+	for _, p := range payload {
+		if len(p) > 0 {
+			b.vecs = append(b.vecs, p)
+		}
+	}
+	// WriteTo consumes its receiver as it drains (net.Buffers reslices it
+	// forward), so capture the backing array first: base keeps the full-
+	// capacity slice and the pooled buffer reuses it on every frame instead
+	// of reallocating iovecs.
+	n := len(b.vecs)
+	if cap(b.vecs) > cap(b.base) {
+		b.base = b.vecs
+	}
+	_, err := b.vecs.WriteTo(w)
+	// Drop retained payload references before pooled reuse.
+	used := b.base[:n]
+	for i := range used {
+		used[i] = nil
+	}
+	b.vecs = nil
+	return err
+}
+
+// writeFrameSequential is the pre-vectored emission path — one Write for
+// the header, one per payload slice — kept as the before/after baseline the
+// wirepath benchmark and the bit-identity tests compare against.
+func writeFrameSequential(w io.Writer, t FrameType, payload ...[]byte) error {
 	total := 0
 	for _, p := range payload {
 		total += len(p)
@@ -181,18 +249,24 @@ func writeFrame(w io.Writer, t FrameType, payload ...[]byte) error {
 // payload length, validating it against max before any payload byte is
 // consumed — oversized frames are rejected without buffering them.
 func readFrameHeader(r io.Reader, max int) (FrameType, int, error) {
-	var hdr [frameHeaderBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header lands in pooled scratch: a stack array would escape
+	// through the io.Reader interface and cost one allocation per frame —
+	// the exact kind of hot-loop garbage the zero-copy path eliminates.
+	b := wireBufs.Get().(*wireBuf)
+	_, err := io.ReadFull(r, b.hdr[:])
+	ln := int(binary.LittleEndian.Uint32(b.hdr[:4]))
+	t := FrameType(b.hdr[4])
+	wireBufs.Put(b)
+	if err != nil {
 		return 0, 0, err
 	}
-	ln := int(binary.LittleEndian.Uint32(hdr[:4]))
 	if ln < 1 {
 		return 0, 0, fmt.Errorf("aggsvc: frame with zero-length body")
 	}
 	if ln+4 > max {
-		return FrameType(hdr[4]), ln - 1, &ErrFrameTooLarge{Declared: ln + 4, Limit: max}
+		return t, ln - 1, &ErrFrameTooLarge{Declared: ln + 4, Limit: max}
 	}
-	return FrameType(hdr[4]), ln - 1, nil
+	return t, ln - 1, nil
 }
 
 // readFrame reads a whole frame into a fresh buffer (client-side path; the
@@ -226,12 +300,18 @@ func (h helloFrame) tagged() bool { return h.Flags&FlagTagged != 0 }
 
 func encodeHello(h helloFrame) []byte {
 	p := make([]byte, helloPayloadBytes)
+	putHello(p, h)
+	return p
+}
+
+// putHello encodes a HELLO payload into p (len >= helloPayloadBytes)
+// without allocating; emit paths encode into pooled wireBuf scratch.
+func putHello(p []byte, h helloFrame) {
 	binary.LittleEndian.PutUint16(p[0:], h.Version)
 	p[2] = h.Scheme
 	p[3] = h.Flags
 	binary.LittleEndian.PutUint32(p[4:], uint32(h.Elems))
 	binary.LittleEndian.PutUint64(p[8:], h.Epoch)
-	return p
 }
 
 func decodeHello(p []byte) (helloFrame, error) {
@@ -261,13 +341,19 @@ type joinFrame struct {
 
 func encodeJoin(j joinFrame) []byte {
 	p := make([]byte, joinPayloadBytes)
+	putJoin(p, j)
+	return p
+}
+
+// putJoin encodes a JOIN payload into p (len >= joinPayloadBytes) without
+// allocating.
+func putJoin(p []byte, j joinFrame) {
 	binary.LittleEndian.PutUint64(p[0:], j.Round)
 	binary.LittleEndian.PutUint32(p[8:], uint32(j.Slot))
 	binary.LittleEndian.PutUint32(p[12:], uint32(j.Group))
 	binary.LittleEndian.PutUint32(p[16:], j.DeadlineMS)
 	binary.LittleEndian.PutUint32(p[20:], uint32(j.ChunkBytes))
 	binary.LittleEndian.PutUint64(p[24:], j.Epoch)
-	return p
 }
 
 func decodeJoin(p []byte) (joinFrame, error) {
@@ -294,10 +380,16 @@ type submitHeader struct {
 
 func encodeSubmitHeader(h submitHeader) []byte {
 	p := make([]byte, submitHeaderBytes)
+	putSubmitHeader(p, h)
+	return p
+}
+
+// putSubmitHeader encodes a SUBMIT chunk prefix into p (len >=
+// submitHeaderBytes) without allocating.
+func putSubmitHeader(p []byte, h submitHeader) {
 	binary.LittleEndian.PutUint64(p[0:], h.Round)
 	p[8] = h.Lane
 	binary.LittleEndian.PutUint32(p[9:], uint32(h.Offset))
-	return p
 }
 
 func decodeSubmitHeader(p []byte) (submitHeader, error) {
@@ -311,15 +403,24 @@ func decodeSubmitHeader(p []byte) (submitHeader, error) {
 	}, nil
 }
 
-// encodeResult frames the reduced lanes: round, then each lane with a u32
-// length prefix (the tag lane is empty for unverified rounds).
+// encodeResult frames the reduced lanes into one contiguous payload:
+// round, then each lane with a u32 length prefix (the tag lane is empty
+// for unverified rounds). The server's fan-out no longer uses it — RESULT
+// goes out as a vectored write of the shared accumulators (resultVectors)
+// with no per-participant copy — but the staging form remains the
+// baseline the bit-identity tests and the wirepath benchmark compare
+// against.
 func encodeResult(round uint64, data, tags []byte) []byte {
 	p := make([]byte, 8+4+len(data)+4+len(tags))
 	binary.LittleEndian.PutUint64(p[0:], round)
 	binary.LittleEndian.PutUint32(p[8:], uint32(len(data)))
 	copy(p[12:], data)
 	binary.LittleEndian.PutUint32(p[12+len(data):], uint32(len(tags)))
-	copy(p[16+len(data):], tags)
+	if len(tags) > 0 {
+		// Untagged rounds encode the zero length directly; there is no
+		// empty-lane copy to issue.
+		copy(p[16+len(data):], tags)
+	}
 	return p
 }
 
@@ -373,9 +474,19 @@ func decodeAbort(p []byte) (*AbortError, error) {
 }
 
 // encodeStats serializes named counters as (u8 name length, name, u64
-// value) entries, sorted by key so the wire form is deterministic.
+// value) entries, sorted by key so the wire form is deterministic. The
+// payload size is computed exactly from the key set up front, so encoding
+// appends into one right-sized allocation instead of growing quadratically.
 func encodeStats(stats map[string]uint64, keys []string) []byte {
-	p := make([]byte, 2)
+	size := 2
+	for _, k := range keys {
+		n := len(k)
+		if n > 255 {
+			n = 255
+		}
+		size += 1 + n + 8
+	}
+	p := make([]byte, 2, size)
 	binary.LittleEndian.PutUint16(p, uint16(len(keys)))
 	for _, k := range keys {
 		name := k

@@ -1,0 +1,5 @@
+//go:build !race
+
+package aggsvc
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package aggsvc
+
+// raceEnabled lets the allocs/op assertions skip under the race detector:
+// race-mode sync.Pool deliberately drops items to expose lifecycle races,
+// so pooled paths allocate by design there. The zero-alloc contract is
+// asserted in the race-free wirepath-bench CI job instead.
+const raceEnabled = true

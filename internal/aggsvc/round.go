@@ -1,6 +1,7 @@
 package aggsvc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -75,6 +76,13 @@ type roundState struct {
 	joinCh     chan struct{}
 	epochSet   bool
 	epochFixed uint64
+
+	// RESULT prefix scratch, encoded exactly once per round (resultVectors):
+	// the round id + data length words and the tag length word that frame
+	// the shared lane accumulators during vectored fan-out.
+	resultOnce sync.Once
+	resultPre  [12]byte
+	resultTagN [4]byte
 
 	// Relay stage (federated rounds only).
 	relayCh    chan struct{} // closed when the uplink exchange resolves
@@ -283,6 +291,24 @@ func (r *roundState) resultLanes() (data, tags []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.globalData, r.globalTags
+}
+
+// resultVectors returns the four slices whose concatenation is the RESULT
+// payload: the 12-byte round-id/data-length prefix, the data lane, the
+// 4-byte tag-length word, and the tag lane. The prefixes are encoded exactly
+// once per round regardless of participant count; the lanes are the round's
+// accumulators themselves, referenced zero-copy. Callable only after the
+// round's outcome (and relay, if federated) has resolved — from then on the
+// lanes are immutable and every fan-out writer may read them concurrently,
+// but nobody may write them (see DESIGN.md, "Zero-copy wire path").
+func (r *roundState) resultVectors() (pre, data, tagN, tags []byte) {
+	data, tags = r.resultLanes()
+	r.resultOnce.Do(func() {
+		binary.LittleEndian.PutUint64(r.resultPre[0:8], r.id)
+		binary.LittleEndian.PutUint32(r.resultPre[8:12], uint32(len(data)))
+		binary.LittleEndian.PutUint32(r.resultTagN[:], uint32(len(tags)))
+	})
+	return r.resultPre[:], data, r.resultTagN[:], tags
 }
 
 // leave removes a participant from a round whose membership is still open —

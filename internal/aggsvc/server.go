@@ -178,14 +178,42 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// foldTask is one pooled SUBMIT chunk awaiting aggregation.
+// Pooled SUBMIT blocks are laid out so the chunk bytes land 8-byte
+// aligned: 3 pad bytes, the 13-byte SUBMIT header, then the chunk at byte
+// 16. Go heap slices are at least 8-byte aligned at their base, so the
+// 64-bit fold kernels run on aligned words, folding each chunk in place
+// where the read landed — no staging copy between the wire and the
+// accumulator pass.
+const (
+	submitPad  = 3
+	submitBase = submitPad + submitHeaderBytes // 16: chunk bytes start here
+)
+
+// foldTask is one pooled SUBMIT chunk awaiting aggregation. Tasks recycle
+// through foldTasks and dispatch via the worker pool's SubmitTask, so the
+// per-chunk fold path allocates nothing at steady state.
 type foldTask struct {
+	s     *Server
 	r     *roundState
 	lane  uint8
 	off   int
 	n     int
-	block []byte // pooled; chunk bytes at [submitHeaderBytes, submitHeaderBytes+n)
+	block []byte // pooled; chunk bytes at [submitBase, submitBase+n)
 	fold  inc.Fold
+}
+
+var foldTasks = sync.Pool{New: func() any { return new(foldTask) }}
+
+// Run executes the fold on a pool worker and recycles the task.
+func (t *foldTask) Run() {
+	t.s.foldChunk(t)
+	t.release()
+}
+
+// release drops the task's references and returns it to the pool.
+func (t *foldTask) release() {
+	*t = foldTask{}
+	foldTasks.Put(t)
 }
 
 // Server is the aggregation gateway daemon. It is safe for concurrent use;
@@ -227,7 +255,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	pool, err := mempool.New(cfg.ChunkBytes+submitHeaderBytes, cfg.PoolBlocks, cfg.PoolBlocks)
+	pool, err := mempool.New(cfg.ChunkBytes+submitBase, cfg.PoolBlocks, cfg.PoolBlocks)
 	if err != nil {
 		return nil, err
 	}
@@ -353,19 +381,21 @@ func (s *Server) Close() error {
 }
 
 // foldChunk folds one pooled chunk into its round accumulator under the
-// chunk's stripe lock, returns the block, and retires the task.
-func (s *Server) foldChunk(t foldTask) {
+// chunk's stripe lock, returns the block, and retires the task. The fold
+// reads the chunk in place where the wire read landed (8-byte aligned at
+// submitBase) — the ingress path never stages a copy.
+func (s *Server) foldChunk(t *foldTask) {
 	// A round that aborted while this task sat in the worker queue must not
 	// be folded into: the accumulator may already have been handed to
 	// nobody, but more importantly an aborted round's accounting only waits
 	// for tasks to retire, not to execute. Drop the chunk, keep the
 	// obligations (block back to the pool, task retired).
 	if t.r.aborted() {
-		s.pool.Put(t.block[:cap(t.block)])
+		s.pool.Put(t.block)
 		t.r.taskDone()
 		return
 	}
-	stop := s.phases.Start(PhaseFold)
+	tm := s.phases.StartTimer(PhaseFold)
 	acc := t.r.data
 	f := t.fold
 	if t.lane == LaneTag {
@@ -373,12 +403,12 @@ func (s *Server) foldChunk(t foldTask) {
 	}
 	m := t.r.stripe(t.off)
 	m.Lock()
-	f(acc[t.off:t.off+t.n], t.block[submitHeaderBytes:submitHeaderBytes+t.n])
+	f(acc[t.off:t.off+t.n], t.block[submitBase:submitBase+t.n])
 	m.Unlock()
-	stop()
+	tm.Stop()
 	s.chunksFolded.Add(1)
 	s.bytesFolded.Add(uint64(t.n))
-	s.pool.Put(t.block[:cap(t.block)])
+	s.pool.Put(t.block)
 	t.r.taskDone()
 }
 
@@ -445,11 +475,11 @@ func (s *Server) handle(conn net.Conn) {
 				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: "malformed HELLO"})
 				return
 			}
-			p := make([]byte, plen)
-			if _, err := io.ReadFull(conn, p); err != nil {
+			var p [helloPayloadBytes]byte
+			if _, err := io.ReadFull(conn, p[:]); err != nil {
 				return
 			}
-			h, err := decodeHello(p)
+			h, err := decodeHello(p[:])
 			if err != nil {
 				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: err.Error()})
 				return
@@ -542,7 +572,7 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame, cohort int) bool {
 		ChunkBytes: r.chunk,
 		Epoch:      r.sealEpoch(),
 	}
-	if err := s.writeWithDeadline(conn, FrameJoin, encodeJoin(join)); err != nil {
+	if err := s.writeJoin(conn, join); err != nil {
 		r.abort(AbortPeerLost, "slot %d unreachable at JOIN: %v", part.slot, err)
 		s.finishRound(conn, r)
 		return false
@@ -639,12 +669,14 @@ func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool
 // receiveLanes reads the participant's SUBMIT stream, folding chunks
 // through the worker pool, until the participant has delivered every lane
 // byte or the round fails. It reports whether the connection survived.
+// The loop body is the server's ingress hot path and allocates nothing at
+// steady state: frames land in pre-headered pooled blocks (chunk bytes
+// 8-byte aligned at submitBase), dispatch rides pooled foldTasks, and
+// every fmt call sits on a failure branch (BenchmarkWirePath pins this at
+// 0 allocs/op).
 func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, folds struct{ data, tag inc.Fold }) bool {
 	ls := r.laneSize()
-	violated := func(code AbortCode, format string, args ...any) bool {
-		r.abort(code, format, args...)
-		return true // conn itself still healthy; the round is not
-	}
+	maxPayload := s.cfg.ChunkBytes + submitHeaderBytes
 	for !part.submitted {
 		t, plen, err := readFrameHeader(conn, s.cfg.MaxFrameBytes)
 		if err != nil {
@@ -654,23 +686,26 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			var tooBig *ErrFrameTooLarge
 			if errors.As(err, &tooBig) {
 				s.framesRejected.Add(1)
-				return violated(AbortOversize, "slot %d: %v", part.slot, err)
+				r.abort(AbortOversize, "slot %d: %v", part.slot, err)
+				return true // conn itself still healthy; the round is not
 			}
 			r.abort(AbortPeerLost, "slot %d disconnected mid-submit: %v", part.slot, err)
 			return false
 		}
 		s.bytesIn.Add(uint64(frameHeaderBytes + plen))
 		if t != FrameSubmit {
-			return violated(AbortProtocol, "slot %d sent %s during submission", part.slot, t)
+			r.abort(AbortProtocol, "slot %d sent %s during submission", part.slot, t)
+			return true
 		}
-		if plen < submitHeaderBytes+1 || plen > s.pool.BlockSize() {
-			return violated(AbortProtocol, "slot %d chunk payload %d B outside (%d, %d]",
-				part.slot, plen, submitHeaderBytes, s.pool.BlockSize())
+		if plen < submitHeaderBytes+1 || plen > maxPayload {
+			r.abort(AbortProtocol, "slot %d chunk payload %d B outside (%d, %d]",
+				part.slot, plen, submitHeaderBytes, maxPayload)
+			return true
 		}
-		stopRecv := s.phases.Start(PhaseRecv)
+		tm := s.phases.StartTimer(PhaseRecv)
 		block := s.pool.GetWait()
-		_, err = io.ReadFull(conn, block[:plen])
-		stopRecv()
+		_, err = io.ReadFull(conn, block[submitPad:submitPad+plen])
+		tm.Stop()
 		if err != nil {
 			s.pool.Put(block)
 			if r.aborted() {
@@ -679,7 +714,7 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			r.abort(AbortPeerLost, "slot %d disconnected mid-chunk: %v", part.slot, err)
 			return false
 		}
-		hd, err := decodeSubmitHeader(block[:plen])
+		hd, err := decodeSubmitHeader(block[submitPad : submitPad+plen])
 		n := plen - submitHeaderBytes
 		bad := ""
 		switch {
@@ -700,7 +735,8 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 		}
 		if bad != "" {
 			s.pool.Put(block)
-			return violated(AbortProtocol, "slot %d: %s", part.slot, bad)
+			r.abort(AbortProtocol, "slot %d: %s", part.slot, bad)
+			return true
 		}
 		f := folds.data
 		if hd.Lane == LaneTag {
@@ -710,12 +746,14 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			part.dataGot += n
 		}
 		if r.taskAdded() {
-			t := foldTask{r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
-			if !s.fold.Submit(func() { s.foldChunk(t) }) {
+			t := foldTasks.Get().(*foldTask)
+			*t = foldTask{s: s, r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
+			if !s.fold.SubmitTask(t) {
 				// Server closing: retire the task ourselves so the round's
 				// completion accounting stays balanced.
 				s.pool.Put(block)
-				t.r.taskDone()
+				r.taskDone()
+				t.release()
 			}
 		} else {
 			s.pool.Put(block) // round already over; drop the late chunk
@@ -731,14 +769,14 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 // rounds, the upstream relay stage — and delivers RESULT or ABORT to this
 // participant. It reports whether the round aborted.
 func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
-	stopWait := s.phases.Start(PhaseWait)
+	waitTm := s.phases.StartTimer(PhaseWait)
 	aerr := r.outcome()
 	if aerr == nil && r.federated {
 		// The local fold is a partial aggregate; the round's RESULT is
 		// whatever the upstream tier reduces it into.
 		aerr = r.relayOutcome()
 	}
-	stopWait()
+	waitTm.Stop()
 	conn.SetReadDeadline(time.Time{}) // clear the abort poke, if any
 	r.endOnce.Do(func() {
 		s.activeRounds.Add(-1)
@@ -754,10 +792,14 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 		s.writeAbort(conn, aerr)
 		return true
 	}
-	stopSend := s.phases.Start(PhaseSend)
-	data, tags := r.resultLanes()
-	err := s.writeWithDeadline(conn, FrameResult, encodeResult(r.id, data, tags))
-	stopSend()
+	// Fan-out is copy-free: the round's lane prefixes are encoded exactly
+	// once (resultVectors), and every participant's RESULT is one vectored
+	// write referencing the same immutable accumulators — per-participant
+	// cost is the 5-byte frame header plus iovec setup.
+	sendTm := s.phases.StartTimer(PhaseSend)
+	pre, data, tagN, tags := r.resultVectors()
+	err := s.writeWithDeadline(conn, FrameResult, pre, data, tagN, tags)
+	sendTm.Stop()
 	if err != nil {
 		s.cfg.Logf("aggsvc: round %d: result undeliverable: %v", r.id, err)
 	}
@@ -765,6 +807,13 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 }
 
 func (s *Server) writeWithDeadline(conn net.Conn, t FrameType, payload ...[]byte) error {
+	b := wireBufs.Get().(*wireBuf)
+	err := s.writeBufWithDeadline(b, conn, t, payload...)
+	wireBufs.Put(b)
+	return err
+}
+
+func (s *Server) writeBufWithDeadline(b *wireBuf, conn net.Conn, t FrameType, payload ...[]byte) error {
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	defer conn.SetWriteDeadline(time.Time{})
 	n := frameHeaderBytes
@@ -772,7 +821,17 @@ func (s *Server) writeWithDeadline(conn net.Conn, t FrameType, payload ...[]byte
 		n += len(p)
 	}
 	s.bytesOut.Add(uint64(n))
-	return writeFrame(conn, t, payload...)
+	return b.writeFrame(conn, t, payload...)
+}
+
+// writeJoin emits a JOIN, staging the fixed payload in the pooled wireBuf
+// so admission costs no per-participant allocation.
+func (s *Server) writeJoin(conn net.Conn, j joinFrame) error {
+	b := wireBufs.Get().(*wireBuf)
+	putJoin(b.fixed[:joinPayloadBytes], j)
+	err := s.writeBufWithDeadline(b, conn, FrameJoin, b.fixed[:joinPayloadBytes])
+	wireBufs.Put(b)
+	return err
 }
 
 func (s *Server) writeAbort(conn net.Conn, e *AbortError) {

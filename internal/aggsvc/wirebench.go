@@ -1,0 +1,71 @@
+package aggsvc
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// This file exports the RESULT fan-out in both its historical and its
+// zero-copy form so cmd/hearbench's wirepath experiment (and the in-repo
+// BenchmarkWirePath suite) can measure the exact before/after pair the
+// gateway shipped. The helpers fan one round's reduced lanes out to a set
+// of writers the way Server.finishRound does for its participants; they
+// carry no round bookkeeping, so the benchmark isolates the codec cost.
+
+// FanOutResultLegacy is the pre-zero-copy egress: one RESULT payload is
+// allocated, zeroed and copied per participant (encodeResult), then
+// emitted with one Write syscall per slice. Kept as the wirepath
+// benchmark's baseline; the server no longer ships this path.
+func FanOutResultLegacy(conns []io.Writer, round uint64, data, tags []byte) error {
+	for _, c := range conns {
+		if err := writeFrameSequential(c, FrameResult, encodeResult(round, data, tags)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FanOutResultVectored is the zero-copy egress the server runs: the round
+// prefixes are encoded exactly once, and each participant's RESULT is a
+// single vectored write referencing the shared immutable lanes — on a TCP
+// connection, one writev of {header, prefix, data, tagN, tags} with no
+// staging copy. Wire bytes are identical to FanOutResultLegacy
+// (TestResultFanOutBitIdentical).
+func FanOutResultVectored(conns []io.Writer, round uint64, data, tags []byte) error {
+	var pre [12]byte
+	var tagN [4]byte
+	binary.LittleEndian.PutUint64(pre[0:8], round)
+	binary.LittleEndian.PutUint32(pre[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(tagN[:], uint32(len(tags)))
+	for _, c := range conns {
+		if err := writeFrame(c, FrameResult, pre[:], data, tagN[:], tags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrameInto reads one frame into buf (growing it only past its
+// high-water mark) and returns the possibly-grown buffer with the payload
+// length — the reusable-buffer ingest the zero-copy Client runs, exported
+// for the wirepath experiment's drain loops. ReadFrameAlloc is the
+// historical fresh-buffer-per-frame path.
+func ReadFrameInto(r io.Reader, buf []byte, max int) (FrameType, []byte, int, error) {
+	t, n, err := readFrameHeader(r, max)
+	if err != nil {
+		return t, buf, 0, err
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return t, buf, 0, err
+	}
+	return t, buf, n, nil
+}
+
+// ReadFrameAlloc reads one frame into a fresh buffer per call (the
+// pre-zero-copy client ingest), kept as the wirepath baseline.
+func ReadFrameAlloc(r io.Reader, max int) (FrameType, []byte, error) {
+	return readFrame(r, max)
+}

@@ -20,10 +20,30 @@ import (
 	"hear/internal/trace"
 )
 
+// Runner is a pre-allocated unit of work. SubmitTask schedules a Runner
+// without the per-call closure allocation Submit(func()) costs, so hot
+// dispatch loops — the gateway's per-chunk fold path — can reuse pooled
+// task objects and stay allocation-free in steady state.
+type Runner interface{ Run() }
+
+// task is one queue entry: exactly one of fn and r is set.
+type task struct {
+	fn func()
+	r  Runner
+}
+
+func (t task) run() {
+	if t.r != nil {
+		t.r.Run()
+		return
+	}
+	t.fn()
+}
+
 // Pool is a fixed-size worker pool. It is safe for concurrent use.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan task
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	phases  *trace.SyncBreakdown
@@ -44,7 +64,7 @@ func New(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		tasks:   make(chan func(), 4*workers),
+		tasks:   make(chan task, 4*workers),
 		quit:    make(chan struct{}),
 		phases:  trace.NewSyncBreakdown(),
 	}
@@ -67,8 +87,8 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		select {
-		case fn := <-p.tasks:
-			fn()
+		case t := <-p.tasks:
+			t.run()
 		case <-p.quit:
 			return
 		}
@@ -82,12 +102,24 @@ func (p *Pool) worker() {
 // for as long as any Submit is in flight (Close waits for the lock), so
 // the queue always drains.
 func (p *Pool) Submit(fn func()) bool {
+	return p.submit(task{fn: fn})
+}
+
+// SubmitTask is Submit for pre-allocated Runners: the task travels the
+// queue by value, so a pooled Runner costs zero allocations per dispatch.
+// Like Submit it reports false — without running r — once the pool is
+// closed; callers own the fallback.
+func (p *Pool) SubmitTask(r Runner) bool {
+	return p.submit(task{r: r})
+}
+
+func (p *Pool) submit(t task) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return false
 	}
-	p.tasks <- fn
+	p.tasks <- t
 	return true
 }
 
@@ -106,8 +138,8 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 	for {
 		select {
-		case fn := <-p.tasks:
-			fn()
+		case t := <-p.tasks:
+			t.run()
 		default:
 			return
 		}

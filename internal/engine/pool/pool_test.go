@@ -148,3 +148,46 @@ func TestNewDefaultsToPositiveWorkerCount(t *testing.T) {
 		t.Fatalf("Workers() = %d", p.Workers())
 	}
 }
+
+// countRunner is a pre-allocated task for SubmitTask tests.
+type countRunner struct {
+	wg *sync.WaitGroup
+	n  *atomic.Int64
+}
+
+func (r *countRunner) Run() {
+	r.n.Add(1)
+	r.wg.Done()
+}
+
+func TestSubmitTaskRunsRunner(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	r := &countRunner{wg: &wg, n: &n}
+	const tasks = 64
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		if !p.SubmitTask(r) {
+			t.Fatal("SubmitTask refused on an open pool")
+		}
+	}
+	wg.Wait()
+	if n.Load() != tasks {
+		t.Errorf("ran %d tasks, want %d", n.Load(), tasks)
+	}
+}
+
+func TestSubmitTaskAfterCloseRefuses(t *testing.T) {
+	p := New(1)
+	p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	if p.SubmitTask(&countRunner{wg: &wg, n: &n}) {
+		t.Fatal("SubmitTask accepted after Close")
+	}
+	if n.Load() != 0 {
+		t.Error("refused Runner still ran")
+	}
+}

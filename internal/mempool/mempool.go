@@ -12,6 +12,15 @@ import (
 )
 
 // Pool hands out fixed-size blocks.
+//
+// Alignment contract: every block's base address is at least 8-byte
+// aligned — blocks are whole `make([]byte, n)` heap allocations, whose
+// bases Go's allocator aligns to the size class (≥ 8 bytes for any block
+// this pool would hold), and Put rejects reslices by length. Callers that
+// need aligned interior payloads (the gateway lands SUBMIT chunk bytes at
+// offset 16 so the word-wise fold kernels read aligned u64s) may therefore
+// pick any 8-byte-multiple offset into a block and rely on it
+// (TestBlockAlignment pins this down).
 type Pool struct {
 	blockSize int
 	mu        sync.Mutex

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -136,5 +137,73 @@ func TestGetWaitGrowsWithoutLimit(t *testing.T) {
 	a, b := p.GetWait(), p.GetWait()
 	if len(a) != 32 || len(b) != 32 {
 		t.Errorf("blocks %d/%d B, want 32", len(a), len(b))
+	}
+}
+
+// TestGetPutAllocFree pins the steady state: once the pool holds its
+// blocks, Get/Put cycles allocate nothing — the property the gateway's
+// zero-copy SUBMIT ingress is built on.
+func TestGetPutAllocFree(t *testing.T) {
+	p, err := New(4096, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		b := p.GetWait()
+		if err := p.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Errorf("Get/Put cycle allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestGetPutContention hammers Get/Put from many goroutines (run under
+// -race in CI): the pool invariants must hold and every block must come
+// back distinct.
+func TestGetPutContention(t *testing.T) {
+	const workers, iters = 8, 500
+	p, err := New(256, workers, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b := p.GetWait()
+				b[0] = seed // scribble: a shared block would race under -race
+				if err := p.Put(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(byte(w))
+	}
+	wg.Wait()
+	if _, _, allocated := p.Stats(); allocated > workers {
+		t.Errorf("allocated %d blocks, limit %d", allocated, workers)
+	}
+}
+
+// TestBlockAlignment pins the documented contract: block bases are at
+// least 8-byte aligned, so callers may fold 64-bit words at any 8-byte
+// offset into a block.
+func TestBlockAlignment(t *testing.T) {
+	for _, size := range []int{16, 4096, 64<<10 + 16} {
+		p, err := New(size, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			b := p.GetWait()
+			if addr := uintptr(unsafe.Pointer(&b[0])); addr%8 != 0 {
+				t.Fatalf("block base %#x of %d B pool not 8-byte aligned", addr, size)
+			}
+		}
 	}
 }

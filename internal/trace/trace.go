@@ -260,9 +260,30 @@ func (s *SyncBreakdown) AddBytes(phase string, n int64) {
 }
 
 // Start begins timing a phase; call the returned stop function to record.
+// The returned closure allocates — hot loops that must stay allocation-free
+// use StartTimer instead.
 func (s *SyncBreakdown) Start(phase string) func() {
 	t0 := time.Now()
 	return func() { s.AddDuration(phase, time.Since(t0)) }
+}
+
+// SyncTimer measures one phase of a SyncBreakdown without allocating: it is
+// a plain value, so the gateway's per-chunk receive and fold paths can time
+// themselves at zero allocations per operation (TestSyncTimerAllocFree).
+type SyncTimer struct {
+	s     *SyncBreakdown
+	phase string
+	t0    time.Time
+}
+
+// StartTimer begins timing a phase; finish with Stop.
+func (s *SyncBreakdown) StartTimer(phase string) SyncTimer {
+	return SyncTimer{s: s, phase: phase, t0: time.Now()}
+}
+
+// Stop records the elapsed time into the breakdown.
+func (t SyncTimer) Stop() {
+	t.s.AddDuration(t.phase, time.Since(t.t0))
 }
 
 // SetKeepSamples toggles per-duration sample retention on the underlying

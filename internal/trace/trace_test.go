@@ -267,3 +267,31 @@ func TestSyncSnapshotKeepsSamples(t *testing.T) {
 		t.Errorf("live accumulator mutated by snapshot write: count = %d", got)
 	}
 }
+
+func TestSyncTimerMeasuresElapsed(t *testing.T) {
+	s := NewSyncBreakdown()
+	tm := s.StartTimer(PhaseComm)
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	snap := s.Snapshot()
+	if snap.Count(PhaseComm) != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count(PhaseComm))
+	}
+	if snap.Sum(PhaseComm) < time.Millisecond {
+		t.Errorf("recorded %v, want >= 1ms", snap.Sum(PhaseComm))
+	}
+}
+
+// TestSyncTimerAllocFree pins the zero-copy wire path's timing contract:
+// unlike Start's closure, a SyncTimer costs no allocation per phase sample,
+// so the gateway's per-chunk recv/fold timing stays off the garbage path.
+func TestSyncTimerAllocFree(t *testing.T) {
+	s := NewSyncBreakdown()
+	s.StartTimer(PhaseComm).Stop() // warm the phase's map entries
+	if n := testing.AllocsPerRun(100, func() {
+		tm := s.StartTimer(PhaseComm)
+		tm.Stop()
+	}); n != 0 {
+		t.Errorf("SyncTimer allocates %.1f/op, want 0", n)
+	}
+}
