@@ -173,17 +173,20 @@ func runClient(args []string) error {
 
 // dialRetry keeps dialing until the gateway answers or the budget runs
 // out, so the client can be started before (or concurrently with) serve.
+// Delays back off exponentially with jitter — a fleet of clients launched
+// together must not re-dial a still-starting gateway in lockstep.
 func dialRetry(addr string, s aggsvc.Sealer, opt aggsvc.ClientOptions, budget time.Duration) (*aggsvc.Client, error) {
 	deadline := time.Now().Add(budget)
-	for {
+	bo := &aggsvc.Backoff{Base: 50 * time.Millisecond, Max: time.Second, Seed: int64(opt.JitterSeed) ^ deadline.UnixNano()}
+	for attempt := 1; ; attempt++ {
 		c, err := aggsvc.Dial(addr, s, opt)
 		if err == nil {
 			return c, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, err
+			return nil, &aggsvc.GiveUpError{Op: "dial " + addr, Attempts: attempt, Last: err}
 		}
-		time.Sleep(50 * time.Millisecond)
+		bo.Sleep(attempt)
 	}
 }
 

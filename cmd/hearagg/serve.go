@@ -44,6 +44,8 @@ func runServe(args []string) error {
 	group := fs.Int("group", 8, "clients aggregated per round")
 	elems := fs.Int("elems", 0, "pin the vector length (0 = per-round, fixed by the first HELLO)")
 	deadline := fs.Duration("deadline", aggsvc.DefaultRoundTimeout, "round deadline; stragglers abort the round")
+	quorum := fs.Int("quorum", 0, "evict stragglers at the deadline when at least this many participants finished (0 = fail closed)")
+	degraded := fs.Bool("degraded", false, "complete rounds over the surviving participants at the deadline instead of aborting (requires -quorum; survivors must run shared-group keys)")
 	chunk := fs.Int("chunk", aggsvc.DefaultChunkBytes, "SUBMIT chunk bytes (fold parallelism unit)")
 	workers := fs.Int("workers", 0, "fold worker goroutines (0 = GOMAXPROCS)")
 	maxFrame := fs.Int("max-frame", aggsvc.DefaultMaxFrameBytes, "reject frames larger than this")
@@ -85,17 +87,19 @@ func runServe(args []string) error {
 		uplink = u.Dialer()
 	}
 	s, err := aggsvc.NewServer(aggsvc.Config{
-		Group:         *group,
-		Elems:         *elems,
-		RoundTimeout:  *deadline,
-		ChunkBytes:    *chunk,
-		Workers:       *workers,
-		MaxFrameBytes: *maxFrame,
-		Cohorts:       *cohorts,
-		CohortStatic:  static,
-		Uplink:        uplink,
-		Logf:          logf,
-		Metrics:       reg,
+		Group:          *group,
+		Elems:          *elems,
+		RoundTimeout:   *deadline,
+		Quorum:         *quorum,
+		DegradedRounds: *degraded,
+		ChunkBytes:     *chunk,
+		Workers:        *workers,
+		MaxFrameBytes:  *maxFrame,
+		Cohorts:        *cohorts,
+		CohortStatic:   static,
+		Uplink:         uplink,
+		Logf:           logf,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -117,6 +121,11 @@ func runServe(args []string) error {
 	role := "flat root"
 	if *upstream != "" {
 		role = fmt.Sprintf("tier %d -> %s", *tier, *upstream)
+	}
+	if *degraded {
+		role += fmt.Sprintf(", degraded rounds on (quorum %d)", *quorum)
+	} else if *quorum > 0 {
+		role += fmt.Sprintf(", quorum %d", *quorum)
 	}
 	fmt.Printf("hearagg: listening on %s (group=%d cohorts=%d deadline=%s chunk=%dB, %s)\n",
 		l.Addr(), *group, *cohorts, *deadline, *chunk, role)

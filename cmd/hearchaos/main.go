@@ -10,6 +10,7 @@
 //	hearchaos -mode gateway -ranks 4 -seed 7              # severed conn → reconnect + round retry
 //	hearchaos -mode gateway -quorum 3 -ranks 4 -seed 7    # mute straggler → quorum eviction
 //	hearchaos -mode mpi -ranks 8 -rounds 8 -seed 1        # drop/delay/dup/reorder + crash-rank
+//	hearchaos -mode dropout -ranks 8 -victims 2 -seed 9   # kill K of N post-JOIN → degraded round
 //	hearchaos -mode all -seed 42
 //
 // The same seed replays the same fault schedule; the plan digest printed
@@ -37,7 +38,7 @@ import (
 )
 
 var (
-	mode    = flag.String("mode", "all", "campaign: inc, gateway, mpi, or all")
+	mode    = flag.String("mode", "all", "campaign: inc, gateway, mpi, dropout, or all (dropout runs only when named)")
 	seed    = flag.Int64("seed", 42, "chaos plan seed (same seed → same fault schedule)")
 	ranks   = flag.Int("ranks", 8, "ranks / gateway clients")
 	rounds  = flag.Int("rounds", 3, "allreduce rounds per campaign")
@@ -45,6 +46,7 @@ var (
 	prob    = flag.Float64("prob", 1.0, "per-frame fault probability for the inc corrupt rule")
 	kill    = flag.Bool("kill", false, "inc mode: kill every switch (timeout path) instead of corrupting frames")
 	quorum  = flag.Int("quorum", 0, "gateway mode: server quorum; >0 mutes one client to demo straggler eviction")
+	victims = flag.Int("victims", 2, "dropout mode: clients killed right after JOIN (K of N)")
 	verbose = flag.Bool("v", false, "print every chaos event")
 	mdump   = flag.String("metrics", "", `dump per-campaign metrics snapshots as JSON ("-" = stdout, else a file path)`)
 )
@@ -84,7 +86,12 @@ func main() {
 		run("gateway", gatewayCampaign)
 	case "mpi":
 		run("mpi", mpiCampaign)
+	case "dropout":
+		run("dropout", dropoutCampaign)
 	case "all":
+		// dropout is deliberately not part of "all": it needs shared-group
+		// keys and a degraded-mode gateway, which the default campaigns
+		// keep off so their plan digests stay comparable across releases.
 		run("inc", incCampaign)
 		run("gateway", gatewayCampaign)
 		run("mpi", mpiCampaign)
@@ -334,6 +341,240 @@ func gatewayCampaign() error {
 	}
 	fmt.Printf("gateway: %d rounds correct on all %d clients; %d round retries, %d stragglers evicted\n",
 		*rounds, p, total, evicted)
+	return nil
+}
+
+// dropoutCampaign: a degraded-mode gateway completes the round when K of N
+// clients die right after JOIN instead of failing closed. Every client runs
+// the real shared-group crypto stack; a chaos sever rule cuts each victim's
+// connection at its first post-JOIN write. The survivors must receive a
+// RESULT naming the survivor set whose decrypted aggregate is bit-identical
+// to a flat, fault-free round run over just the survivors — for sum
+// (HoMAC-verified), prod, and xor.
+func dropoutCampaign() error {
+	p, k := *ranks, *victims
+	if k < 1 || k >= p {
+		return fmt.Errorf("-victims %d out of range (want 1..%d for %d ranks)", k, p-1, p)
+	}
+	// Spread the victims across odd ranks first so the missing set
+	// coalesces into interior runs of the telescoping chain, then fill
+	// from the front.
+	victimSet := make(map[int]bool, k)
+	for r := 1; r < p && len(victimSet) < k; r += 2 {
+		victimSet[r] = true
+	}
+	for r := 0; r < p && len(victimSet) < k; r += 2 {
+		victimSet[r] = true
+	}
+	surv := make([]int, 0, p-k)
+	for r := 0; r < p; r++ {
+		if !victimSet[r] {
+			surv = append(surv, r)
+		}
+	}
+
+	schemes := []struct {
+		name string
+		kind hear.SchemeKind
+		tag  uint64 // HoMAC key seed; 0 = untagged
+		fold func(a, v int64) int64
+		unit int64
+	}{
+		{"sum", hear.Int64Sum, uint64(*seed) | 1, func(a, v int64) int64 { return a + v }, 0},
+		{"prod", hear.Int64Prod, 0, func(a, v int64) int64 { return int64(uint64(a) * uint64(v)) }, 1},
+		{"xor", hear.Int64Xor, 0, func(a, v int64) int64 { return a ^ v }, 0},
+	}
+	for si, sc := range schemes {
+		if err := dropoutScheme(si, sc.name, sc.kind, sc.tag, sc.fold, sc.unit, victimSet, surv); err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+	}
+	fmt.Printf("dropout: %d/%d clients killed post-JOIN; every degraded aggregate bit-identical to the flat round over the %d survivors (sum, prod, xor)\n",
+		k, p, p-k)
+	return nil
+}
+
+// dropoutSealers builds a fresh shared-group-key world of the given size.
+// tagSeed != 0 attaches a shared HoMAC verifier (sum only).
+func dropoutSealers(size int, kind hear.SchemeKind, tagSeed uint64) ([]*hear.GatewaySealer, error) {
+	w := mpi.NewWorld(size)
+	ctxs, err := hear.Init(w, hear.Options{SharedGroupKeys: true, Metrics: campaignReg})
+	if err != nil {
+		return nil, err
+	}
+	verifier, err := hear.NewVerifier(tagSeed) // nil verifier for tagSeed 0
+	if tagSeed != 0 && err != nil {
+		return nil, err
+	}
+	if tagSeed == 0 {
+		verifier = nil
+	}
+	sealers := make([]*hear.GatewaySealer, size)
+	for i, c := range ctxs {
+		if sealers[i], err = c.NewGatewaySealerScheme(kind, verifier); err != nil {
+			return nil, err
+		}
+	}
+	return sealers, nil
+}
+
+// dropoutRound runs one gateway round: every client i submits inputs[i]
+// through wrap(i, conn); outs/infos/errs are reported per client.
+func dropoutRound(cfg aggsvc.Config, inputs [][]int64, sealers []*hear.GatewaySealer,
+	wrap func(i int, c net.Conn) net.Conn) ([][]int64, []aggsvc.Round, []error, map[string]uint64, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	s, err := aggsvc.NewServer(cfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	n := len(inputs)
+	outs := make([][]int64, n)
+	infos := make([]aggsvc.Round, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		conn, err := net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		c := aggsvc.NewClient(wrap(i, conn), sealers[i], aggsvc.ClientOptions{Timeout: 10 * time.Second})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.Close()
+			outs[i] = make([]int64, *elems)
+			infos[i], errs[i] = c.Aggregate(inputs[i], outs[i])
+		}(i)
+	}
+	wg.Wait()
+	return outs, infos, errs, s.StatsMap(), nil
+}
+
+func dropoutScheme(si int, name string, kind hear.SchemeKind, tagSeed uint64,
+	fold func(a, v int64) int64, unit int64, victimSet map[int]bool, surv []int) error {
+	p, k := *ranks, len(victimSet)
+
+	// Deterministic inputs; the plaintext reference folds survivors only.
+	inputs := make([][]int64, p)
+	want := make([]int64, *elems)
+	for j := range want {
+		want[j] = unit
+	}
+	for r := range inputs {
+		inputs[r] = make([]int64, *elems)
+		for j := range inputs[r] {
+			inputs[r][j] = int64(*seed%211) + int64(si*53) + int64(r*7) + int64(j) - int64(*elems)/2
+			if !victimSet[r] {
+				want[j] = fold(want[j], inputs[r][j])
+			}
+		}
+	}
+
+	// Degraded leg: one sever rule per victim, firing at its first
+	// post-JOIN write (the HELLO's two writes pass).
+	var rules []chaos.Rule
+	for r := 0; r < p; r++ {
+		if !victimSet[r] {
+			continue
+		}
+		rule := chaos.NewRule(chaos.LayerConn, chaos.FaultSever)
+		rule.Match.Conn = r * 100
+		rule.Match.Dir = 1
+		rule.After = 2
+		rule.Limit = 1
+		rules = append(rules, rule)
+	}
+	plan := chaos.NewPlan(*seed, rules...)
+	plan.RegisterMetrics(campaignReg)
+
+	sealers, err := dropoutSealers(p, kind, tagSeed)
+	if err != nil {
+		return err
+	}
+	outs, infos, errs, stats, err := dropoutRound(aggsvc.Config{
+		Group: p, Quorum: p - k, DegradedRounds: true,
+		RoundTimeout: 1500 * time.Millisecond, Metrics: campaignReg,
+	}, inputs, sealers, func(i int, c net.Conn) net.Conn {
+		return plan.WrapConn(c, i*100)
+	})
+	if err != nil {
+		return err
+	}
+	for r := 0; r < p; r++ {
+		if victimSet[r] {
+			if errs[r] == nil {
+				return fmt.Errorf("victim %d aggregated successfully despite its severed connection", r)
+			}
+			continue
+		}
+		if errs[r] != nil {
+			return fmt.Errorf("survivor %d: %w", r, errs[r])
+		}
+		if !infos[r].Degraded {
+			return fmt.Errorf("survivor %d round not marked degraded", r)
+		}
+		if fmt.Sprint(infos[r].Survivors) != fmt.Sprint(surv) {
+			return fmt.Errorf("survivor %d saw survivor set %v, want %v", r, infos[r].Survivors, surv)
+		}
+		for j := range want {
+			if outs[r][j] != want[j] {
+				return fmt.Errorf("survivor %d elem %d = %d, want %d (plaintext fold over survivors)",
+					r, j, outs[r][j], want[j])
+			}
+		}
+	}
+	if got := stats["rounds_degraded"]; got < 1 {
+		return fmt.Errorf("rounds_degraded = %d, want >= 1", got)
+	}
+	if got := stats["clients_evicted"]; got != uint64(k) {
+		return fmt.Errorf("clients_evicted = %d, want %d", got, k)
+	}
+
+	// Flat leg: a fault-free round over a fresh world holding exactly the
+	// survivor population, fed the survivors' inputs. Its RESULT is the
+	// ground truth the degraded round must reproduce bit for bit.
+	flatSealers, err := dropoutSealers(len(surv), kind, tagSeed)
+	if err != nil {
+		return err
+	}
+	flatInputs := make([][]int64, len(surv))
+	for i, r := range surv {
+		flatInputs[i] = inputs[r]
+	}
+	flatOuts, flatInfos, flatErrs, _, err := dropoutRound(aggsvc.Config{
+		Group: len(surv), RoundTimeout: 10 * time.Second, Metrics: campaignReg,
+	}, flatInputs, flatSealers, func(_ int, c net.Conn) net.Conn { return c })
+	if err != nil {
+		return err
+	}
+	for i := range surv {
+		if flatErrs[i] != nil {
+			return fmt.Errorf("flat reference client %d: %w", i, flatErrs[i])
+		}
+		if flatInfos[i].Degraded || flatInfos[i].Survivors != nil {
+			return fmt.Errorf("flat reference round unexpectedly degraded (%v)", flatInfos[i].Survivors)
+		}
+	}
+	for _, r := range surv {
+		for j := range flatOuts[0] {
+			if outs[r][j] != flatOuts[0][j] {
+				return fmt.Errorf("survivor %d elem %d: degraded %d != flat %d — degraded RESULT diverges from the flat round",
+					r, j, outs[r][j], flatOuts[0][j])
+			}
+		}
+	}
+
+	report(plan)
+	if len(plan.Events()) != k {
+		return fmt.Errorf("%d sever events fired, want %d", len(plan.Events()), k)
+	}
+	fmt.Printf("  %s: survivors %v agreed; degraded RESULT == flat round over the survivors\n", name, surv)
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hear/internal/core"
 	"hear/internal/homac"
 	"hear/internal/mpi"
 )
@@ -425,5 +426,139 @@ func (g *GatewaySealer) Open(reduced []byte, out []int64) error {
 	}
 	g.ctx.mx.openOps.Inc()
 	unmarshal64(buf, out[:n])
+	return nil
+}
+
+// --- Degraded (dropout-tolerant) rounds ----------------------------------
+//
+// A gateway running with DegradedRounds completes a round over the
+// surviving participant set when stragglers die post-JOIN, and names that
+// set in RESULT. The survivors' partial reduce still carries the missing
+// ranks' telescoping noise, so the sealer folds it back in
+// (core.SubsetCanceler) before the ordinary decrypt — possible exactly when
+// the key policy lets one rank re-derive another's noise stream
+// (Options.SharedGroupKeys). The methods below implement aggsvc's
+// DegradedSealer structurally.
+
+// RankID is this sealer's rank in the key schedule, advertised to the
+// gateway so a survivor set can name it.
+func (g *GatewaySealer) RankID() int { return g.ctx.rank }
+
+// AcceptsDegraded reports whether this sealer can verify and open a
+// survivor-subset aggregate: the key policy must allow deriving other
+// ranks' noise streams (Options.SharedGroupKeys) and the scheme must
+// support subset cancellation (all three gateway-foldable 64-bit integer
+// schemes do). When false, the client negotiates the fail-closed v1
+// protocol and a degraded round aborts for it as a retryable straggler cut.
+func (g *GatewaySealer) AcceptsDegraded() bool {
+	if !g.ctx.st.CanDeriveRankKeys() {
+		return false
+	}
+	s, err := g.ctx.Scheme(g.kind)
+	if err != nil {
+		return false
+	}
+	_, ok := s.(core.SubsetCanceler)
+	return ok
+}
+
+// missingFromSurvivors validates a RESULT's survivor set against the
+// communicator and returns its complement. The sealer's own rank must be a
+// survivor — a gateway claiming we contributed to a round we were cut from
+// (or vice versa) is protocol corruption, not a recoverable state.
+func (g *GatewaySealer) missingFromSurvivors(survivors []int) ([]int, error) {
+	if len(survivors) == 0 || len(survivors) > g.ctx.size {
+		return nil, fmt.Errorf("hear: survivor set size %d invalid for communicator of %d", len(survivors), g.ctx.size)
+	}
+	present := make([]bool, g.ctx.size)
+	for _, r := range survivors {
+		if r < 0 || r >= g.ctx.size {
+			return nil, fmt.Errorf("hear: survivor rank %d outside communicator of %d", r, g.ctx.size)
+		}
+		if present[r] {
+			return nil, fmt.Errorf("hear: duplicate survivor rank %d", r)
+		}
+		present[r] = true
+	}
+	if !present[g.ctx.rank] {
+		return nil, fmt.Errorf("hear: own rank %d absent from survivor set", g.ctx.rank)
+	}
+	missing := make([]int, 0, g.ctx.size-len(survivors))
+	for r, ok := range present {
+		if !ok {
+			missing = append(missing, r)
+		}
+	}
+	return missing, nil
+}
+
+// VerifySurvivors checks a degraded round's reduced (ciphertext, tag) lane
+// pair against the survivor subset: the HoMAC key sum telescopes per
+// missing run just like the noise, so verification stays Θ(runs) per
+// element. With verification disabled it is a no-op.
+func (g *GatewaySealer) VerifySurvivors(reducedCipher, reducedTags []byte, survivors []int) error {
+	if g.verifier == nil {
+		return nil
+	}
+	missing, err := g.missingFromSurvivors(survivors)
+	if err != nil {
+		return err
+	}
+	n := len(reducedCipher) / 8
+	if len(reducedTags) < n*8 {
+		return fmt.Errorf("hear: reduced tag lane %d B < %d elements", len(reducedTags), n)
+	}
+	lanes := make([]uint64, n)
+	sigma := make([]uint64, n)
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(reducedCipher[i*8:])
+		sigma[i] = binary.LittleEndian.Uint64(reducedTags[i*8:])
+	}
+	bad, err := g.verifier.VerifySubset(g.ctx.st, missing, lanes, sigma, len(survivors))
+	if err != nil {
+		return err
+	}
+	if bad >= 0 {
+		g.ctx.mx.verifyFailures.Inc()
+		return &ErrVerificationFailed{Element: bad}
+	}
+	return nil
+}
+
+// OpenSurvivors decrypts a degraded round's reduced ciphertext lane: the
+// missing ranks' noise is folded back into a scratch copy
+// (core.SubsetCanceler), after which the scheme's standard decrypt applies.
+// The result is bit-identical to a fresh flat round run over only the
+// survivors. A full survivor set degenerates to Open.
+func (g *GatewaySealer) OpenSurvivors(reduced []byte, out []int64, survivors []int) error {
+	missing, err := g.missingFromSurvivors(survivors)
+	if err != nil {
+		return err
+	}
+	if len(missing) == 0 {
+		return g.Open(reduced, out)
+	}
+	s, err := g.ctx.Scheme(g.kind)
+	if err != nil {
+		return err
+	}
+	sc, ok := s.(core.SubsetCanceler)
+	if !ok {
+		return fmt.Errorf("hear: scheme %s cannot cancel subset noise", g.kind)
+	}
+	n := len(reduced) / 8
+	if len(out) < n {
+		return fmt.Errorf("hear: out %d < %d elements", len(out), n)
+	}
+	work := make([]byte, n*8)
+	copy(work, reduced)
+	if err := sc.FoldMissingNoise(g.ctx.st, work, n, missing); err != nil {
+		return err
+	}
+	if err := s.Decrypt(g.ctx.st, work, work, n); err != nil {
+		return err
+	}
+	g.ctx.mx.openOps.Inc()
+	unmarshal64(work, out[:n])
 	return nil
 }

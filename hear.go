@@ -113,6 +113,15 @@ type Options struct {
 	// enabling SendEncrypted/RecvEncrypted and the encrypted non-reducing
 	// collectives. Costs Θ(N) key space per rank instead of Θ(1).
 	EnableP2P bool
+	// SharedGroupKeys derives every rank's starting key from one group key
+	// (keys.Config.SharedGroup) instead of independent random draws. Any
+	// rank can then re-derive any other rank's PRF noise stream, which is
+	// what lets GatewaySealer verify and open a degraded (dropout-tolerant)
+	// gateway round over a survivor subset. Trade-off: the default policy
+	// gives a rank only its ring neighbours' keys; with this on, the whole
+	// group shares one derivation secret (the shared-key secure-aggregation
+	// model). The gateway stays key-blind either way. Off by default.
+	SharedGroupKeys bool
 	// Rand overrides the key-generation entropy source (tests only).
 	Rand io.Reader
 }
@@ -179,7 +188,8 @@ func Init(w *mpi.World, opts Options) ([]*Context, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	states, err := keys.Generate(w.Size(), keys.Config{Backend: opts.PRFBackend, Rand: opts.Rand})
+	states, err := keys.Generate(w.Size(), keys.Config{
+		Backend: opts.PRFBackend, Rand: opts.Rand, SharedGroup: opts.SharedGroupKeys})
 	if err != nil {
 		return nil, fmt.Errorf("hear: init: %w", err)
 	}

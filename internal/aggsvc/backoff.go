@@ -1,0 +1,70 @@
+package aggsvc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: Base doubling per
+// attempt up to Max, with ±25% deterministic jitter derived from Seed and a
+// per-Backoff counter — so a thundering herd of identically-configured
+// retriers (a client fleet, a federation's leaf gateways redialing one
+// root) spreads out instead of hammering in lockstep. The zero value uses
+// 50ms/2s. Not safe for concurrent use; each retry loop owns its Backoff.
+type Backoff struct {
+	Base time.Duration // first delay (default 50ms)
+	Max  time.Duration // delay ceiling (default 2s)
+	Seed int64         // jitter seed; distinct per retrier
+	n    uint64        // lifetime counter feeding the jitter hash
+}
+
+// Next returns the delay before re-attempt number attempt (1-based: pass 1
+// before the first retry).
+func (b *Backoff) Next(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	b.n++
+	return jitterDelay(base, max, b.Seed, b.n, attempt)
+}
+
+// Sleep blocks for Next(attempt).
+func (b *Backoff) Sleep(attempt int) { time.Sleep(b.Next(attempt)) }
+
+// jitterDelay maps (base doubling per attempt, capped at max) through a
+// ±25% jitter keyed by seed and a lifetime counter. attempt is 1-based.
+func jitterDelay(base, max time.Duration, seed int64, counter uint64, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	h := uint64(seed) ^ (counter * 0x9e3779b97f4a7c15)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	// Map the hash into [-d/4, +d/4).
+	jitter := time.Duration(int64(h%uint64(d/2+1)) - int64(d/4))
+	return d + jitter
+}
+
+// GiveUpError is the typed terminal failure of a retried operation: every
+// attempt failed and the retry budget is spent. Last is the final attempt's
+// error and unwraps, so errors.As still reaches a terminal *AbortError.
+type GiveUpError struct {
+	Op       string // what was being retried ("round", "dial upstream", ...)
+	Attempts int    // total attempts made
+	Last     error  // the last attempt's failure
+}
+
+func (e *GiveUpError) Error() string {
+	return fmt.Sprintf("aggsvc: %s failed after %d attempts: %v", e.Op, e.Attempts, e.Last)
+}
+
+func (e *GiveUpError) Unwrap() error { return e.Last }

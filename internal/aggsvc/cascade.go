@@ -36,9 +36,17 @@ type UplinkRound interface {
 	// leaf writes its own JOINs (and its cohort seals) only after this
 	// returns.
 	Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch uint64) (sealEpoch uint64, err error)
-	// Relay submits the cohort's folded partial lanes and blocks for the
-	// globally reduced lanes, which the leaf fans back down as its RESULT.
-	Relay(data, tags []byte) (globalData, globalTags []byte, err error)
+	// Relay submits the cohort's folded partial lanes — declaring which
+	// client ranks they cover, and whether that coverage is complete
+	// (complete=false when this cohort's own round degraded) — and blocks
+	// for the globally reduced lanes, which the leaf fans back down as its
+	// RESULT. globalSurv is the upstream RESULT's survivor union (nil when
+	// the global aggregate is complete); the leaf forwards it verbatim in
+	// its own RESULT trailers so every client of the tree cancels the same
+	// missing ranks. covers may be nil with complete=true when the cohort's
+	// coverage cannot be expressed (unknown ranks) — the upstream round can
+	// then only complete fully.
+	Relay(data, tags []byte, covers []uint32, complete bool) (globalData, globalTags []byte, globalSurv []uint32, err error)
 	// Close releases the upstream connection. It must be safe to call
 	// concurrently with a blocked Negotiate or Relay — the server uses it
 	// to cut a pending exchange loose when the leaf round dies underneath.
@@ -104,8 +112,12 @@ func (s *Server) runCascade(r *roundState) {
 	// by this round — the uplink copied them out of its read buffer — so
 	// the downlink RESULT fan-out may reference them for the round's whole
 	// lifetime.
+	covers, complete, coversOK := r.coverage()
+	if !coversOK {
+		covers, complete = nil, true
+	}
 	relayTm := s.phases.StartTimer(PhaseRelay)
-	gdata, gtags, err := u.Relay(r.data, r.tags)
+	gdata, gtags, gsurv, err := u.Relay(r.data, r.tags, covers, complete)
 	relayTm.Stop()
 	if err != nil {
 		s.relayFailures.Add(1)
@@ -119,7 +131,7 @@ func (s *Server) runCascade(r *roundState) {
 		return
 	}
 	s.roundsRelayed.Add(1)
-	r.finishRelay(gdata, gtags)
+	r.finishRelay(gdata, gtags, gsurv)
 }
 
 // upstreamAbort wraps an uplink failure as this round's typed abort,

@@ -42,6 +42,40 @@ type SchemeIDer interface {
 	SchemeID() uint8
 }
 
+// DegradedSealer is optionally implemented by Sealers that can verify and
+// open a *partial* aggregate — one reduced over an explicit survivor subset
+// of the group, with the missing ranks' noise re-derived and canceled
+// (hear.GatewaySealer under shared-group keys). A client whose sealer
+// accepts degraded results speaks protocol v2: its HELLO carries its rank
+// and FlagDegradedOK, and a survivor-set RESULT routes through
+// VerifySurvivors/OpenSurvivors instead of Verify/Open. survivors is the
+// wire-order global rank set the RESULT declared — passed as the surviving
+// set (not the missing one) because a key-blind relay cannot know the group
+// size needed to complement it.
+type DegradedSealer interface {
+	// RankID is this sealer's key-schedule rank, or -1 when it has none (a
+	// federation relay aggregating other ranks' inputs).
+	RankID() int
+	// AcceptsDegraded reports whether the sealer can actually cancel
+	// missing-rank noise; false keeps the client on protocol v1.
+	AcceptsDegraded() bool
+	// VerifySurvivors checks the reduced lanes against the survivor set.
+	VerifySurvivors(reducedCipher, reducedTags []byte, survivors []int) error
+	// OpenSurvivors decrypts the partial aggregate over the survivor set.
+	OpenSurvivors(reduced []byte, out []int64, survivors []int) error
+}
+
+// CoverageReporter is optionally implemented by Sealers whose single
+// submission stands in for several participants' inputs — a federation
+// leaf relaying its cohort's fold upstream. After Seal, the client forwards
+// the reported rank coverage in a SURVIVORS frame so the upstream tier can
+// name the global survivor union if its round degrades. complete=false
+// declares the coverage itself partial (the leaf's own cohort degraded);
+// ok=false means coverage cannot be expressed and nothing is sent.
+type CoverageReporter interface {
+	Coverage() (ranks []uint32, complete bool, ok bool)
+}
+
 // NoisePrefetcher is optionally implemented by Sealers that can precompute
 // the next round's sealing material while the current round's aggregate is
 // in flight (hear.GatewaySealer when Options.NoisePrefetch is enabled).
@@ -160,6 +194,12 @@ type Round struct {
 	Group   int
 	Elapsed time.Duration
 	Retries int // attempts beyond the first that this call needed
+	// Degraded reports that the aggregate covers only Survivors — the
+	// gateway completed the round over the participants that delivered
+	// before the deadline and this client's sealer canceled the missing
+	// ranks' noise. Survivors is the global rank set in ascending order.
+	Degraded  bool
+	Survivors []int
 }
 
 // errTransient marks failures worth retrying: transport-level errors where
@@ -230,24 +270,14 @@ func (c *Client) Aggregate(vals, out []int64) (Round, error) {
 		c.conn.Close()
 		c.conn = nil
 	}
-	return Round{}, fmt.Errorf("aggsvc: round failed after %d attempts: %w", c.opt.Retry+1, lastErr)
+	return Round{}, &GiveUpError{Op: "round", Attempts: c.opt.Retry + 1, Last: lastErr}
 }
 
 // sleepBackoff sleeps the exponential backoff for the given attempt with
 // ±25% deterministic jitter (hash of JitterSeed and a lifetime counter).
 func (c *Client) sleepBackoff(attempt int) {
-	d := c.opt.RetryBackoff << (attempt - 1)
-	if d > c.opt.RetryBackoffMax || d <= 0 {
-		d = c.opt.RetryBackoffMax
-	}
 	c.attempt++
-	h := uint64(c.opt.JitterSeed) ^ (c.attempt * 0x9e3779b97f4a7c15)
-	h ^= h >> 29
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 32
-	// Map the hash into [-d/4, +d/4).
-	jitter := time.Duration(int64(h%uint64(d/2+1)) - int64(d/4))
-	time.Sleep(d + jitter)
+	time.Sleep(jitterDelay(c.opt.RetryBackoff, c.opt.RetryBackoffMax, c.opt.JitterSeed, c.attempt, attempt))
 }
 
 // aggregateOnce drives a single round attempt over the current connection.
@@ -265,11 +295,22 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	if sid, ok := c.sealer.(SchemeIDer); ok {
 		scheme = sid.SchemeID()
 	}
-	hello := helloFrame{Version: ProtocolVersion, Scheme: scheme, Flags: flags,
-		Elems: len(vals), Epoch: c.sealer.Epoch()}
+	// Speak v2 only when the sealer can actually open a survivor-set
+	// RESULT; otherwise stay on the v1 wire image so a degraded-capable
+	// gateway never routes a partial aggregate here.
+	version, rank := ProtocolV1, -1
+	var degraded DegradedSealer
+	if d, ok := c.sealer.(DegradedSealer); ok && d.AcceptsDegraded() {
+		degraded = d
+		version = ProtocolVersion
+		rank = d.RankID()
+		flags |= FlagDegradedOK
+	}
+	hello := helloFrame{Version: version, Scheme: scheme, Flags: flags,
+		Elems: len(vals), Epoch: c.sealer.Epoch(), Rank: rank}
 	b := wireBufs.Get().(*wireBuf)
-	putHello(b.fixed[:helloPayloadBytes], hello)
-	err := b.writeFrame(c.conn, FrameHello, b.fixed[:helloPayloadBytes])
+	putHello(b.fixed[:helloSize(version)], hello)
+	err := b.writeFrame(c.conn, FrameHello, b.fixed[:helloSize(version)])
 	wireBufs.Put(b)
 	if err != nil {
 		return Round{}, &errTransient{fmt.Errorf("aggsvc: hello: %w", err)}
@@ -302,6 +343,18 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	if err != nil {
 		return Round{}, fmt.Errorf("aggsvc: seal: %w", err)
 	}
+	// A relay sealer's submission stands in for a whole cohort: declare
+	// which ranks it covers (and whether that coverage is itself complete)
+	// before the lanes, so the gateway can name the global survivor union
+	// if this round degrades.
+	if cr, ok := c.sealer.(CoverageReporter); ok {
+		if ranks, complete, covOK := cr.Coverage(); covOK {
+			sf := survivorsFrame{Round: join.Round, Complete: complete, Ranks: ranks}
+			if err := writeFrame(c.conn, FrameSurvivors, encodeSurvivors(sf)); err != nil {
+				return Round{}, &errTransient{fmt.Errorf("aggsvc: survivors: %w", err)}
+			}
+		}
+	}
 	if err := c.submitLane(join.Round, LaneData, cipher, chunk); err != nil {
 		return Round{}, err
 	}
@@ -329,7 +382,7 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	if t != FrameResult {
 		return Round{}, fmt.Errorf("aggsvc: expected RESULT, got %s", t)
 	}
-	round, data, rtags, err := decodeResult(p)
+	round, data, rtags, wireSurv, err := decodeResultV2(p)
 	if err != nil {
 		return Round{}, err
 	}
@@ -339,16 +392,41 @@ func (c *Client) aggregateOnce(vals, out []int64) (Round, error) {
 	if len(data) != len(cipher) {
 		return Round{}, fmt.Errorf("aggsvc: reduced lane %d B, submitted %d B", len(data), len(cipher))
 	}
+	var surv []int
+	if wireSurv != nil {
+		// The gateway promised (HELLO flag gate) never to send a partial
+		// aggregate to a client that cannot open one; a survivor trailer
+		// arriving anyway is a protocol violation, fatal like tampering.
+		if degraded == nil {
+			return Round{}, fmt.Errorf("aggsvc: RESULT names %d survivor ranks but this sealer cannot open a partial aggregate", len(wireSurv))
+		}
+		surv = make([]int, len(wireSurv))
+		for i, rk := range wireSurv {
+			surv[i] = int(rk)
+		}
+	}
 	// Verify before trusting: a tampering (or tag-stripping) gateway must
 	// fail here, not decrypt to silently wrong values — and a verification
 	// failure is deliberately fatal, not retried, so tampering surfaces.
-	if err := c.sealer.Verify(data, rtags); err != nil {
-		return Round{}, err
+	// Degraded rounds verify and open against the declared survivor set,
+	// re-deriving and canceling exactly the missing ranks' noise.
+	if surv != nil {
+		if err := degraded.VerifySurvivors(data, rtags, surv); err != nil {
+			return Round{}, err
+		}
+		if err := degraded.OpenSurvivors(data, out[:len(vals)], surv); err != nil {
+			return Round{}, err
+		}
+	} else {
+		if err := c.sealer.Verify(data, rtags); err != nil {
+			return Round{}, err
+		}
+		if err := c.sealer.Open(data, out[:len(vals)]); err != nil {
+			return Round{}, err
+		}
 	}
-	if err := c.sealer.Open(data, out[:len(vals)]); err != nil {
-		return Round{}, err
-	}
-	return Round{ID: join.Round, Slot: join.Slot, Group: join.Group, Elapsed: time.Since(start)}, nil
+	return Round{ID: join.Round, Slot: join.Slot, Group: join.Group, Elapsed: time.Since(start),
+		Degraded: surv != nil, Survivors: surv}, nil
 }
 
 // submitLane streams one sealed lane as SUBMIT frames. Each frame is one

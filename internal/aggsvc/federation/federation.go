@@ -27,6 +27,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hear/internal/aggsvc"
@@ -35,8 +36,9 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultTimeout     = 30 * time.Second
-	DefaultDialBackoff = 50 * time.Millisecond
+	DefaultTimeout        = 30 * time.Second
+	DefaultDialBackoff    = 50 * time.Millisecond
+	DefaultDialBackoffMax = 2 * time.Second
 )
 
 // Config configures one gateway's uplink to its upstream tier.
@@ -59,8 +61,13 @@ type Config struct {
 	// sealed at, so mid-round failures abort typed (AbortUpstream) and the
 	// *clients* re-round end to end.
 	DialRetry int
-	// DialBackoff is the sleep between dial attempts (default 50ms).
+	// DialBackoff is the first sleep between dial attempts (default 50ms),
+	// doubling per attempt up to DialBackoffMax (default 2s) with
+	// deterministic jitter — a whole leaf tier redialing a restarted root
+	// must spread out, not stampede in lockstep.
 	DialBackoff time.Duration
+	// DialBackoffMax caps the exponential dial backoff (default 2s).
+	DialBackoffMax time.Duration
 	// MaxFrameBytes bounds upstream frames (default aggsvc's).
 	MaxFrameBytes int
 	// Tier labels this gateway's depth in the federation (leaves are tier
@@ -87,6 +94,9 @@ func (c *Config) fill() error {
 	if c.DialBackoff <= 0 {
 		c.DialBackoff = DefaultDialBackoff
 	}
+	if c.DialBackoffMax <= 0 {
+		c.DialBackoffMax = DefaultDialBackoffMax
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -106,12 +116,16 @@ type Uplink struct {
 	// handful of high-water buffers instead of allocating one per round.
 	bufs sync.Pool
 
-	rounds      *metrics.Counter
-	failures    *metrics.Counter
-	dialRetries *metrics.Counter
-	inflight    *metrics.Gauge
-	negotiateS  *metrics.Histogram
-	relayS      *metrics.Histogram
+	dialSeq atomic.Int64 // distinct jitter seed per dial loop
+
+	rounds        *metrics.Counter
+	failures      *metrics.Counter
+	dialRetries   *metrics.Counter
+	partialRelays *metrics.Counter
+	degradedDown  *metrics.Counter
+	inflight      *metrics.Gauge
+	negotiateS    *metrics.Histogram
+	relayS        *metrics.Histogram
 }
 
 // latencyBounds bucket upstream phase latencies from sub-millisecond
@@ -129,6 +143,8 @@ func New(cfg Config) (*Uplink, error) {
 		u.rounds = r.Counter("hear_federation_upstream_rounds_total", labels)
 		u.failures = r.Counter("hear_federation_upstream_failures_total", labels)
 		u.dialRetries = r.Counter("hear_federation_upstream_dial_retries_total", labels)
+		u.partialRelays = r.Counter("hear_federation_partial_relays_total", labels)
+		u.degradedDown = r.Counter("hear_federation_rounds_degraded_total", labels)
 		u.inflight = r.Gauge("hear_federation_upstream_inflight", labels)
 		u.negotiateS = r.Histogram("hear_federation_negotiate_seconds", labels, latencyBounds)
 		u.relayS = r.Histogram("hear_federation_relay_seconds", labels, latencyBounds)
@@ -160,11 +176,13 @@ func (u *Uplink) dial() (net.Conn, error) {
 		timeout := u.cfg.Timeout
 		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
 	}
+	bo := &aggsvc.Backoff{Base: u.cfg.DialBackoff, Max: u.cfg.DialBackoffMax,
+		Seed: int64(u.cfg.Tier)<<32 ^ u.dialSeq.Add(1)}
 	var lastErr error
 	for attempt := 0; attempt <= u.cfg.DialRetry; attempt++ {
 		if attempt > 0 {
 			u.dialRetries.Inc()
-			time.Sleep(u.cfg.DialBackoff)
+			bo.Sleep(attempt)
 		}
 		conn, err := dial()
 		if err == nil {
@@ -172,11 +190,18 @@ func (u *Uplink) dial() (net.Conn, error) {
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return nil, &aggsvc.GiveUpError{Op: "dial upstream", Attempts: u.cfg.DialRetry + 1, Last: lastErr}
 }
 
 // lanePair carries the two lanes of one exchange direction.
 type lanePair struct{ data, tags []byte }
+
+// globalLanes is the downward leg of one exchange: the globally reduced
+// lanes plus the upstream RESULT's survivor union (nil when complete).
+type globalLanes struct {
+	data, tags []byte
+	surv       []uint32
+}
 
 // cascadeSealer is the pass-through "sealer" a leaf presents to the
 // upstream tier. It holds no keys: Seal hands over the cohort's already-
@@ -190,15 +215,36 @@ type cascadeSealer struct {
 	tagged bool
 	epoch  uint64 // the cohort's max HELLO epoch, advertised upstream
 
-	epochCh  chan uint64   // ← Seal: the upstream JOIN's agreed epoch
-	lanesCh  chan lanePair // → Seal: the cohort's folded partial lanes
-	globalCh chan lanePair // ← Verify: the globally reduced lanes
-	closeCh  chan struct{} // broken rendezvous: the leaf round died
+	// Rank coverage of the relayed fold, written by wireRound.Relay before
+	// the lanesCh send (whose happens-before edge publishes them to the
+	// client goroutine, which reads Coverage only after Seal returns).
+	covers         []uint32
+	coversComplete bool
+	coversSet      bool
+
+	epochCh  chan uint64      // ← Seal: the upstream JOIN's agreed epoch
+	lanesCh  chan lanePair    // → Seal: the cohort's folded partial lanes
+	globalCh chan globalLanes // ← Verify: the globally reduced lanes (+ survivors)
+	closeCh  chan struct{}    // broken rendezvous: the leaf round died
 }
 
 func (s *cascadeSealer) Tagged() bool    { return s.tagged }
 func (s *cascadeSealer) SchemeID() uint8 { return s.scheme }
 func (s *cascadeSealer) Epoch() uint64   { return s.epoch }
+
+// RankID: a relay has no key-schedule rank of its own — its submission
+// stands in for the ranks Coverage declares.
+func (s *cascadeSealer) RankID() int { return -1 }
+
+// AcceptsDegraded: a key-blind relay always accepts a survivor-set RESULT —
+// it verifies and opens nothing itself; the survivor union just fans down
+// to the cohort's clients, who do.
+func (s *cascadeSealer) AcceptsDegraded() bool { return true }
+
+// Coverage reports the rank set the relayed fold covers (set by Relay).
+func (s *cascadeSealer) Coverage() (ranks []uint32, complete bool, ok bool) {
+	return s.covers, s.coversComplete, s.coversSet
+}
 
 // Seal reports the upstream-agreed epoch to the waiting Negotiate, then
 // blocks until Relay supplies the folded partial lanes.
@@ -220,7 +266,26 @@ func (s *cascadeSealer) Seal(_ []int64, epoch uint64) (cipher, tags []byte, err 
 // single copy the cascade pays per cohort round, and everything past it is
 // zero-copy (see DESIGN.md, "Zero-copy wire path").
 func (s *cascadeSealer) Verify(reducedCipher, reducedTags []byte) error {
-	g := lanePair{data: append([]byte(nil), reducedCipher...)}
+	return s.capture(reducedCipher, reducedTags, nil)
+}
+
+// VerifySurvivors captures a *degraded* global RESULT: the lanes plus the
+// survivor union, which the leaf forwards verbatim in its own RESULT
+// trailers. A key-blind tier cannot (and must not need to) check the
+// subset math — the cohort's clients verify against the same survivor set.
+func (s *cascadeSealer) VerifySurvivors(reducedCipher, reducedTags []byte, survivors []int) error {
+	surv := make([]uint32, len(survivors))
+	for i, rk := range survivors {
+		if rk < 0 {
+			return fmt.Errorf("federation: negative survivor rank %d", rk)
+		}
+		surv[i] = uint32(rk)
+	}
+	return s.capture(reducedCipher, reducedTags, surv)
+}
+
+func (s *cascadeSealer) capture(reducedCipher, reducedTags []byte, surv []uint32) error {
+	g := globalLanes{data: append([]byte(nil), reducedCipher...), surv: surv}
 	if reducedTags != nil {
 		g.tags = append([]byte(nil), reducedTags...)
 	}
@@ -230,6 +295,9 @@ func (s *cascadeSealer) Verify(reducedCipher, reducedTags []byte) error {
 
 // Open is a no-op: a key-blind tier has nothing to decrypt.
 func (s *cascadeSealer) Open([]byte, []int64) error { return nil }
+
+// OpenSurvivors is likewise a no-op.
+func (s *cascadeSealer) OpenSurvivors([]byte, []int64, []int) error { return nil }
 
 // wireRound is one upstream exchange: an aggsvc.Client round driven on its
 // own goroutine, with the cascadeSealer as the rendezvous between the
@@ -262,7 +330,7 @@ func (w *wireRound) Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch 
 		epoch:    cohortEpoch,
 		epochCh:  make(chan uint64, 1),
 		lanesCh:  make(chan lanePair),
-		globalCh: make(chan lanePair, 1),
+		globalCh: make(chan globalLanes, 1),
 		closeCh:  make(chan struct{}),
 	}
 	client := aggsvc.NewClient(w.conn, w.sealer, aggsvc.ClientOptions{
@@ -303,15 +371,24 @@ func (w *wireRound) Negotiate(scheme uint8, elems int, tagged bool, cohortEpoch 
 	}
 }
 
-// Relay hands the cohort's folded partial lanes to the in-flight upstream
-// round and blocks for the globally reduced ones.
-func (w *wireRound) Relay(data, tags []byte) ([]byte, []byte, error) {
+// Relay hands the cohort's folded partial lanes — with their declared rank
+// coverage — to the in-flight upstream round and blocks for the globally
+// reduced ones plus the global survivor union (nil when complete).
+func (w *wireRound) Relay(data, tags []byte, covers []uint32, complete bool) ([]byte, []byte, []uint32, error) {
 	w.mu.Lock()
 	started := w.started
 	w.mu.Unlock()
 	if !started {
-		return nil, nil, fmt.Errorf("federation: Relay before Negotiate")
+		return nil, nil, nil, fmt.Errorf("federation: Relay before Negotiate")
 	}
+	if !complete {
+		w.u.partialRelays.Inc()
+	}
+	// Publish coverage before the lanesCh send: the channel edge makes it
+	// visible to the client goroutine, which reads Coverage after Seal.
+	w.sealer.covers = covers
+	w.sealer.coversComplete = complete
+	w.sealer.coversSet = covers != nil || !complete
 	start := time.Now()
 	select {
 	case w.sealer.lanesCh <- lanePair{data, tags}:
@@ -321,16 +398,19 @@ func (w *wireRound) Relay(data, tags []byte) ([]byte, []byte, error) {
 			err = fmt.Errorf("federation: upstream round ended before the relay")
 		}
 		w.u.cfg.Logf("federation: cohort %d: upstream relay failed: %v", w.cohort, err)
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := <-w.done; err != nil {
 		w.u.failures.Inc()
 		w.u.cfg.Logf("federation: cohort %d: upstream relay failed: %v", w.cohort, err)
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	w.u.relayS.Observe(time.Since(start).Seconds())
 	g := <-w.sealer.globalCh
-	return g.data, g.tags, nil
+	if g.surv != nil {
+		w.u.degradedDown.Inc()
+	}
+	return g.data, g.tags, g.surv, nil
 }
 
 // Close releases the upstream connection and breaks any pending

@@ -251,6 +251,186 @@ func TestFederationThreeTier(t *testing.T) {
 	}
 }
 
+// severPostJoin wraps a client connection so its first write after any
+// successful read fails and drops the connection — the client writes only
+// HELLO before reading JOIN, so this deterministically kills a participant
+// at its first post-JOIN SUBMIT byte.
+type severPostJoin struct {
+	net.Conn
+	reads atomic.Int64
+}
+
+func (c *severPostJoin) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.reads.Add(1)
+	}
+	return n, err
+}
+
+func (c *severPostJoin) Write(p []byte) (int, error) {
+	if c.reads.Load() > 0 {
+		c.Conn.Close()
+		return 0, errors.New("severed post-JOIN")
+	}
+	return c.Conn.Write(p)
+}
+
+// TestFederationDegradedSurvivorUnion drives a dropout through a 2-tier
+// federation: one client of a leaf cohort dies at its first post-JOIN
+// SUBMIT byte, the cohort degrades at its deadline and relays a partial
+// fold (complete=false) upstream, the root completes its round but names
+// the global survivor union, and that union propagates back down so every
+// surviving client — including those of the *complete* sibling cohort —
+// cancels exactly the dead rank's noise. The decrypted aggregates must
+// equal the plaintext fold over the survivor inputs for every
+// gateway-foldable scheme.
+func TestFederationDegradedSurvivorUnion(t *testing.T) {
+	const clients, cohorts, elems, victim = 4, 2, 129, 2
+	cases := []struct {
+		name string
+		kind hear.SchemeKind
+		seed uint64
+		fold func(acc, v int64) int64
+		unit int64
+	}{
+		{"sum-verified", hear.Int64Sum, 0xd39a, func(a, v int64) int64 { return a + v }, 0},
+		{"prod", hear.Int64Prod, 0, func(a, v int64) int64 { return int64(uint64(a) * uint64(v)) }, 1},
+		{"xor", hear.Int64Xor, 0, func(a, v int64) int64 { return a ^ v }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.New()
+			root, err := aggsvc.NewServer(aggsvc.Config{
+				Group: cohorts, Quorum: 1, DegradedRounds: true, Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rootL := aggsvc.NewPipeListener()
+			go root.Serve(rootL)
+			t.Cleanup(func() { root.Close() })
+			leaf, err := aggsvc.NewServer(aggsvc.Config{
+				Group:          clients / cohorts,
+				Cohorts:        cohorts,
+				CohortBy:       roundRobin(cohorts),
+				Quorum:         1,
+				DegradedRounds: true,
+				RoundTimeout:   600 * time.Millisecond,
+				Uplink:         uplinkTo(t, rootL, 0, reg),
+				Logf:           t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			leafL := aggsvc.NewPipeListener()
+			go leaf.Serve(leafL)
+			t.Cleanup(func() { leaf.Close() })
+
+			// Shared-group keys: every survivor can derive the dead rank's
+			// noise stream.
+			w := mpi.NewWorld(clients)
+			ctxs, err := hear.Init(w, hear.Options{SharedGroupKeys: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var verifier *homac.Vector
+			if tc.seed != 0 {
+				if verifier, err = hear.NewVerifier(tc.seed); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sealers := make([]*hear.GatewaySealer, clients)
+			for i, c := range ctxs {
+				if sealers[i], err = c.NewGatewaySealerScheme(tc.kind, verifier); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			inputs := make([][]int64, clients)
+			want := make([]int64, elems)
+			for j := range want {
+				want[j] = tc.unit
+			}
+			for i := range inputs {
+				inputs[i] = make([]int64, elems)
+				for j := range inputs[i] {
+					inputs[i][j] = int64((i+3)*(j+5)) - 77
+					if i != victim {
+						want[j] = tc.fold(want[j], inputs[i][j])
+					}
+				}
+			}
+
+			// Dial in rank order so roundRobin pairs (0,2) and (1,3) into
+			// cohorts; rank `victim` shares its cohort with rank 0.
+			outs := make([][]int64, clients)
+			rounds := make([]aggsvc.Round, clients)
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				conn, err := leafL.Dial()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == victim {
+					conn = &severPostJoin{Conn: conn}
+				}
+				c := aggsvc.NewClient(conn, sealers[i], aggsvc.ClientOptions{Timeout: 30 * time.Second})
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer c.Close()
+					outs[i] = make([]int64, elems)
+					rounds[i], errs[i] = c.Aggregate(inputs[i], outs[i])
+				}(i)
+			}
+			wg.Wait()
+
+			if errs[victim] == nil {
+				t.Fatal("severed victim's Aggregate succeeded")
+			}
+			wantSurv := []int{0, 1, 3}
+			for i := 0; i < clients; i++ {
+				if i == victim {
+					continue
+				}
+				if errs[i] != nil {
+					t.Fatalf("survivor %d: %v", i, errs[i])
+				}
+				if !rounds[i].Degraded {
+					t.Fatalf("survivor %d round not marked degraded", i)
+				}
+				if fmt.Sprint(rounds[i].Survivors) != fmt.Sprint(wantSurv) {
+					t.Fatalf("survivor %d survivor set %v, want %v", i, rounds[i].Survivors, wantSurv)
+				}
+				for j := range want {
+					if outs[i][j] != want[j] {
+						t.Fatalf("survivor %d elem %d = %d, want %d (plaintext fold over survivors)",
+							i, j, outs[i][j], want[j])
+					}
+				}
+			}
+			if got := root.StatsMap()["rounds_degraded"]; got != 1 {
+				t.Errorf("root rounds_degraded = %d, want 1", got)
+			}
+			// Both leaf cohorts' rounds end degraded: the victim's by local
+			// eviction, the sibling's by the global survivor union its relay
+			// brought back down.
+			if got := leaf.StatsMap()["rounds_degraded"]; got != 2 {
+				t.Errorf("leaf rounds_degraded = %d, want 2", got)
+			}
+			m := reg.Map()
+			if got := m[`hear_federation_partial_relays_total{tier="0"}`]; got != 1 {
+				t.Errorf("partial relays = %v, want 1", got)
+			}
+			if got := m[`hear_federation_rounds_degraded_total{tier="0"}`]; got != 2 {
+				t.Errorf("degraded downlinks = %v, want 2", got)
+			}
+		})
+	}
+}
+
 // TestFederationUpstreamDialAbort pins the typed failure path: when the
 // upstream tier is unreachable, the leaf's clients get AbortUpstream — a
 // retryable, diagnosable code — not a hang or a generic protocol error.

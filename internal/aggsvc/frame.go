@@ -15,8 +15,19 @@
 // opens a round with HELLO and is admitted with JOIN; it streams its lanes
 // in SUBMIT chunks; the gateway answers every participant with RESULT, or
 // with a typed ABORT — HEAR's telescoping noises need every participant, so
-// a partial aggregate is cryptographically meaningless and the round fails
-// closed. STATS exposes the gateway's counters and phase timings.
+// by default a partial aggregate is cryptographically meaningless and the
+// round fails closed. STATS exposes the gateway's counters and phase
+// timings.
+//
+// Protocol v2 adds dropout tolerance for clients whose key policy can
+// re-derive missing ranks' noise (Config.DegradedRounds): a v2 HELLO
+// carries the client's key-schedule rank and a degraded-capable flag, a
+// SURVIVORS frame lets a federation leaf declare which ranks its one
+// submission covers, and a degraded RESULT appends the explicit survivor
+// set after the tag lane. v1 clients interoperate unchanged — a complete
+// round's RESULT is bit-identical to v1, and in a degraded round they are
+// cut with a retryable ABORT instead of receiving a survivor set they
+// cannot decrypt.
 package aggsvc
 
 import (
@@ -27,8 +38,15 @@ import (
 	"sync"
 )
 
-// ProtocolVersion is the wire protocol version carried in every HELLO.
-const ProtocolVersion uint16 = 1
+// ProtocolVersion is the current wire protocol version. The server admits
+// both v1 and v2 HELLOs; clients advertise v2 only when they can actually
+// consume its one behavioral addition (survivor-set RESULTs), so a fleet
+// of fail-closed clients keeps speaking v1 and interoperates with old
+// servers.
+const ProtocolVersion uint16 = 2
+
+// ProtocolV1 is the original fail-closed protocol version.
+const ProtocolV1 uint16 = 1
 
 // FrameType identifies a protocol frame.
 type FrameType uint8
@@ -42,6 +60,13 @@ const (
 	FrameAbort    FrameType = 5 // either direction: the round failed, typed
 	FrameStatsReq FrameType = 6 // client → server: request counters
 	FrameStats    FrameType = 7 // server → client: counters and phase timings
+	// FrameSurvivors (v2, client → server) declares which key-schedule
+	// ranks the sender's one submission covers — a federation leaf relaying
+	// its cohort's fold names the cohort's rank set (and whether it is
+	// complete), so the upstream tier can compute a sound survivor union
+	// when it degrades a round. Flat clients never send it; their coverage
+	// is the HELLO rank.
+	FrameSurvivors FrameType = 8
 )
 
 func (t FrameType) String() string {
@@ -60,6 +85,8 @@ func (t FrameType) String() string {
 		return "STATSREQ"
 	case FrameStats:
 		return "STATS"
+	case FrameSurvivors:
+		return "SURVIVORS"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -83,6 +110,11 @@ const (
 // HELLO flag bits.
 const (
 	FlagTagged uint8 = 1 << 0 // the client submits a HoMAC tag lane
+	// FlagDegradedOK (v2) marks a participant able to verify and open a
+	// survivor-subset RESULT (its key policy derives missing ranks' noise).
+	// Participants without it are cut with a retryable ABORT when a round
+	// degrades, never handed a partial aggregate they cannot decrypt.
+	FlagDegradedOK uint8 = 1 << 1
 )
 
 // DefaultMaxFrameBytes bounds a single frame (length prefix included);
@@ -90,11 +122,25 @@ const (
 const DefaultMaxFrameBytes = 16 << 20
 
 const (
-	frameHeaderBytes  = 5 // u32 length + u8 type
-	helloPayloadBytes = 16
-	joinPayloadBytes  = 32
-	submitHeaderBytes = 13 // round u64 + lane u8 + offset u32
+	frameHeaderBytes    = 5 // u32 length + u8 type
+	helloPayloadBytes   = 16
+	helloPayloadBytesV2 = 20 // v1 payload + u32 key-schedule rank
+	joinPayloadBytes    = 32
+	submitHeaderBytes   = 13 // round u64 + lane u8 + offset u32
+	survivorsHeadBytes  = 13 // round u64 + flags u8 + count u32
 )
+
+// rankUnknown is the v2 HELLO rank wire value for "no key-schedule rank"
+// (e.g. a federation leaf, whose coverage arrives via SURVIVORS instead).
+const rankUnknown = ^uint32(0)
+
+// helloSize is the HELLO payload length for a protocol version.
+func helloSize(version uint16) int {
+	if version >= 2 {
+		return helloPayloadBytesV2
+	}
+	return helloPayloadBytes
+}
 
 // AbortCode classifies why a round failed.
 type AbortCode uint16
@@ -294,17 +340,22 @@ type helloFrame struct {
 	Flags   uint8
 	Elems   int
 	Epoch   uint64
+	// Rank is the client's key-schedule rank (v2 only; -1 = unknown, the
+	// wire form rankUnknown). A degraded round's survivor set names ranks,
+	// so the server needs to know which rank a flat participant covers.
+	Rank int
 }
 
-func (h helloFrame) tagged() bool { return h.Flags&FlagTagged != 0 }
+func (h helloFrame) tagged() bool     { return h.Flags&FlagTagged != 0 }
+func (h helloFrame) degradedOK() bool { return h.Version >= 2 && h.Flags&FlagDegradedOK != 0 }
 
 func encodeHello(h helloFrame) []byte {
-	p := make([]byte, helloPayloadBytes)
+	p := make([]byte, helloSize(h.Version))
 	putHello(p, h)
 	return p
 }
 
-// putHello encodes a HELLO payload into p (len >= helloPayloadBytes)
+// putHello encodes a HELLO payload into p (len == helloSize(h.Version))
 // without allocating; emit paths encode into pooled wireBuf scratch.
 func putHello(p []byte, h helloFrame) {
 	binary.LittleEndian.PutUint16(p[0:], h.Version)
@@ -312,19 +363,40 @@ func putHello(p []byte, h helloFrame) {
 	p[3] = h.Flags
 	binary.LittleEndian.PutUint32(p[4:], uint32(h.Elems))
 	binary.LittleEndian.PutUint64(p[8:], h.Epoch)
+	if len(p) >= helloPayloadBytesV2 {
+		rank := rankUnknown
+		if h.Rank >= 0 {
+			rank = uint32(h.Rank)
+		}
+		binary.LittleEndian.PutUint32(p[16:], rank)
+	}
 }
 
 func decodeHello(p []byte) (helloFrame, error) {
-	if len(p) != helloPayloadBytes {
-		return helloFrame{}, fmt.Errorf("aggsvc: HELLO payload %d B, want %d", len(p), helloPayloadBytes)
+	h := helloFrame{Rank: -1}
+	switch len(p) {
+	case helloPayloadBytes, helloPayloadBytesV2:
+	default:
+		return helloFrame{}, fmt.Errorf("aggsvc: HELLO payload %d B, want %d or %d",
+			len(p), helloPayloadBytes, helloPayloadBytesV2)
 	}
-	return helloFrame{
-		Version: binary.LittleEndian.Uint16(p[0:]),
-		Scheme:  p[2],
-		Flags:   p[3],
-		Elems:   int(binary.LittleEndian.Uint32(p[4:])),
-		Epoch:   binary.LittleEndian.Uint64(p[8:]),
-	}, nil
+	h.Version = binary.LittleEndian.Uint16(p[0:])
+	// The payload length is version-determined; a mismatch is a protocol
+	// violation, not a tolerated variant (it would also break the codec's
+	// encode∘decode identity).
+	if want := helloSize(h.Version); len(p) != want {
+		return helloFrame{}, fmt.Errorf("aggsvc: HELLO v%d payload %d B, want %d", h.Version, len(p), want)
+	}
+	h.Scheme = p[2]
+	h.Flags = p[3]
+	h.Elems = int(binary.LittleEndian.Uint32(p[4:]))
+	h.Epoch = binary.LittleEndian.Uint64(p[8:])
+	if len(p) >= helloPayloadBytesV2 {
+		if rank := binary.LittleEndian.Uint32(p[16:]); rank != rankUnknown {
+			h.Rank = int(rank)
+		}
+	}
+	return h, nil
 }
 
 // joinFrame is the decoded JOIN payload: the admission ticket into a
@@ -368,6 +440,70 @@ func decodeJoin(p []byte) (joinFrame, error) {
 		ChunkBytes: int(binary.LittleEndian.Uint32(p[20:])),
 		Epoch:      binary.LittleEndian.Uint64(p[24:]),
 	}, nil
+}
+
+// survivorsFrame is the decoded SURVIVORS payload: the rank set one
+// participant's submission covers. Complete=false marks a subtree whose
+// own round already degraded (the listed ranks are its survivors, with
+// others lost below), which forces the upstream round to carry a survivor
+// set even if nobody at this tier is evicted.
+type survivorsFrame struct {
+	Round    uint64
+	Complete bool
+	Ranks    []uint32
+}
+
+const flagSurvivorsComplete uint8 = 1 << 0
+
+func encodeSurvivors(s survivorsFrame) []byte {
+	p := make([]byte, survivorsHeadBytes+4*len(s.Ranks))
+	binary.LittleEndian.PutUint64(p[0:], s.Round)
+	if s.Complete {
+		p[8] = flagSurvivorsComplete
+	}
+	binary.LittleEndian.PutUint32(p[9:], uint32(len(s.Ranks)))
+	for i, r := range s.Ranks {
+		binary.LittleEndian.PutUint32(p[survivorsHeadBytes+4*i:], r)
+	}
+	return p
+}
+
+func decodeSurvivors(p []byte) (survivorsFrame, error) {
+	if len(p) < survivorsHeadBytes {
+		return survivorsFrame{}, fmt.Errorf("aggsvc: SURVIVORS payload %d B too short", len(p))
+	}
+	if p[8]&^flagSurvivorsComplete != 0 {
+		return survivorsFrame{}, fmt.Errorf("aggsvc: SURVIVORS unknown flag bits %#x", p[8])
+	}
+	s := survivorsFrame{
+		Round:    binary.LittleEndian.Uint64(p[0:]),
+		Complete: p[8]&flagSurvivorsComplete != 0,
+	}
+	n := int(binary.LittleEndian.Uint32(p[9:]))
+	if len(p) != survivorsHeadBytes+4*n {
+		return survivorsFrame{}, fmt.Errorf("aggsvc: SURVIVORS payload %d B for %d ranks, want %d",
+			len(p), n, survivorsHeadBytes+4*n)
+	}
+	if n == 0 {
+		return s, nil
+	}
+	s.Ranks = make([]uint32, n)
+	for i := range s.Ranks {
+		s.Ranks[i] = binary.LittleEndian.Uint32(p[survivorsHeadBytes+4*i:])
+	}
+	return s, nil
+}
+
+// encodeSurvivorList encodes the RESULT survivor trailer: u32 count + the
+// ranks. It is appended after the tag lane only in degraded rounds, so a
+// complete round's RESULT stays bit-identical to protocol v1.
+func encodeSurvivorList(ranks []uint32) []byte {
+	p := make([]byte, 4+4*len(ranks))
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(ranks)))
+	for i, r := range ranks {
+		binary.LittleEndian.PutUint32(p[4+4*i:], r)
+	}
+	return p
 }
 
 // submitHeader is the fixed prefix of a SUBMIT payload; the chunk bytes
@@ -443,6 +579,41 @@ func decodeResult(p []byte) (round uint64, data, tags []byte, err error) {
 		tags = nil
 	}
 	return round, data, tags, nil
+}
+
+// decodeResultV2 parses a RESULT including the optional v2 survivor
+// trailer (u32 count + count×u32 ranks, appended after the tag lane only
+// when the round degraded). A nil survivors return means the aggregate is
+// complete; a trailer that is present but malformed — truncated, oversize,
+// or an empty survivor set — is an error, never silently ignored: opening
+// a partial aggregate as if it were complete would decrypt garbage.
+func decodeResultV2(p []byte) (round uint64, data, tags []byte, survivors []uint32, err error) {
+	round, data, tags, err = decodeResult(p)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	dn := int(binary.LittleEndian.Uint32(p[8:]))
+	tn := int(binary.LittleEndian.Uint32(p[12+dn:]))
+	rest := p[16+dn+tn:]
+	if len(rest) == 0 {
+		return round, data, tags, nil, nil
+	}
+	if len(rest) < 4 {
+		return 0, nil, nil, nil, fmt.Errorf("aggsvc: RESULT survivor trailer %d B too short", len(rest))
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	if n == 0 {
+		return 0, nil, nil, nil, fmt.Errorf("aggsvc: RESULT names an empty survivor set")
+	}
+	if len(rest) != 4+4*n {
+		return 0, nil, nil, nil, fmt.Errorf("aggsvc: RESULT survivor trailer %d B for %d ranks, want %d",
+			len(rest), n, 4+4*n)
+	}
+	survivors = make([]uint32, n)
+	for i := range survivors {
+		survivors[i] = binary.LittleEndian.Uint32(rest[4+4*i:])
+	}
+	return round, data, tags, survivors, nil
 }
 
 func encodeAbort(e *AbortError) []byte {

@@ -14,14 +14,18 @@ import (
 
 func TestHelloRoundTrip(t *testing.T) {
 	cases := []helloFrame{
-		{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: FlagTagged, Elems: 8192, Epoch: 7},
-		{Version: 0xffff, Scheme: SchemeInt64Prod, Flags: 0, Elems: 0, Epoch: math.MaxUint64},
-		{Version: 0, Scheme: SchemeInt64Xor, Flags: 0xff, Elems: math.MaxUint32, Epoch: 0},
+		// v2 hellos carry a key-schedule rank (rankUnknown on the wire for -1).
+		{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Flags: FlagTagged | FlagDegradedOK, Elems: 8192, Epoch: 7, Rank: 3},
+		{Version: ProtocolVersion, Scheme: SchemeInt64Prod, Flags: 0, Elems: 1, Epoch: 2, Rank: -1},
+		{Version: 0xffff, Scheme: SchemeInt64Prod, Flags: 0, Elems: 0, Epoch: math.MaxUint64, Rank: 0},
+		// v1 hellos have no rank field; the decoder reports -1.
+		{Version: ProtocolV1, Scheme: SchemeInt64Sum, Flags: FlagTagged, Elems: 8192, Epoch: 7, Rank: -1},
+		{Version: 0, Scheme: SchemeInt64Xor, Flags: 0xff, Elems: math.MaxUint32, Epoch: 0, Rank: -1},
 	}
 	for _, want := range cases {
 		p := encodeHello(want)
-		if len(p) != helloPayloadBytes {
-			t.Fatalf("HELLO payload %d B, want %d", len(p), helloPayloadBytes)
+		if len(p) != helloSize(want.Version) {
+			t.Fatalf("HELLO v%d payload %d B, want %d", want.Version, len(p), helloSize(want.Version))
 		}
 		got, err := decodeHello(p)
 		if err != nil {
@@ -31,10 +35,104 @@ func TestHelloRoundTrip(t *testing.T) {
 			t.Fatalf("round trip %+v -> %+v", want, got)
 		}
 	}
-	for _, n := range []int{0, 1, helloPayloadBytes - 1, helloPayloadBytes + 1} {
+	for _, n := range []int{0, 1, helloPayloadBytes - 1, helloPayloadBytes + 1, helloPayloadBytesV2 + 1} {
 		if _, err := decodeHello(make([]byte, n)); err == nil {
 			t.Errorf("decodeHello accepted %d B payload", n)
 		}
+	}
+	// The payload length is version-determined: a v1 hello padded to v2
+	// length (or a v2 hello truncated to v1 length) is a protocol violation.
+	long := encodeHello(helloFrame{Version: ProtocolVersion, Scheme: SchemeInt64Sum, Elems: 4, Rank: 1})
+	if _, err := decodeHello(long[:helloPayloadBytes]); err == nil {
+		t.Error("decodeHello accepted a v2 hello truncated to v1 length")
+	}
+	short := encodeHello(helloFrame{Version: ProtocolV1, Scheme: SchemeInt64Sum, Elems: 4, Rank: -1})
+	if _, err := decodeHello(append(short, 0, 0, 0, 0)); err == nil {
+		t.Error("decodeHello accepted a v1 hello padded to v2 length")
+	}
+	// degradedOK requires both the v2 flag and a v2 version.
+	if (helloFrame{Version: ProtocolV1, Flags: FlagDegradedOK}).degradedOK() {
+		t.Error("v1 hello reported degradedOK")
+	}
+	if !(helloFrame{Version: ProtocolVersion, Flags: FlagDegradedOK}).degradedOK() {
+		t.Error("v2 hello with FlagDegradedOK not reported degradedOK")
+	}
+}
+
+func TestSurvivorsRoundTrip(t *testing.T) {
+	cases := []survivorsFrame{
+		{Round: 9, Complete: true, Ranks: []uint32{0, 2, 5}},
+		{Round: 1, Complete: false, Ranks: []uint32{7}},
+		{Round: math.MaxUint64, Complete: true, Ranks: nil},
+	}
+	for _, want := range cases {
+		p := encodeSurvivors(want)
+		if len(p) != survivorsHeadBytes+4*len(want.Ranks) {
+			t.Fatalf("SURVIVORS payload %d B, want %d", len(p), survivorsHeadBytes+4*len(want.Ranks))
+		}
+		got, err := decodeSurvivors(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != want.Round || got.Complete != want.Complete || !reflect.DeepEqual(got.Ranks, want.Ranks) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		// The rank list length is exact: every strict prefix and any padding
+		// must be rejected.
+		for n := 0; n < len(p); n++ {
+			if _, err := decodeSurvivors(p[:n]); err == nil {
+				t.Fatalf("decodeSurvivors accepted %d of %d B", n, len(p))
+			}
+		}
+		if _, err := decodeSurvivors(append(p, 0)); err == nil {
+			t.Fatal("decodeSurvivors accepted a padded payload")
+		}
+	}
+	// A declared count overrunning the payload must error, not panic.
+	bad := encodeSurvivors(survivorsFrame{Round: 3, Ranks: []uint32{1, 2}})
+	bad[9] = 0xff
+	if _, err := decodeSurvivors(bad); err == nil {
+		t.Error("decodeSurvivors accepted an overrunning rank count")
+	}
+}
+
+func TestResultV2SurvivorTrailer(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	tags := []byte{9, 10, 11, 12, 13, 14, 15, 16}
+	// No trailer: survivors must come back nil (complete aggregate), and the
+	// bytes are exactly the v1 encoding.
+	plain := encodeResult(5, data, tags)
+	round, d, tg, surv, err := decodeResultV2(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 5 || !bytes.Equal(d, data) || !bytes.Equal(tg, tags) || surv != nil {
+		t.Fatalf("complete RESULT decoded (%d, %x, %x, %v)", round, d, tg, surv)
+	}
+	// With a trailer: survivors decode exactly, tagged and untagged.
+	for _, tgs := range [][]byte{tags, nil} {
+		want := []uint32{0, 3, 4}
+		p := append(encodeResult(7, data, tgs), encodeSurvivorList(want)...)
+		round, d, tg, surv, err = decodeResultV2(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != 7 || !bytes.Equal(d, data) || !bytes.Equal(tg, tgs) || !reflect.DeepEqual(surv, want) {
+			t.Fatalf("degraded RESULT decoded (%d, %x, %x, %v)", round, d, tg, surv)
+		}
+		// Truncating the trailer anywhere must error — a short read cannot
+		// silently turn a degraded RESULT into a complete one.
+		for n := len(p) - len(encodeSurvivorList(want)) + 1; n < len(p); n++ {
+			if _, _, _, _, err := decodeResultV2(p[:n]); err == nil {
+				t.Fatalf("decodeResultV2 accepted %d of %d B", n, len(p))
+			}
+		}
+	}
+	// An empty survivor set is malformed: it would claim an aggregate over
+	// nobody.
+	empty := append(encodeResult(7, data, nil), encodeSurvivorList(nil)...)
+	if _, _, _, _, err := decodeResultV2(empty); err == nil {
+		t.Error("decodeResultV2 accepted an empty survivor set")
 	}
 }
 
@@ -227,6 +325,21 @@ func FuzzDecodeJoin(f *testing.F) {
 			return
 		}
 		if !bytes.Equal(encodeJoin(j), p) {
+			t.Fatalf("decode/encode not idempotent for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeSurvivors(f *testing.F) {
+	f.Add(encodeSurvivors(survivorsFrame{Round: 1, Complete: true, Ranks: []uint32{0, 2}}))
+	f.Add(encodeSurvivors(survivorsFrame{Round: 9, Complete: false}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		s, err := decodeSurvivors(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeSurvivors(s), p) {
 			t.Fatalf("decode/encode not idempotent for %x", p)
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -29,6 +30,24 @@ type participant struct {
 	tagGot    int      // bytes accepted on the tag lane
 	submitted bool
 	evicted   bool // straggler cut at the deadline under a quorum policy
+
+	// Protocol v2 identity (from HELLO / SURVIVORS), consulted when a
+	// degraded round needs to name its survivor set.
+	version  uint16
+	rank     int      // key-schedule rank (-1 unknown)
+	degraded bool     // FlagDegradedOK: can verify/open a survivor-set RESULT
+	covers   []uint32 // explicit rank coverage (federation leaf); nil = {rank}
+	coversOK bool     // covers declared complete for the sender's subtree
+
+	// Degraded-mode staging (DegradedRounds only): SUBMIT chunks accumulate
+	// privately per participant and fold into the shared accumulators only
+	// once the last byte arrives, so a straggler killed mid-submit leaves
+	// the survivors' fold untouched — the in-place fold cannot un-fold a
+	// half-delivered lane (PROD noise factors are units, plaintexts need
+	// not be).
+	delivered bool // every lane byte arrived; staged lanes folded (or folding)
+	lane      []byte
+	tagLane   []byte
 }
 
 // roundState is one aggregation round: N participants, two lane
@@ -47,6 +66,10 @@ type roundState struct {
 	group     int
 	quorum    int  // 0 = no eviction policy; see Config.Quorum
 	federated bool // RESULT comes from the uplink, not the local fold
+	// degradedMode (Config.DegradedRounds): stage submissions per
+	// participant and, at the deadline with quorum met, complete the round
+	// over the delivered set instead of failing closed.
+	degradedMode bool
 
 	deadline time.Time
 	timer    *time.Timer
@@ -70,6 +93,16 @@ type roundState struct {
 	doneCh   chan struct{}
 	endOnce  sync.Once // server-side end-of-round bookkeeping
 
+	// Degraded completion state. expire sets degrading once the deadline
+	// passes with quorum delivered; finalization then waits until every
+	// survivor's staged fold has retired (finished == survivors) before
+	// sealing the survivor union and closing doneCh with a nil abortErr.
+	degrading bool
+	survivors int         // delivered participants at the degrade point
+	evictErr  *AbortError // handed to the evicted (and to v1 survivors)
+	survSet   []uint32    // survivor rank union; nil = complete aggregate
+	resultSur []byte      // encoded RESULT survivor trailer (resultVectors)
+
 	// Seal-epoch fix point. JOIN may only be written once the round's seal
 	// epoch is known: immediately at fill for flat rounds, after the
 	// upstream JOIN names it for federated ones.
@@ -90,6 +123,7 @@ type roundState struct {
 	relayErr   *AbortError
 	globalData []byte
 	globalTags []byte
+	globalSur  []uint32 // survivor union from the upstream RESULT (nil = complete)
 }
 
 // laneSize returns the byte length of one lane.
@@ -134,14 +168,155 @@ func (r *roundState) submitted(p *participant) {
 }
 
 func (r *roundState) maybeCompleteLocked() {
-	if r.done || r.finished < r.group || r.tasks > 0 || len(r.parts) < r.group {
+	if r.done || r.tasks > 0 {
 		return
 	}
+	if r.degrading {
+		// Degraded finalization: every survivor's staged fold must retire.
+		if r.finished < r.survivors {
+			return
+		}
+	} else if r.finished < r.group || len(r.parts) < r.group {
+		return
+	}
+	if r.degradedMode && !r.sealSurvivorsLocked() {
+		// The delivered set cannot be named on the wire (unknown rank,
+		// overlapping coverage): fail closed rather than mis-describe the
+		// aggregate. Retryable — the next round re-forms without the dead.
+		r.abortErr = &AbortError{Round: r.id, Code: AbortStraggler,
+			Msg: fmt.Sprintf("round %d survivor set not expressible — retry", r.id)}
+	}
+	r.endLocked()
+	close(r.doneCh)
+}
+
+// endLocked marks the round over and releases its deadline timer — both on
+// completion and on every abort path, so a round that ends early never pins
+// the timer (or, transitively, the participant connections its expire
+// closure references) until the deadline would have fired.
+func (r *roundState) endLocked() {
 	r.done = true
 	if r.timer != nil {
 		r.timer.Stop()
+		r.timer = nil
 	}
-	close(r.doneCh)
+}
+
+// markDelivered transitions a degraded-mode participant to delivered once
+// its final staged lane byte has arrived. It returns false when the round
+// already ended or the participant was evicted at the deadline — the caller
+// must then discard the staged lanes unfolded instead of touching the
+// shared accumulators.
+func (r *roundState) markDelivered(p *participant) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || p.evicted {
+		return false
+	}
+	p.delivered = true
+	return true
+}
+
+// markLost records a degraded-mode participant whose connection died
+// mid-submit, before the deadline. Fail-closed rounds abort on any post-JOIN
+// loss (the telescoping noise needs every rank), but a degraded round can
+// survive it: the lost participant is marked evicted with its stage
+// discarded, and the deadline either completes the round over the delivered
+// survivors or fails it by quorum. Returns false when the round is already
+// resolving — the caller falls back to the ordinary outcome paths.
+func (r *roundState) markLost(p *participant) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || r.degrading || p.evicted {
+		return false
+	}
+	p.evicted = true
+	p.lane, p.tagLane = nil, nil
+	return true
+}
+
+// sealSurvivorsLocked computes the round's survivor rank union at
+// finalization. The round is partial when stragglers were evicted here or
+// when any participant relayed coverage it declared incomplete (a leaf
+// gateway whose own cohort degraded below us); a complete round leaves
+// survSet nil so its RESULT stays bit-identical to protocol v1. Returns
+// false when the surviving set cannot be expressed on the wire — a survivor
+// of unknown rank, or two participants claiming the same rank.
+func (r *roundState) sealSurvivorsLocked() bool {
+	partial := false
+	for _, p := range r.parts {
+		if p.evicted {
+			partial = true
+		} else if p.covers != nil && !p.coversOK {
+			partial = true
+		}
+	}
+	if !partial {
+		return true
+	}
+	seen := make(map[uint32]bool, len(r.parts))
+	var union []uint32
+	for _, p := range r.parts {
+		if p.evicted {
+			continue
+		}
+		ranks := p.covers
+		if ranks == nil {
+			if p.rank < 0 {
+				return false
+			}
+			ranks = []uint32{uint32(p.rank)}
+		}
+		for _, rk := range ranks {
+			if seen[rk] {
+				return false
+			}
+			seen[rk] = true
+			union = append(union, rk)
+		}
+	}
+	if len(union) == 0 {
+		return false
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	r.survSet = union
+	return true
+}
+
+// coverage reports the rank set this round's fold covers and whether that
+// set is complete — what a federation leaf forwards upstream so the root
+// can name the global survivor union. Valid once the local outcome has
+// resolved. ok=false means the coverage cannot be expressed (a participant
+// of unknown rank, overlapping claims); the leaf then relays without a
+// coverage declaration and the global round can only complete fully.
+func (r *roundState) coverage() (ranks []uint32, complete bool, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.survSet != nil {
+		return r.survSet, false, true
+	}
+	seen := make(map[uint32]bool, len(r.parts))
+	for _, p := range r.parts {
+		if p.evicted {
+			return nil, false, false
+		}
+		rks := p.covers
+		if rks == nil {
+			if p.rank < 0 {
+				return nil, true, false
+			}
+			rks = []uint32{uint32(p.rank)}
+		}
+		for _, rk := range rks {
+			if seen[rk] {
+				return nil, true, false
+			}
+			seen[rk] = true
+			ranks = append(ranks, rk)
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	return ranks, true, true
 }
 
 // abort fails the round with a typed error. The first abort wins; every
@@ -153,13 +328,10 @@ func (r *roundState) abort(code AbortCode, format string, args ...any) {
 		r.mu.Unlock()
 		return
 	}
-	r.done = true
+	r.endLocked()
 	r.abortErr = &AbortError{Round: r.id, Code: code, Msg: fmt.Sprintf(format, args...)}
-	if r.timer != nil {
-		r.timer.Stop()
-	}
-	parts := make([]*participant, len(r.parts))
-	copy(parts, r.parts)
+	parts := r.parts
+	r.parts = nil // release participant references; the round is over
 	r.mu.Unlock()
 	// Poke every participant's blocked read *before* releasing the
 	// outcome waiters: finishRound clears the poke once it wakes, so a
@@ -193,6 +365,14 @@ func (r *roundState) isEvicted(p *participant) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return p.evicted
+}
+
+// evictionErr returns the typed error handed to participants evicted from a
+// degrading round (nil when no eviction happened).
+func (r *roundState) evictionErr() *AbortError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictErr
 }
 
 // slotOf reads a participant's slot under the round lock — pre-fill leaves
@@ -247,8 +427,9 @@ func (r *roundState) fixEpochLocked(epoch uint64) {
 }
 
 // finishRelay resolves a federated round's second stage with the globally
-// reduced lanes the upstream tier returned.
-func (r *roundState) finishRelay(data, tags []byte) {
+// reduced lanes the upstream tier returned, plus the global survivor union
+// from the upstream RESULT (nil when the global aggregate is complete).
+func (r *roundState) finishRelay(data, tags []byte, surv []uint32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.relaySet {
@@ -257,6 +438,7 @@ func (r *roundState) finishRelay(data, tags []byte) {
 	r.relaySet = true
 	r.globalData = data
 	r.globalTags = tags
+	r.globalSur = surv
 	close(r.relayCh)
 }
 
@@ -293,22 +475,41 @@ func (r *roundState) resultLanes() (data, tags []byte) {
 	return r.globalData, r.globalTags
 }
 
-// resultVectors returns the four slices whose concatenation is the RESULT
+// resultSurvivors returns the survivor rank union the RESULT must declare:
+// the upstream tier's global union for a federated round (it strictly
+// contains the local one), the locally sealed set otherwise. nil means the
+// aggregate is complete.
+func (r *roundState) resultSurvivors() []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.federated {
+		return r.globalSur
+	}
+	return r.survSet
+}
+
+// resultVectors returns the five slices whose concatenation is the RESULT
 // payload: the 12-byte round-id/data-length prefix, the data lane, the
-// 4-byte tag-length word, and the tag lane. The prefixes are encoded exactly
-// once per round regardless of participant count; the lanes are the round's
-// accumulators themselves, referenced zero-copy. Callable only after the
-// round's outcome (and relay, if federated) has resolved — from then on the
-// lanes are immutable and every fan-out writer may read them concurrently,
-// but nobody may write them (see DESIGN.md, "Zero-copy wire path").
-func (r *roundState) resultVectors() (pre, data, tagN, tags []byte) {
+// 4-byte tag-length word, the tag lane, and — degraded rounds only — the
+// survivor-set trailer (nil for a complete round, keeping the payload
+// bit-identical to protocol v1). The prefixes and trailer are encoded
+// exactly once per round regardless of participant count; the lanes are the
+// round's accumulators themselves, referenced zero-copy. Callable only
+// after the round's outcome (and relay, if federated) has resolved — from
+// then on the lanes are immutable and every fan-out writer may read them
+// concurrently, but nobody may write them (see DESIGN.md, "Zero-copy wire
+// path").
+func (r *roundState) resultVectors() (pre, data, tagN, tags, surv []byte) {
 	data, tags = r.resultLanes()
 	r.resultOnce.Do(func() {
 		binary.LittleEndian.PutUint64(r.resultPre[0:8], r.id)
 		binary.LittleEndian.PutUint32(r.resultPre[8:12], uint32(len(data)))
 		binary.LittleEndian.PutUint32(r.resultTagN[:], uint32(len(tags)))
+		if s := r.resultSurvivors(); s != nil {
+			r.resultSur = encodeSurvivorList(s)
+		}
 	})
-	return r.resultPre[:], data, r.resultTagN[:], tags
+	return r.resultPre[:], data, r.resultTagN[:], tags, r.resultSur
 }
 
 // leave removes a participant from a round whose membership is still open —
@@ -337,21 +538,68 @@ func (r *roundState) leave(p *participant) (left, empty bool) {
 }
 
 // expire handles the round deadline. HEAR's telescoping noise needs every
-// participant's submission, so a partial aggregate is never an option —
-// the round always fails closed. What a quorum policy changes is the
-// failure's shape: when at least quorum participants finished, the
-// stragglers are marked evicted (their handlers drop the connection after
-// the ABORT) and everyone gets the retryable AbortStraggler instead of
-// AbortDeadline, so live clients re-round immediately against a gateway
-// that has shed the dead weight.
+// participant's submission for a *silently complete* aggregate, so by
+// default the round fails closed. A quorum policy changes the failure's
+// shape: when at least quorum participants finished, the stragglers are
+// marked evicted (their handlers drop the connection after the ABORT) and
+// everyone gets the retryable AbortStraggler instead of AbortDeadline, so
+// live clients re-round immediately against a gateway that has shed the
+// dead weight.
+//
+// DegradedRounds goes one step further: if every delivered participant can
+// verify and open a survivor-set RESULT (shared-group keys, known rank or
+// coverage), the round *completes* over the delivered set — the evicted
+// stragglers' staged lanes are discarded unfolded, the RESULT names the
+// survivor union explicitly, and clients cancel exactly the missing ranks'
+// noise. When the delivered set is not degradable (a v1 client among the
+// survivors, unknown ranks), the round falls back to the evict-and-retry
+// failure above rather than shipping an unopenable aggregate.
 func (r *roundState) expire(timeout time.Duration) {
 	r.mu.Lock()
-	if r.done {
+	if r.done || r.degrading {
 		r.mu.Unlock()
 		return
 	}
+	if r.degradedMode && r.quorum > 0 && len(r.parts) == r.group {
+		delivered := 0
+		degradable := true
+		for _, p := range r.parts {
+			if !p.delivered {
+				continue
+			}
+			delivered++
+			if !p.degraded || (p.covers == nil && p.rank < 0) {
+				degradable = false
+			}
+		}
+		if delivered >= r.quorum && degradable {
+			r.degrading = true
+			r.survivors = delivered
+			evicted := 0
+			past := time.Unix(1, 0)
+			for _, p := range r.parts {
+				if p.delivered {
+					continue
+				}
+				p.evicted = true
+				p.lane, p.tagLane = nil, nil // discard the partial stage
+				evicted++
+				// Unblock the straggler's pending read so its handler
+				// delivers the eviction ABORT promptly.
+				p.conn.SetReadDeadline(past)
+			}
+			r.evictErr = &AbortError{Round: r.id, Code: AbortStraggler,
+				Msg: fmt.Sprintf("deadline (%s) expired with %d/%d delivered; round degraded, %d stragglers evicted (quorum %d) — retry",
+					timeout, delivered, r.group, evicted, r.quorum)}
+			// Finalize now if every survivor's staged fold already retired;
+			// otherwise the last submitted() call completes the round.
+			r.maybeCompleteLocked()
+			r.mu.Unlock()
+			return
+		}
+	}
 	if r.quorum > 0 && r.finished >= r.quorum && len(r.parts) > 0 {
-		r.done = true
+		r.endLocked()
 		evicted := 0
 		for _, p := range r.parts {
 			if !p.submitted {
@@ -362,11 +610,8 @@ func (r *roundState) expire(timeout time.Duration) {
 		r.abortErr = &AbortError{Round: r.id, Code: AbortStraggler,
 			Msg: fmt.Sprintf("deadline (%s) expired with %d/%d finished; %d stragglers evicted (quorum %d) — retry",
 				timeout, r.finished, r.group, evicted, r.quorum)}
-		if r.timer != nil {
-			r.timer.Stop()
-		}
-		parts := make([]*participant, len(r.parts))
-		copy(parts, r.parts)
+		parts := r.parts
+		r.parts = nil // release participant references; the round is over
 		r.mu.Unlock()
 		// Poke before close(doneCh), as in abort: the outcome waiters
 		// clear the poke on wake.
@@ -394,10 +639,20 @@ type roundManager struct {
 	timeout   time.Duration
 	chunk     int
 	federated bool // rounds defer their seal epoch to the uplink
+	degraded  bool // rounds complete over survivors at the deadline (Config.DegradedRounds)
 
 	mu     sync.Mutex
 	nextID uint64
 	open   map[int]*roundState // cohort → collecting round; absent when none or sealed
+}
+
+// partMeta is the protocol identity a HELLO carries into join: the wire
+// version the client spoke, its key-schedule rank (-1 unknown), and whether
+// it declared itself able to verify and open a survivor-set RESULT.
+type partMeta struct {
+	version    uint16
+	rank       int
+	degradedOK bool
 }
 
 // join admits a client into its cohort's open round (creating one if
@@ -406,7 +661,7 @@ type roundManager struct {
 // open round is refused without poisoning that round. epoch is the
 // joiner's advertised key epoch; the round tracks the max so JOIN can name
 // the group's agreed seal epoch.
-func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64, cohort int) (*roundState, *participant, bool, *AbortError) {
+func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64, cohort int, pm partMeta) (*roundState, *participant, bool, *AbortError) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.open == nil {
@@ -426,19 +681,20 @@ func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64, coh
 	}
 	if r == nil {
 		r = &roundState{
-			id:        m.nextID,
-			cohort:    cohort,
-			params:    params,
-			group:     m.group,
-			quorum:    m.quorum,
-			federated: m.federated,
-			deadline:  time.Now().Add(m.timeout),
-			data:      make([]byte, params.elems*8),
-			chunk:     m.chunk,
-			fullCh:    make(chan struct{}),
-			doneCh:    make(chan struct{}),
-			joinCh:    make(chan struct{}),
-			relayCh:   make(chan struct{}),
+			id:           m.nextID,
+			cohort:       cohort,
+			params:       params,
+			group:        m.group,
+			quorum:       m.quorum,
+			federated:    m.federated,
+			degradedMode: m.degraded,
+			deadline:     time.Now().Add(m.timeout),
+			data:         make([]byte, params.elems*8),
+			chunk:        m.chunk,
+			fullCh:       make(chan struct{}),
+			doneCh:       make(chan struct{}),
+			joinCh:       make(chan struct{}),
+			relayCh:      make(chan struct{}),
 		}
 		m.nextID++
 		created = true
@@ -450,7 +706,7 @@ func (m *roundManager) join(conn net.Conn, params roundParams, epoch uint64, coh
 		r.timer = time.AfterFunc(timeout, func() { r.expire(timeout) })
 		m.open[cohort] = r
 	}
-	p := &participant{conn: conn}
+	p := &participant{conn: conn, version: pm.version, rank: pm.rank, degraded: pm.degradedOK}
 	r.mu.Lock()
 	p.slot = len(r.parts) // assigned under the lock: pre-fill leaves renumber
 	r.parts = append(r.parts, p)

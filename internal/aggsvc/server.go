@@ -84,6 +84,20 @@ type Config struct {
 	// meaningless — but live clients get a fast, typed signal to re-round
 	// without the dead weight. Must not exceed Group.
 	Quorum int
+	// DegradedRounds changes what a met quorum means at the deadline: the
+	// round *completes* over the delivered participants instead of failing
+	// closed. Submissions are staged per participant (a straggler killed
+	// mid-submit never touches the accumulator), the evicted stragglers'
+	// lanes are discarded, and the RESULT names the survivor rank set
+	// explicitly so clients cancel exactly the missing ranks' noise
+	// (protocol v2, shared-group keys). Survivors that cannot open a
+	// partial aggregate — v1 clients, or v2 clients without rank-key
+	// derivation — receive the retryable AbortStraggler instead of an
+	// unopenable RESULT; if any such client is *among* the survivors the
+	// whole round falls back to evict-and-retry, since a degraded RESULT
+	// would strand it. Requires Quorum ≥ 1. The default (false) preserves
+	// fail-closed semantics exactly.
+	DegradedRounds bool
 	// WriteTimeout bounds any single outgoing frame so one stuck client
 	// cannot wedge a handler (default 30s).
 	WriteTimeout time.Duration
@@ -139,6 +153,9 @@ func (c *Config) fill() error {
 	}
 	if c.Quorum < 0 || c.Quorum > c.Group {
 		return fmt.Errorf("aggsvc: quorum %d outside [0, group %d]", c.Quorum, c.Group)
+	}
+	if c.DegradedRounds && c.Quorum < 1 {
+		return fmt.Errorf("aggsvc: DegradedRounds requires a quorum in [1, group]; got %d", c.Quorum)
 	}
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = DefaultRoundTimeout
@@ -247,6 +264,7 @@ type Server struct {
 	bytesOut        atomic.Uint64
 	roundsRelayed   atomic.Uint64
 	relayFailures   atomic.Uint64
+	roundsDegraded  atomic.Uint64
 }
 
 // NewServer validates cfg, starts the fold worker pool, and returns a
@@ -262,7 +280,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg,
 		rm: roundManager{group: cfg.Group, quorum: cfg.Quorum, timeout: cfg.RoundTimeout,
-			chunk: cfg.ChunkBytes, federated: cfg.Uplink != nil},
+			chunk: cfg.ChunkBytes, federated: cfg.Uplink != nil, degraded: cfg.DegradedRounds},
 		pool:      pool,
 		fold:      enginepool.New(cfg.Workers),
 		phases:    trace.NewSyncBreakdown(),
@@ -304,6 +322,12 @@ func (s *Server) registerMetrics(r *metrics.Registry) {
 			emit(metrics.Sample{Name: "hear_gateway_phase_ops_total", Labels: labels,
 				Kind: metrics.KindCounter, Value: float64(snap.Count(ph))})
 		}
+		// Degraded-round health, under stable names independent of the
+		// hear_gateway_ StatsMap mapping (dashboards alert on these).
+		emit(metrics.Sample{Name: "hear_rounds_degraded_total",
+			Kind: metrics.KindCounter, Value: float64(s.roundsDegraded.Load())})
+		emit(metrics.Sample{Name: "hear_participants_evicted_total",
+			Kind: metrics.KindCounter, Value: float64(s.clientsEvicted.Load())})
 	})
 }
 
@@ -471,15 +495,15 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case FrameHello:
-			if plen != helloPayloadBytes {
+			if plen != helloPayloadBytes && plen != helloPayloadBytesV2 {
 				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: "malformed HELLO"})
 				return
 			}
-			var p [helloPayloadBytes]byte
-			if _, err := io.ReadFull(conn, p[:]); err != nil {
+			var p [helloPayloadBytesV2]byte
+			if _, err := io.ReadFull(conn, p[:plen]); err != nil {
 				return
 			}
-			h, err := decodeHello(p[:])
+			h, err := decodeHello(p[:plen])
 			if err != nil {
 				s.writeAbort(conn, &AbortError{Code: AbortProtocol, Msg: err.Error()})
 				return
@@ -496,7 +520,7 @@ func (s *Server) handle(conn net.Conn) {
 
 // admit validates a HELLO against this gateway's configuration.
 func (s *Server) admit(h helloFrame) *AbortError {
-	if h.Version != ProtocolVersion {
+	if h.Version != ProtocolVersion && h.Version != ProtocolV1 {
 		return &AbortError{Code: AbortVersion,
 			Msg: fmt.Sprintf("client speaks protocol v%d, server v%d", h.Version, ProtocolVersion)}
 	}
@@ -535,7 +559,8 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame, cohort int) bool {
 		return false
 	}
 	folds := laneFolds[h.Scheme]
-	r, part, created, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()}, h.Epoch, cohort)
+	r, part, created, aerr := s.rm.join(conn, roundParams{scheme: h.Scheme, elems: h.Elems, tagged: h.tagged()},
+		h.Epoch, cohort, partMeta{version: h.Version, rank: h.Rank, degradedOK: h.degradedOK()})
 	if aerr != nil {
 		s.writeAbort(conn, aerr)
 		return false
@@ -561,7 +586,7 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame, cohort int) bool {
 	if r.aborted() {
 		// Died before filling (deadline). The abort is retryable and the
 		// client sealed nothing, so the conn may serve another HELLO.
-		s.finishRound(conn, r)
+		s.finishRound(conn, r, part)
 		return true
 	}
 	join := joinFrame{
@@ -574,12 +599,12 @@ func (s *Server) serveRound(conn net.Conn, h helloFrame, cohort int) bool {
 	}
 	if err := s.writeJoin(conn, join); err != nil {
 		r.abort(AbortPeerLost, "slot %d unreachable at JOIN: %v", part.slot, err)
-		s.finishRound(conn, r)
+		s.finishRound(conn, r, part)
 		return false
 	}
 
 	healthy := s.receiveLanes(conn, r, part, folds)
-	s.finishRound(conn, r)
+	s.finishRound(conn, r, part)
 	if r.isEvicted(part) {
 		// Straggler under a quorum policy: it got its ABORT, now it loses
 		// the connection so the next round forms from live clients.
@@ -635,12 +660,12 @@ func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool
 				s.writeAbort(conn, &AbortError{Round: r.id, Code: AbortProtocol, Msg: "data before JOIN"})
 				if empty {
 					r.abort(AbortPeerLost, "round %d lost every participant before filling", r.id)
-					s.finishRound(conn, r)
+					s.finishRound(conn, r, part)
 				}
 				return false
 			}
 			r.abort(AbortProtocol, "slot %d sent data before JOIN", r.slotOf(part))
-			s.finishRound(conn, r)
+			s.finishRound(conn, r, part)
 			return false
 		case err == nil || isTimeout(err):
 			// Silence: still waiting. (An abort's read-deadline poke also
@@ -653,14 +678,14 @@ func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool
 			if left, empty := r.leave(part); left {
 				if empty {
 					r.abort(AbortPeerLost, "round %d lost every participant before filling", r.id)
-					s.finishRound(conn, r)
+					s.finishRound(conn, r, part)
 				}
 				return false
 			}
 			if !r.aborted() {
 				r.abort(AbortPeerLost, "slot %d lost between fill and JOIN: %v", r.slotOf(part), err)
 			}
-			s.finishRound(conn, r)
+			s.finishRound(conn, r, part)
 			return false
 		}
 	}
@@ -676,6 +701,7 @@ func (s *Server) awaitFull(conn net.Conn, r *roundState, part *participant) bool
 // 0 allocs/op).
 func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, folds struct{ data, tag inc.Fold }) bool {
 	ls := r.laneSize()
+	degraded := r.degradedMode
 	maxPayload := s.cfg.ChunkBytes + submitHeaderBytes
 	for !part.submitted {
 		t, plen, err := readFrameHeader(conn, s.cfg.MaxFrameBytes)
@@ -683,16 +709,38 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			if r.aborted() {
 				return true // interrupted by the round's own abort poke
 			}
+			if r.isEvicted(part) {
+				// Evicted at the deadline of a *degrading* round: the poke
+				// interrupted this read, but the round itself is completing
+				// over the survivors — it must not be aborted for a
+				// straggler's account. finishRound delivers the eviction.
+				return true
+			}
 			var tooBig *ErrFrameTooLarge
 			if errors.As(err, &tooBig) {
 				s.framesRejected.Add(1)
 				r.abort(AbortOversize, "slot %d: %v", part.slot, err)
 				return true // conn itself still healthy; the round is not
 			}
+			if degraded && r.markLost(part) {
+				// A degraded round outlives a mid-submit disconnect: this
+				// participant is cut, its stage discarded, and the deadline
+				// resolves the round over whoever delivers.
+				return false
+			}
 			r.abort(AbortPeerLost, "slot %d disconnected mid-submit: %v", part.slot, err)
 			return false
 		}
 		s.bytesIn.Add(uint64(frameHeaderBytes + plen))
+		if t == FrameSurvivors {
+			// A leaf gateway declaring which ranks its submission covers
+			// (federation). Read, validate, and attach to the participant
+			// before its delivery completes.
+			if !s.receiveSurvivors(conn, r, part, plen) {
+				return true
+			}
+			continue
+		}
 		if t != FrameSubmit {
 			r.abort(AbortProtocol, "slot %d sent %s during submission", part.slot, t)
 			return true
@@ -710,6 +758,12 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			s.pool.Put(block)
 			if r.aborted() {
 				return true
+			}
+			if r.isEvicted(part) {
+				return true // poked out of a degrading round; see above
+			}
+			if degraded && r.markLost(part) {
+				return false // see the header-read path above
 			}
 			r.abort(AbortPeerLost, "slot %d disconnected mid-chunk: %v", part.slot, err)
 			return false
@@ -745,7 +799,21 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 		} else {
 			part.dataGot += n
 		}
-		if r.taskAdded() {
+		if degraded {
+			// Stage privately: the chunk reaches the shared accumulators
+			// only if this participant delivers everything before the
+			// deadline. An eviction mid-submit then simply discards the
+			// stage — the in-place fold could never have un-folded it.
+			lane := &part.lane
+			if hd.Lane == LaneTag {
+				lane = &part.tagLane
+			}
+			if *lane == nil {
+				*lane = make([]byte, ls)
+			}
+			copy((*lane)[hd.Offset:hd.Offset+n], block[submitBase:submitBase+n])
+			s.pool.Put(block)
+		} else if r.taskAdded() {
 			t := foldTasks.Get().(*foldTask)
 			*t = foldTask{s: s, r: r, lane: hd.Lane, off: hd.Offset, n: n, block: block, fold: f}
 			if !s.fold.SubmitTask(t) {
@@ -759,16 +827,95 @@ func (s *Server) receiveLanes(conn net.Conn, r *roundState, part *participant, f
 			s.pool.Put(block) // round already over; drop the late chunk
 		}
 		if part.dataGot == ls && (!r.params.tagged || part.tagGot == ls) {
-			r.submitted(part)
+			if !degraded {
+				r.submitted(part)
+			} else if r.markDelivered(part) {
+				s.foldStaged(r, part, folds)
+				r.submitted(part)
+			} else {
+				// Round over or participant evicted between the last byte
+				// and delivery: drop the stage unfolded.
+				part.lane, part.tagLane = nil, nil
+				return true
+			}
 		}
 	}
 	return true
 }
 
+// receiveSurvivors consumes a SURVIVORS frame during submission: a
+// federation leaf naming the client ranks its (possibly degraded) cohort
+// fold covers. It reports whether the submission loop should continue;
+// false means the round was aborted here.
+func (s *Server) receiveSurvivors(conn net.Conn, r *roundState, part *participant, plen int) bool {
+	if plen < survivorsHeadBytes || plen > s.cfg.MaxFrameBytes-frameHeaderBytes {
+		r.abort(AbortProtocol, "slot %d: malformed SURVIVORS (%d B)", part.slot, plen)
+		return false
+	}
+	buf := make([]byte, plen)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		if !r.aborted() && !r.isEvicted(part) && !(r.degradedMode && r.markLost(part)) {
+			r.abort(AbortPeerLost, "slot %d disconnected mid-SURVIVORS: %v", part.slot, err)
+		}
+		return false
+	}
+	sv, err := decodeSurvivors(buf)
+	if err != nil {
+		r.abort(AbortProtocol, "slot %d: %v", part.slot, err)
+		return false
+	}
+	if sv.Round != r.id {
+		r.abort(AbortProtocol, "slot %d: SURVIVORS for round %d during round %d", part.slot, sv.Round, r.id)
+		return false
+	}
+	if !sv.Complete && !r.degradedMode {
+		// A partial relay from below cannot be expressed without degraded
+		// rounds enabled on this tier: the RESULT would silently misdescribe
+		// a partial aggregate as complete.
+		r.abort(AbortStraggler, "slot %d relayed a partial fold but degraded rounds are disabled here", part.slot)
+		return false
+	}
+	r.mu.Lock()
+	part.covers = sv.Ranks
+	part.coversOK = sv.Complete
+	r.mu.Unlock()
+	return true
+}
+
+// foldStaged folds a delivered participant's staged lanes into the shared
+// accumulators under the stripe locks, with the same accounting as the
+// worker-pool path. Degraded rounds fold inline on the handler goroutine
+// instead of dispatching to the pool: pool tasks cannot be recalled per
+// participant, and eviction must guarantee a straggler's bytes never reach
+// the accumulator.
+func (s *Server) foldStaged(r *roundState, part *participant, folds struct{ data, tag inc.Fold }) {
+	tm := s.phases.StartTimer(PhaseFold)
+	foldLane := func(acc, lane []byte, f inc.Fold) {
+		for off := 0; off < len(lane); off += r.chunk {
+			n := len(lane) - off
+			if n > r.chunk {
+				n = r.chunk
+			}
+			m := r.stripe(off)
+			m.Lock()
+			f(acc[off:off+n], lane[off:off+n])
+			m.Unlock()
+			s.chunksFolded.Add(1)
+			s.bytesFolded.Add(uint64(n))
+		}
+	}
+	foldLane(r.data, part.lane, folds.data)
+	if r.params.tagged {
+		foldLane(r.tags, part.tagLane, folds.tag)
+	}
+	tm.Stop()
+	part.lane, part.tagLane = nil, nil
+}
+
 // finishRound waits for the round outcome — including, for federated
 // rounds, the upstream relay stage — and delivers RESULT or ABORT to this
 // participant. It reports whether the round aborted.
-func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
+func (s *Server) finishRound(conn net.Conn, r *roundState, part *participant) bool {
 	waitTm := s.phases.StartTimer(PhaseWait)
 	aerr := r.outcome()
 	if aerr == nil && r.federated {
@@ -778,11 +925,20 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 	}
 	waitTm.Stop()
 	conn.SetReadDeadline(time.Time{}) // clear the abort poke, if any
+	var surv []uint32
+	if aerr == nil {
+		surv = r.resultSurvivors()
+	}
 	r.endOnce.Do(func() {
 		s.activeRounds.Add(-1)
 		if aerr != nil {
 			s.roundsAborted.Add(1)
 			s.cfg.Logf("aggsvc: round %d aborted: %s: %s", r.id, aerr.Code, aerr.Msg)
+		} else if surv != nil {
+			s.roundsCompleted.Add(1)
+			s.roundsDegraded.Add(1)
+			s.cfg.Logf("aggsvc: round %d complete DEGRADED (%d survivor ranks, %d B lanes)",
+				r.id, len(surv), r.laneSize())
 		} else {
 			s.roundsCompleted.Add(1)
 			s.cfg.Logf("aggsvc: round %d complete (%d × %d B)", r.id, r.group, r.laneSize())
@@ -792,13 +948,33 @@ func (s *Server) finishRound(conn net.Conn, r *roundState) bool {
 		s.writeAbort(conn, aerr)
 		return true
 	}
+	if r.isEvicted(part) {
+		// A straggler of a round that *completed* without it (degraded):
+		// the round outcome is nil, but this participant's is the eviction.
+		ev := r.evictionErr()
+		if ev == nil {
+			ev = &AbortError{Round: r.id, Code: AbortStraggler, Msg: "evicted at the deadline — retry"}
+		}
+		s.writeAbort(conn, ev)
+		return true
+	}
+	if surv != nil && !part.degraded {
+		// This survivor cannot open a partial aggregate (protocol v1, or no
+		// rank-key derivation); a RESULT it would silently mis-open must
+		// never leave the gateway. Retryable: the next round may complete
+		// fully.
+		s.writeAbort(conn, &AbortError{Round: r.id, Code: AbortStraggler,
+			Msg: fmt.Sprintf("round %d degraded to %d survivor ranks; this client cannot open a partial aggregate — retry", r.id, len(surv))})
+		return true
+	}
 	// Fan-out is copy-free: the round's lane prefixes are encoded exactly
 	// once (resultVectors), and every participant's RESULT is one vectored
 	// write referencing the same immutable accumulators — per-participant
-	// cost is the 5-byte frame header plus iovec setup.
+	// cost is the 5-byte frame header plus iovec setup. A degraded RESULT
+	// appends the shared survivor-set trailer as a fifth vector.
 	sendTm := s.phases.StartTimer(PhaseSend)
-	pre, data, tagN, tags := r.resultVectors()
-	err := s.writeWithDeadline(conn, FrameResult, pre, data, tagN, tags)
+	pre, data, tagN, tags, st := r.resultVectors()
+	err := s.writeWithDeadline(conn, FrameResult, pre, data, tagN, tags, st)
 	sendTm.Stop()
 	if err != nil {
 		s.cfg.Logf("aggsvc: round %d: result undeliverable: %v", r.id, err)
@@ -862,6 +1038,7 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"cohorts":          uint64(s.cfg.Cohorts),
 		"rounds_relayed":   s.roundsRelayed.Load(),
 		"relay_failures":   s.relayFailures.Load(),
+		"rounds_degraded":  s.roundsDegraded.Load(),
 		"pool_hits":        hits,
 		"pool_misses":      misses,
 		"pool_blocks":      uint64(allocated),

@@ -132,8 +132,8 @@ func (h *ingestHarness) ingestOnce() error {
 // resultVectors + vectored write finishRound performs — across conns.
 func fanOutOnce(s *Server, r *roundState, conns []net.Conn) error {
 	for _, c := range conns {
-		pre, data, tagN, tags := r.resultVectors()
-		if err := s.writeWithDeadline(c, FrameResult, pre, data, tagN, tags); err != nil {
+		pre, data, tagN, tags, surv := r.resultVectors()
+		if err := s.writeWithDeadline(c, FrameResult, pre, data, tagN, tags, surv); err != nil {
 			return err
 		}
 	}
@@ -220,8 +220,8 @@ func TestFrameCodecAllocFree(t *testing.T) {
 	resultPayload := encodeResult(12, make([]byte, 4096), make([]byte, 4096))
 	cases := map[string]func(){
 		"hello": func() {
-			putHello(scratch[:helloPayloadBytes], h)
-			if _, err := decodeHello(scratch[:helloPayloadBytes]); err != nil {
+			putHello(scratch[:helloPayloadBytesV2], h)
+			if _, err := decodeHello(scratch[:helloPayloadBytesV2]); err != nil {
 				t.Fatal(err)
 			}
 		},
@@ -274,7 +274,10 @@ func TestFrameCodecAllocFree(t *testing.T) {
 // back the same prefix scratch and the accumulators themselves, zero-copy.
 func TestResultVectorsOneEncode(t *testing.T) {
 	r := newResultRound(42, 4096, true)
-	pre0, data0, tagN0, tags0 := r.resultVectors()
+	pre0, data0, tagN0, tags0, surv0 := r.resultVectors()
+	if surv0 != nil {
+		t.Fatalf("complete round carries a survivor trailer: %x", surv0)
+	}
 	if got := binary.LittleEndian.Uint64(pre0[0:8]); got != 42 {
 		t.Fatalf("prefix round = %d, want 42", got)
 	}
@@ -288,7 +291,7 @@ func TestResultVectorsOneEncode(t *testing.T) {
 		t.Fatal("resultVectors copied a lane; fan-out must reference the accumulators")
 	}
 	for i := 0; i < 64; i++ { // 64 participants' worth of fan-out calls
-		pre, data, tagN, tags := r.resultVectors()
+		pre, data, tagN, tags, _ := r.resultVectors()
 		if &pre[0] != &pre0[0] || &data[0] != &data0[0] || &tagN[0] != &tagN0[0] || &tags[0] != &tags0[0] {
 			t.Fatalf("fan-out call %d re-encoded the RESULT", i)
 		}
@@ -323,8 +326,8 @@ func TestResultFanOutBitIdentical(t *testing.T) {
 		}
 		// The server's own vectors concatenate to the same frame.
 		var srv bytes.Buffer
-		pre, d, tagN, tg := r.resultVectors()
-		if err := writeFrame(&srv, FrameResult, pre, d, tagN, tg); err != nil {
+		pre, d, tagN, tg, st := r.resultVectors()
+		if err := writeFrame(&srv, FrameResult, pre, d, tagN, tg, st); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(srv.Bytes(), legacy[0].Bytes()) {

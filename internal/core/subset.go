@@ -1,0 +1,204 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hear/internal/keys"
+)
+
+// SubsetCanceler is implemented by schemes whose telescoping noise can be
+// re-derived for an arbitrary subset of ranks, enabling dropout-tolerant
+// ("degraded") rounds: when ranks M = {0..P−1} \ S never contribute, the
+// reduce over the survivors S carries
+//
+//	F(n_0) − Σ_{i∈M} noise_i            (⊙ for PROD, ⊕ for XOR)
+//
+// instead of the usual F(n_0). FoldMissingNoise folds Σ_{i∈M} noise_i back
+// into the partial aggregate, after which the ordinary Decrypt applies
+// unchanged. The per-rank noises are PRF-addressed by n_i = k_s_i + k_c, so
+// this is only possible when the key policy lets one rank re-derive
+// another's starting key (keys.Config.SharedGroup); FoldMissingNoise fails
+// on states without that capability.
+//
+// The missing ranks coalesce into maximal consecutive runs [a,b], and each
+// run's noise telescopes internally to F(n_a) ⊙ F(n_{b+1})⁻¹ (just F(n_a)
+// when b = P−1) — so the cost is O(runs) keystreams, not O(|M|).
+type SubsetCanceler interface {
+	// FoldMissingNoise folds the combined noise of the given missing ranks
+	// into cipher (n elements), converting a survivor-subset reduce into a
+	// ciphertext the scheme's standard Decrypt can open.
+	FoldMissingNoise(st *keys.RankState, cipher []byte, n int, missing []int) error
+}
+
+// missingRuns validates a missing-rank set against the communicator size
+// and coalesces it into maximal consecutive [a,b] runs. A full wipeout
+// (len(missing) == size) is rejected: a round with no survivors has no
+// aggregate to open.
+func missingRuns(st *keys.RankState, missing []int) ([][2]int, error) {
+	if !st.CanDeriveRankKeys() {
+		return nil, fmt.Errorf("core: subset cancellation needs shared-group keys (keys.Config.SharedGroup)")
+	}
+	if len(missing) == 0 {
+		return nil, nil
+	}
+	if len(missing) >= st.Size {
+		return nil, fmt.Errorf("core: %d missing ranks of %d leaves no survivors", len(missing), st.Size)
+	}
+	m := make([]int, len(missing))
+	copy(m, missing)
+	sort.Ints(m)
+	if m[0] < 0 || m[len(m)-1] >= st.Size {
+		return nil, fmt.Errorf("core: missing rank out of range [0,%d)", st.Size)
+	}
+	runs := [][2]int{{m[0], m[0]}}
+	for _, r := range m[1:] {
+		last := &runs[len(runs)-1]
+		switch {
+		case r == last[1]:
+			return nil, fmt.Errorf("core: duplicate missing rank %d", r)
+		case r == last[1]+1:
+			last[1] = r
+		default:
+			runs = append(runs, [2]int{r, r})
+		}
+	}
+	return runs, nil
+}
+
+// runNonces resolves one run's boundary stream identifiers: the positive
+// term F(n_a) and, unless the run reaches rank P−1 (whose noise has no
+// canceling term), the negative term F(n_{b+1}).
+func runNonces(st *keys.RankState, run [2]int) (pos, neg uint64, hasNeg bool, err error) {
+	if pos, err = st.RankNonce(run[0]); err != nil {
+		return 0, 0, false, err
+	}
+	if run[1] == st.Size-1 {
+		return pos, 0, false, nil
+	}
+	if neg, err = st.RankNonce(run[1] + 1); err != nil {
+		return 0, 0, false, err
+	}
+	return pos, neg, true, nil
+}
+
+// FoldMissingNoise adds Σ_{i∈M} (F(n_i) − F(n_{i+1})) — the telescoped
+// per-run form — into the partial sum, element-wise mod 2^width.
+func (s *IntSum) FoldMissingNoise(st *keys.RankState, cipher []byte, n int, missing []int) error {
+	runs, err := missingRuns(st, missing)
+	if err != nil {
+		return err
+	}
+	if err := checkLen(s.Name(), cipher, cipher, n, s.width, s.width); err != nil {
+		return err
+	}
+	nb := n * s.width
+	p1, ks := getScratch(nb)
+	defer putScratch(p1)
+	w := intWire{size: s.width}
+	for _, run := range runs {
+		pos, neg, hasNeg, err := runNonces(st, run)
+		if err != nil {
+			return err
+		}
+		st.Enc.Keystream(ks, pos, 0)
+		switch s.width {
+		case 8:
+			for j := 0; j < n; j++ {
+				o := j * 8
+				binary.LittleEndian.PutUint64(cipher[o:],
+					binary.LittleEndian.Uint64(cipher[o:])+binary.LittleEndian.Uint64(ks[o:]))
+			}
+		default:
+			for j := 0; j < n; j++ {
+				w.store(cipher, j, w.load(cipher, j)+w.load(ks, j))
+			}
+		}
+		if !hasNeg {
+			continue
+		}
+		st.Enc.Keystream(ks, neg, 0)
+		switch s.width {
+		case 8:
+			for j := 0; j < n; j++ {
+				o := j * 8
+				binary.LittleEndian.PutUint64(cipher[o:],
+					binary.LittleEndian.Uint64(cipher[o:])-binary.LittleEndian.Uint64(ks[o:]))
+			}
+		default:
+			for j := 0; j < n; j++ {
+				w.store(cipher, j, w.load(cipher, j)-w.load(ks, j))
+			}
+		}
+	}
+	return nil
+}
+
+// FoldMissingNoise multiplies Π_{i∈M} g^{F(n_i) − F(n_{i+1})} — per run,
+// g^{F(n_a)} · g^{−F(n_{b+1})} — into the partial product. Powers of g are
+// units of Z_{2^width}, so the fold is a bijection and lossless.
+func (s *IntProd) FoldMissingNoise(st *keys.RankState, cipher []byte, n int, missing []int) error {
+	runs, err := missingRuns(st, missing)
+	if err != nil {
+		return err
+	}
+	if err := checkLen(s.Name(), cipher, cipher, n, s.width, s.width); err != nil {
+		return err
+	}
+	nb := n * s.width
+	p1, ks := getScratch(nb)
+	defer putScratch(p1)
+	for _, run := range runs {
+		pos, neg, hasNeg, err := runNonces(st, run)
+		if err != nil {
+			return err
+		}
+		st.Enc.Keystream(ks, pos, 0)
+		for j := 0; j < n; j++ {
+			s.store(cipher, j, s.r.Mul(s.load(cipher, j), s.r.PowG(s.noiseExp(ks, j))))
+		}
+		if !hasNeg {
+			continue
+		}
+		st.Enc.Keystream(ks, neg, 0)
+		for j := 0; j < n; j++ {
+			s.store(cipher, j, s.r.Mul(s.load(cipher, j), s.r.InvPowG(s.noiseExp(ks, j))))
+		}
+	}
+	return nil
+}
+
+// FoldMissingNoise XORs ⊕_{i∈M} (F(n_i) ⊕ F(n_{i+1})) — per run, F(n_a) ⊕
+// F(n_{b+1}) — into the partial aggregate; XOR is self-inverse so the
+// positive and negative terms are the same operation.
+func (s *IntXor) FoldMissingNoise(st *keys.RankState, cipher []byte, n int, missing []int) error {
+	runs, err := missingRuns(st, missing)
+	if err != nil {
+		return err
+	}
+	if err := checkLen(s.Name(), cipher, cipher, n, s.width, s.width); err != nil {
+		return err
+	}
+	nb := n * s.width
+	p1, ks := getScratch(nb)
+	defer putScratch(p1)
+	for _, run := range runs {
+		pos, neg, hasNeg, err := runNonces(st, run)
+		if err != nil {
+			return err
+		}
+		st.Enc.Keystream(ks, pos, 0)
+		for i := 0; i < nb; i++ {
+			cipher[i] ^= ks[i]
+		}
+		if !hasNeg {
+			continue
+		}
+		st.Enc.Keystream(ks, neg, 0)
+		for i := 0; i < nb; i++ {
+			cipher[i] ^= ks[i]
+		}
+	}
+	return nil
+}

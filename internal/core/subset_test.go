@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hear/internal/keys"
+)
+
+func genSharedStates(t testing.TB, p int) []*keys.RankState {
+	t.Helper()
+	states, err := keys.Generate(p, keys.Config{Rand: &seqReader{next: 9}, SharedGroup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// subsetScheme pairs a SubsetCanceler scheme with its plaintext fold for
+// the degraded-round bit-identity checks.
+type subsetScheme struct {
+	name   string
+	scheme interface {
+		Scheme
+		SubsetCanceler
+	}
+	fold func(a, b uint64) uint64
+	unit uint64
+}
+
+func subsetSchemes(t *testing.T) []subsetScheme {
+	t.Helper()
+	sum, err := NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := NewIntProd(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := NewIntXor(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []subsetScheme{
+		{"sum", sum, func(a, b uint64) uint64 { return a + b }, 0},
+		{"prod", prod, func(a, b uint64) uint64 { return a * b }, 1},
+		{"xor", xor, func(a, b uint64) uint64 { return a ^ b }, 0},
+	}
+}
+
+// TestSubsetCancellation: a reduce over any survivor subset, after
+// FoldMissingNoise, decrypts to exactly the plaintext fold over that
+// subset — the core contract degraded gateway rounds stand on.
+func TestSubsetCancellation(t *testing.T) {
+	const n = 64
+	for _, p := range []int{2, 4, 7} {
+		states := genSharedStates(t, p)
+		for _, s := range states {
+			s.Advance()
+		}
+		missingSets := [][]int{{0}, {p - 1}}
+		if p >= 4 {
+			missingSets = append(missingSets, []int{1, 2}, []int{0, 1, p - 1}, []int{p - 2, p - 1})
+		}
+		for _, tc := range subsetSchemes(t) {
+			rng := rand.New(rand.NewSource(int64(p) * 7919))
+			w := intWire{size: 8}
+			plains := make([][]byte, p)
+			ciphers := make([][]byte, p)
+			for i := range plains {
+				plains[i] = make([]byte, n*8)
+				for j := 0; j < n; j++ {
+					w.store(plains[i], j, rng.Uint64())
+				}
+				ciphers[i] = make([]byte, n*8)
+				if err := tc.scheme.Encrypt(states[i], plains[i], ciphers[i], n); err != nil {
+					t.Fatalf("p=%d %s: rank %d encrypt: %v", p, tc.name, i, err)
+				}
+			}
+			for _, missing := range missingSets {
+				gone := make(map[int]bool)
+				for _, m := range missing {
+					gone[m] = true
+				}
+				agg := make([]byte, n*8)
+				want := make([]byte, n*8)
+				for j := 0; j < n; j++ {
+					w.store(want, j, tc.unit)
+				}
+				first := true
+				var opener *keys.RankState
+				for i := 0; i < p; i++ {
+					if gone[i] {
+						continue
+					}
+					if first {
+						copy(agg, ciphers[i])
+						first = false
+					} else {
+						tc.scheme.Reduce(agg, ciphers[i], n)
+					}
+					opener = states[i]
+					for j := 0; j < n; j++ {
+						w.store(want, j, tc.fold(w.load(want, j), w.load(plains[i], j)))
+					}
+				}
+				if err := tc.scheme.FoldMissingNoise(opener, agg, n, missing); err != nil {
+					t.Fatalf("p=%d %s missing=%v: fold: %v", p, tc.name, missing, err)
+				}
+				got := make([]byte, n*8)
+				if err := tc.scheme.Decrypt(opener, agg, got, n); err != nil {
+					t.Fatalf("p=%d %s missing=%v: decrypt: %v", p, tc.name, missing, err)
+				}
+				for j := 0; j < n; j++ {
+					if w.load(got, j) != w.load(want, j) {
+						t.Fatalf("p=%d %s missing=%v: elem %d = %#x, want %#x",
+							p, tc.name, missing, j, w.load(got, j), w.load(want, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubsetCancellationRequiresSharedGroup: states generated under the
+// default independent-key policy must refuse, not mis-derive.
+func TestSubsetCancellationRequiresSharedGroup(t *testing.T) {
+	states := genStates(t, 4)
+	if states[0].CanDeriveRankKeys() {
+		t.Fatal("independent-key state claims rank-key derivation")
+	}
+	sum, err := NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8*8)
+	if err := sum.FoldMissingNoise(states[0], buf, 8, []int{1}); err == nil {
+		t.Fatal("FoldMissingNoise succeeded without shared-group keys")
+	}
+}
+
+// TestSubsetCancellationRejectsBadSets: wipeouts, duplicates, and
+// out-of-range ranks are errors.
+func TestSubsetCancellationRejectsBadSets(t *testing.T) {
+	states := genSharedStates(t, 4)
+	sum, err := NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8*8)
+	for _, missing := range [][]int{
+		{0, 1, 2, 3}, // no survivors
+		{1, 1},       // duplicate
+		{-1},         // out of range
+		{4},          // out of range
+	} {
+		if err := sum.FoldMissingNoise(states[0], buf, 8, missing); err == nil {
+			t.Fatalf("FoldMissingNoise accepted missing=%v", missing)
+		}
+	}
+}

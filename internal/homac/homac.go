@@ -27,6 +27,7 @@ package homac
 
 import (
 	"fmt"
+	"sort"
 
 	"hear/internal/keys"
 	"hear/internal/prf"
@@ -115,6 +116,83 @@ func (v *Vector) Verify(st *keys.RankState, reducedCipher, tags []uint64, wraps 
 		}
 	}
 	return -1
+}
+
+// VerifySubset checks a degraded round's reduced (c_t, σ_t) pairs, where
+// only the survivor subset contributed: the canceling tag keys telescope
+// per missing run [a,b] just like the encryption noise, so the expected key
+// sum over the survivors is
+//
+//	Σ_{i∈S} Δs_i[j]  =  s_0[j] − Σ_{runs} (s_a[j] − s_{b+1}[j])
+//
+// (the s_{b+1} term vanishes when the run reaches rank P−1). Deriving the
+// run-boundary keys needs the shared-group key policy (st.RankNonce);
+// states generated without it return an error rather than a bogus verdict.
+// missing lists the absent ranks; wraps bounds the data-lane 2^64 wraps
+// (use the survivor count). Reports the first failing index, or -1.
+func (v *Vector) VerifySubset(st *keys.RankState, missing []int, reducedCipher, tags []uint64, wraps int) (int, error) {
+	if len(missing) == 0 {
+		return v.Verify(st, reducedCipher, tags, wraps), nil
+	}
+	// Resolve the run-boundary nonces once; per-element work stays O(runs).
+	type run struct {
+		pos, neg uint64
+		hasNeg   bool
+	}
+	m := make([]int, len(missing))
+	copy(m, missing)
+	sort.Ints(m)
+	for i := 1; i < len(m); i++ {
+		if m[i] == m[i-1] {
+			return 0, fmt.Errorf("homac: subset verify: duplicate missing rank %d", m[i])
+		}
+	}
+	var runs []run
+	for i := 0; i < len(m); {
+		a := m[i]
+		b := a
+		for i++; i < len(m) && m[i] == b+1; i++ {
+			b = m[i]
+		}
+		pos, err := st.RankNonce(a)
+		if err != nil {
+			return 0, fmt.Errorf("homac: subset verify: %w", err)
+		}
+		r := run{pos: pos}
+		if b < st.Size-1 {
+			neg, err := st.RankNonce(b + 1)
+			if err != nil {
+				return 0, fmt.Errorf("homac: subset verify: %w", err)
+			}
+			r.neg, r.hasNeg = neg, true
+		}
+		runs = append(runs, r)
+	}
+	root := st.RootNonce()
+	pow64 := v.f.Reduce(1 << 63)
+	pow64 = v.f.Add(pow64, pow64) // 2^64 mod p
+	for j := range reducedCipher {
+		want := v.keyAt(st.Enc, root, j)
+		for _, r := range runs {
+			want = v.f.Sub(want, v.keyAt(st.Enc, r.pos, j))
+			if r.hasNeg {
+				want = v.f.Add(want, v.keyAt(st.Enc, r.neg, j))
+			}
+		}
+		rhs := v.f.Add(v.f.Reduce(reducedCipher[j]), v.f.Mul(tags[j], v.z))
+		ok := false
+		for k := 0; k <= wraps; k++ {
+			if rhs == want {
+				ok = true
+				break
+			}
+			rhs = v.f.Add(rhs, pow64)
+		}
+		if !ok {
+			return j, nil
+		}
+	}
+	return -1, nil
 }
 
 // TagNaive produces the non-canceling tags of §5.5's first equation,

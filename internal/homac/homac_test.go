@@ -296,3 +296,97 @@ func BenchmarkTagBig128(b *testing.B) {
 		}
 	}
 }
+
+// subsetRun tags on every rank under shared-group keys, aggregates only
+// the survivors' lanes, and verifies against the survivor subset.
+func subsetRun(t *testing.T, v *Vector, p, n int, missing []int, tamper func(c, tags []uint64)) (int, error) {
+	t.Helper()
+	states, err := keys.Generate(p, keys.Config{Rand: &seqReader{next: 5}, SharedGroup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := make(map[int]bool)
+	for _, m := range missing {
+		gone[m] = true
+	}
+	rng := rand.New(rand.NewSource(int64(p*1000 + n)))
+	var cT, sigmaT []uint64
+	var opener *keys.RankState
+	survivors := 0
+	for i := 0; i < p; i++ {
+		states[i].Advance()
+		cipher := make([]uint64, n)
+		for j := range cipher {
+			cipher[j] = rng.Uint64()
+		}
+		tags := make([]uint64, n)
+		if err := v.Tag(states[i], cipher, tags); err != nil {
+			t.Fatal(err)
+		}
+		if gone[i] {
+			continue // the straggler sealed but its lanes never arrived
+		}
+		survivors++
+		opener = states[i]
+		if cT == nil {
+			cT = append([]uint64(nil), cipher...)
+			sigmaT = append([]uint64(nil), tags...)
+		} else {
+			for j := range cT {
+				cT[j] += cipher[j]
+			}
+			v.Aggregate(sigmaT, tags)
+		}
+	}
+	if tamper != nil {
+		tamper(cT, sigmaT)
+	}
+	return v.VerifySubset(opener, missing, cT, sigmaT, survivors)
+}
+
+// TestVerifySubset: survivor-only aggregates verify against the subset key
+// sum, and any tampering is still caught.
+func TestVerifySubset(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 7} {
+		missingSets := [][]int{{0}, {p - 1}}
+		if p >= 4 {
+			missingSets = append(missingSets, []int{1, 2}, []int{0, 2, p - 1})
+		}
+		for _, missing := range missingSets {
+			if bad, err := subsetRun(t, v, p, 32, missing, nil); err != nil || bad != -1 {
+				t.Fatalf("p=%d missing=%v: clean subset failed verify: bad=%d err=%v", p, missing, bad, err)
+			}
+			bad, err := subsetRun(t, v, p, 32, missing, func(c, tags []uint64) { c[7] ^= 1 << 33 })
+			if err != nil || bad != 7 {
+				t.Fatalf("p=%d missing=%v: tampered element not caught: bad=%d err=%v", p, missing, bad, err)
+			}
+		}
+	}
+}
+
+// TestVerifySubsetPolicy: subset verification without shared-group keys
+// must error; duplicates in the missing set must error.
+func TestVerifySubsetPolicy(t *testing.T) {
+	v, err := New(ring.MersennePrime61, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := genStates(t, 4)
+	states[0].Advance()
+	c := make([]uint64, 4)
+	tags := make([]uint64, 4)
+	if _, err := v.VerifySubset(states[0], []int{1}, c, tags, 3); err == nil {
+		t.Error("VerifySubset succeeded without shared-group keys")
+	}
+	shared, err := keys.Generate(4, keys.Config{Rand: &seqReader{next: 5}, SharedGroup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifySubset(shared[0], []int{1, 1}, c, tags, 3); err == nil {
+		t.Error("VerifySubset accepted a duplicate missing rank")
+	}
+}

@@ -24,6 +24,12 @@ import (
 // KeyBytes is the PRF key length for k_e and k_p (AES-128).
 const KeyBytes = 16
 
+// rankKeyDomain separates the shared-group starting-key derivation
+// k_s_i = G_{k_g}(rankKeyDomain, i) from every other use of a PRF in the
+// system. The group PRF G is keyed with its own k_g (independent of k_e
+// and k_p), so the constant is belt-and-braces rather than load-bearing.
+const rankKeyDomain uint64 = 0xA24BAED4963EE407
+
 // RankState is the key material one rank is permitted to hold. It contains
 // rank i's own starting key, the successor's key (consumed by the canceling
 // noise term of eqs. 1–3 and 6), rank 0's key (consumed by decryption), and
@@ -40,6 +46,12 @@ type RankState struct {
 	epoch      uint64  // number of Advance calls applied to k_c
 	Enc        prf.PRF // F keyed with k_e
 	prog       prf.PRF // F keyed with k_p
+
+	// group is the shared-group key-derivation PRF G_{k_g}; non-nil only
+	// under Config.SharedGroup, where every starting key is
+	// k_s_i = G_{k_g}(rankKeyDomain, i) and any rank can therefore re-derive
+	// any other rank's noise stream (the property degraded rounds need).
+	group prf.PRF
 }
 
 // Config controls key generation.
@@ -49,6 +61,17 @@ type Config struct {
 	// Rand is the entropy source; nil means crypto/rand.Reader. Tests may
 	// inject a deterministic reader.
 	Rand io.Reader
+	// SharedGroup switches starting-key generation from independent random
+	// draws to PRF derivation under a single group key k_g:
+	// k_s_i = G_{k_g}(i). Every rank then holds k_g and can reconstruct the
+	// noise stream of any other rank — which is exactly what lets a
+	// degraded (dropout-tolerant) round fold the missing ranks' noise back
+	// in and still decrypt. The trade-off is deliberate and documented:
+	// under the default policy a rank learns only its ring neighbours'
+	// keys; under SharedGroup the whole group shares one derivation secret,
+	// as in the shared-key secure-aggregation schemes. The gateway remains
+	// key-blind either way.
+	SharedGroup bool
 }
 
 func (c *Config) fill() {
@@ -72,12 +95,28 @@ func Generate(size int, cfg Config) ([]*RankState, error) {
 	cfg.fill()
 
 	starting := make([]uint64, size)
-	for i := range starting {
-		v, err := randUint64(cfg.Rand)
-		if err != nil {
-			return nil, err
+	var group prf.PRF
+	if cfg.SharedGroup {
+		kg := make([]byte, KeyBytes)
+		if _, err := io.ReadFull(cfg.Rand, kg); err != nil {
+			return nil, fmt.Errorf("keys: drawing k_g: %w", err)
 		}
-		starting[i] = v
+		g, err := prf.New(cfg.Backend, kg)
+		if err != nil {
+			return nil, fmt.Errorf("keys: constructing G_{k_g}: %w", err)
+		}
+		group = g
+		for i := range starting {
+			starting[i] = g.Uint64(rankKeyDomain, uint64(i))
+		}
+	} else {
+		for i := range starting {
+			v, err := randUint64(cfg.Rand)
+			if err != nil {
+				return nil, err
+			}
+			starting[i] = v
+		}
 	}
 	kc, err := randUint64(cfg.Rand)
 	if err != nil {
@@ -111,9 +150,39 @@ func Generate(size int, cfg Config) ([]*RankState, error) {
 			collective: kc,
 			Enc:        enc,
 			prog:       prog,
+			group:      group,
 		}
 	}
 	return states, nil
+}
+
+// CanDeriveRankKeys reports whether this state was generated under the
+// shared-group policy and can therefore reconstruct any rank's starting
+// key — the precondition for subset-noise cancellation in degraded rounds.
+func (s *RankState) CanDeriveRankKeys() bool { return s.group != nil }
+
+// RankKey returns rank r's starting key k_s_r, derivable only under the
+// shared-group policy.
+func (s *RankState) RankKey(rank int) (uint64, error) {
+	if s.group == nil {
+		return 0, fmt.Errorf("keys: rank keys not derivable (independent starting keys; generate with Config.SharedGroup)")
+	}
+	if rank < 0 || rank >= s.Size {
+		return 0, fmt.Errorf("keys: rank %d out of range [0,%d)", rank, s.Size)
+	}
+	return s.group.Uint64(rankKeyDomain, uint64(rank)), nil
+}
+
+// RankNonce returns rank r's stream identifier k_s_r + k_c at the current
+// epoch — the nonce of the noise stream rank r would have used this
+// collective. Degraded rounds use it to fold a missing rank's telescoping
+// noise back into a partial aggregate.
+func (s *RankState) RankNonce(rank int) (uint64, error) {
+	k, err := s.RankKey(rank)
+	if err != nil {
+		return 0, err
+	}
+	return k + s.collective, nil
 }
 
 // Advance progresses the collective key, k_c ← F_{k_p}(k_c). Every rank
