@@ -211,7 +211,18 @@ func TestDegradedRoundSurvivorsComplete(t *testing.T) {
 						}
 					}
 				}
-				m := s.StatsMap()
+				// The eviction counter for a disconnected victim increments
+				// asynchronously, when the gateway's delivery to the dead
+				// connection fails — possibly after the survivors' rounds
+				// have already returned. Poll briefly instead of racing it.
+				var m map[string]uint64
+				for deadline := time.Now().Add(5 * time.Second); ; {
+					m = s.StatsMap()
+					if m["clients_evicted"] == 1 || time.Now().After(deadline) {
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
 				if m["rounds_degraded"] != 1 {
 					t.Errorf("rounds_degraded = %d, want 1", m["rounds_degraded"])
 				}

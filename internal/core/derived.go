@@ -46,6 +46,9 @@ func (b BoolCodec) EncodeBools(vals []bool, dst []byte) error {
 
 // DecodeOr decodes the aggregated counts into ORs.
 func (b BoolCodec) DecodeOr(counts []byte, out []bool) error {
+	if len(counts) < 4*len(out) {
+		return fmt.Errorf("core: bool decode: counts buffer %d B < %d", len(counts), 4*len(out))
+	}
 	w := intWire{size: 4}
 	for j := range out {
 		c := w.load(counts, j)
@@ -59,6 +62,9 @@ func (b BoolCodec) DecodeOr(counts []byte, out []bool) error {
 
 // DecodeAnd decodes the aggregated counts into ANDs.
 func (b BoolCodec) DecodeAnd(counts []byte, out []bool) error {
+	if len(counts) < 4*len(out) {
+		return fmt.Errorf("core: bool decode: counts buffer %d B < %d", len(counts), 4*len(out))
+	}
 	w := intWire{size: 4}
 	for j := range out {
 		c := w.load(counts, j)
@@ -86,6 +92,7 @@ func (b BoolCodec) CounterBits() int {
 // environment before encryption; the network still only ever executes the
 // additive reduce.
 type ParitySum struct {
+	name  string
 	inner *IntSum
 }
 
@@ -95,10 +102,10 @@ func NewParitySum(widthBits int) (*ParitySum, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: parity-sum: %w", err)
 	}
-	return &ParitySum{inner: inner}, nil
+	return &ParitySum{name: "parity-" + inner.Name(), inner: inner}, nil
 }
 
-func (s *ParitySum) Name() string    { return "parity-" + s.inner.Name() }
+func (s *ParitySum) Name() string    { return s.name }
 func (s *ParitySum) PlainSize() int  { return s.inner.PlainSize() }
 func (s *ParitySum) CipherSize() int { return s.inner.CipherSize() }
 
@@ -111,7 +118,7 @@ func (s *ParitySum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off i
 		return s.inner.EncryptAt(st, plain, cipher, n, off)
 	}
 	// Odd rank: negate (two's complement) before encrypting.
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	p1, scratch := getScratch(n * s.inner.width)

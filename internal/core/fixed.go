@@ -14,6 +14,7 @@ import (
 // lossless and IND-CPA like the integer scheme it wraps.
 type FixedSum struct {
 	codec fixedpoint.Codec
+	name  string
 	inner *IntSum
 }
 
@@ -24,10 +25,14 @@ func NewFixedSum(codec fixedpoint.Codec) (*FixedSum, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: fixed-sum: %w", err)
 	}
-	return &FixedSum{codec: codec, inner: inner}, nil
+	return &FixedSum{
+		codec: codec,
+		name:  fmt.Sprintf("fixed%d.%d-sum", codec.Width, codec.Frac),
+		inner: inner,
+	}, nil
 }
 
-func (s *FixedSum) Name() string            { return fmt.Sprintf("fixed%d.%d-sum", s.codec.Width, s.codec.Frac) }
+func (s *FixedSum) Name() string            { return s.name }
 func (s *FixedSum) PlainSize() int          { return 8 }
 func (s *FixedSum) CipherSize() int         { return s.inner.CipherSize() }
 func (s *FixedSum) Codec() fixedpoint.Codec { return s.codec }
@@ -37,7 +42,7 @@ func (s *FixedSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) erro
 }
 
 func (s *FixedSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	w := floatWire{size: 8}
@@ -59,7 +64,7 @@ func (s *FixedSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) erro
 }
 
 func (s *FixedSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	p1, scratch := getScratch(n * s.inner.width)
@@ -84,6 +89,7 @@ func (s *FixedSum) Reduce(dst, src []byte, n int) { s.inner.Reduce(dst, src, n) 
 // scaling factor").
 type FixedProd struct {
 	codec fixedpoint.Codec
+	name  string
 	inner *IntProd
 }
 
@@ -93,10 +99,14 @@ func NewFixedProd(codec fixedpoint.Codec) (*FixedProd, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: fixed-prod: %w", err)
 	}
-	return &FixedProd{codec: codec, inner: inner}, nil
+	return &FixedProd{
+		codec: codec,
+		name:  fmt.Sprintf("fixed%d.%d-prod", codec.Width, codec.Frac),
+		inner: inner,
+	}, nil
 }
 
-func (s *FixedProd) Name() string    { return fmt.Sprintf("fixed%d.%d-prod", s.codec.Width, s.codec.Frac) }
+func (s *FixedProd) Name() string    { return s.name }
 func (s *FixedProd) PlainSize() int  { return 8 }
 func (s *FixedProd) CipherSize() int { return s.inner.CipherSize() }
 
@@ -105,7 +115,7 @@ func (s *FixedProd) Encrypt(st *keys.RankState, plain, cipher []byte, n int) err
 }
 
 func (s *FixedProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	w := floatWire{size: 8}
@@ -127,7 +137,7 @@ func (s *FixedProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) err
 }
 
 func (s *FixedProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	p1, scratch := getScratch(n * s.inner.width)

@@ -5,6 +5,7 @@ import (
 
 	"hear/internal/hfp"
 	"hear/internal/keys"
+	"hear/internal/prf"
 )
 
 // FloatProd implements the floating point multiplication scheme of §5.3.2
@@ -21,6 +22,7 @@ import (
 // multiplying with reciprocals prepared in the secure environment.
 type FloatProd struct {
 	f    hfp.Format
+	name string
 	wire floatWire
 	cell hfp.Cell // precomputed pack/unpack/noise codec (bulk fast path)
 }
@@ -33,15 +35,15 @@ func NewFloatProd(base hfp.Format, gamma uint) (*FloatProd, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("core: float-prod: %w", err)
 	}
-	return &FloatProd{f: f, wire: wireFor(base), cell: f.Cell()}, nil
+	s := &FloatProd{f: f, wire: wireFor(base), cell: f.Cell()}
+	s.name = fmt.Sprintf("float%d-prod/γ=%d", 1+f.Le+f.Lm, f.Gamma)
+	return s, nil
 }
 
 // Format exposes the underlying HFP format.
 func (s *FloatProd) Format() hfp.Format { return s.f }
 
-func (s *FloatProd) Name() string {
-	return fmt.Sprintf("float%d-prod/γ=%d", 1+s.f.Le+s.f.Lm, s.f.Gamma)
-}
+func (s *FloatProd) Name() string { return s.name }
 
 func (s *FloatProd) PlainSize() int  { return s.wire.size }
 func (s *FloatProd) CipherSize() int { return s.f.ByteSize() }
@@ -51,9 +53,48 @@ func (s *FloatProd) Encrypt(st *keys.RankState, plain, cipher []byte, n int) err
 }
 
 func (s *FloatProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	cs := s.CipherSize()
+	last := st.IsLast()
+	byteOff := uint64(off) * hfp.NoiseBytes
+	nb := n * hfp.NoiseBytes
+	ns1 := openNoise(st.Enc, st.SelfNonce(), byteOff, nb)
+	defer ns1.close()
+	var ns2 *noiseStream
+	if !last {
+		ns2 = openNoise(st.Enc, st.NextNonce(), byteOff, nb)
+		defer ns2.close()
+	}
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns1.next()
+		var b2 *[prf.BlockBytes]byte
+		if !last {
+			b2 = ns2.next()
+		}
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += hfp.NoiseBytes {
+			j := (done + o) / hfp.NoiseBytes
+			v, err := s.f.Encode(s.wire.load(plain, j))
+			if err != nil {
+				return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+			}
+			noise := s.cell.Noise(b1[o:])
+			if !last {
+				noise = s.f.Div(noise, s.cell.Noise(b2[o:]))
+			}
+			s.cell.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+		}
+	}
+	return nil
+}
+
+// encryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *FloatProd) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	cs := s.CipherSize()
 	last := st.IsLast()
 	byteOff := uint64(off) * hfp.NoiseBytes
@@ -86,9 +127,31 @@ func (s *FloatProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) err
 }
 
 func (s *FloatProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	cs := s.CipherSize()
+	nb := n * hfp.NoiseBytes
+	ns := openNoise(st.Enc, st.RootNonce(), uint64(off)*hfp.NoiseBytes, nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns.next()
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += hfp.NoiseBytes {
+			j := (done + o) / hfp.NoiseBytes
+			c := s.cell.Unpack(cipher[j*cs:])
+			noise := s.cell.Noise(b1[o:])
+			s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
+		}
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *FloatProd) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	cs := s.CipherSize()
 	p1, ks1 := getScratch(n * hfp.NoiseBytes)
 	defer putScratch(p1)

@@ -7,6 +7,7 @@ import (
 
 	"hear/internal/hfp"
 	"hear/internal/keys"
+	"hear/internal/prf"
 )
 
 // floatWire reads/writes plaintext floats on the wire. FP64-family schemes
@@ -49,6 +50,7 @@ func (w floatWire) store(buf []byte, j int, x float64) {
 // adversary. γ trades ciphertext inflation for precision (Figure 3).
 type FloatSum struct {
 	f    hfp.Format
+	name string
 	wire floatWire
 	cell hfp.Cell // precomputed pack/unpack/noise codec (bulk fast path)
 }
@@ -60,15 +62,15 @@ func NewFloatSum(base hfp.Format, gamma uint) (*FloatSum, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("core: float-sum: %w", err)
 	}
-	return &FloatSum{f: f, wire: wireFor(base), cell: f.Cell()}, nil
+	s := &FloatSum{f: f, wire: wireFor(base), cell: f.Cell()}
+	s.name = fmt.Sprintf("float%d-sum-v1/γ=%d", 1+f.Le+f.Lm, f.Gamma)
+	return s, nil
 }
 
 // Format exposes the underlying HFP format (used by precision experiments).
 func (s *FloatSum) Format() hfp.Format { return s.f }
 
-func (s *FloatSum) Name() string {
-	return fmt.Sprintf("float%d-sum-v1/γ=%d", 1+s.f.Le+s.f.Lm, s.f.Gamma)
-}
+func (s *FloatSum) Name() string { return s.name }
 
 func (s *FloatSum) PlainSize() int  { return s.wire.size }
 func (s *FloatSum) CipherSize() int { return s.f.ByteSize() }
@@ -78,9 +80,34 @@ func (s *FloatSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) erro
 }
 
 func (s *FloatSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	cs := s.CipherSize()
+	nb := n * hfp.NoiseBytes // noise bytes, the stream the loop is blocked on
+	ns := openNoise(st.Enc, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes, nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b := ns.next()
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += hfp.NoiseBytes {
+			j := (done + o) / hfp.NoiseBytes
+			v, err := s.f.Encode(s.wire.load(plain, j))
+			if err != nil {
+				return fmt.Errorf("%s: element %d: %w", s.Name(), j, err)
+			}
+			noise := s.cell.Noise(b[o:])
+			s.cell.Pack(s.f.Mul(v, noise), cipher[j*cs:])
+		}
+	}
+	return nil
+}
+
+// encryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *FloatSum) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	cs := s.CipherSize()
 	p1, ks := getScratch(n * hfp.NoiseBytes)
 	defer putScratch(p1)
@@ -101,9 +128,31 @@ func (s *FloatSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) erro
 }
 
 func (s *FloatSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	cs := s.CipherSize()
+	nb := n * hfp.NoiseBytes
+	ns := openNoise(st.Enc, st.CollectiveNonce(), uint64(off)*hfp.NoiseBytes, nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b := ns.next()
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += hfp.NoiseBytes {
+			j := (done + o) / hfp.NoiseBytes
+			c := s.cell.Unpack(cipher[j*cs:])
+			noise := s.cell.Noise(b[o:])
+			s.wire.store(plain, j, s.f.Decode(s.f.Div(c, noise)))
+		}
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *FloatSum) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	cs := s.CipherSize()
 	p1, ks := getScratch(n * hfp.NoiseBytes)
 	defer putScratch(p1)

@@ -23,6 +23,7 @@ import (
 // weights.
 type FloatSumV2 struct {
 	prod *FloatProd
+	name string
 	wire floatWire
 }
 
@@ -33,15 +34,15 @@ func NewFloatSumV2(base hfp.Format, gamma uint) (*FloatSumV2, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: float-sum-v2: %w", err)
 	}
-	return &FloatSumV2{prod: p, wire: p.wire}, nil
+	s := &FloatSumV2{prod: p, wire: p.wire}
+	s.name = fmt.Sprintf("float%d-sum-v2/γ=%d", 1+p.f.Le+p.f.Lm, p.f.Gamma)
+	return s, nil
 }
 
 // Format exposes the underlying HFP format.
 func (s *FloatSumV2) Format() hfp.Format { return s.prod.f }
 
-func (s *FloatSumV2) Name() string {
-	return fmt.Sprintf("float%d-sum-v2/γ=%d", 1+s.prod.f.Le+s.prod.f.Lm, s.prod.f.Gamma)
-}
+func (s *FloatSumV2) Name() string { return s.name }
 
 func (s *FloatSumV2) PlainSize() int  { return s.wire.size }
 func (s *FloatSumV2) CipherSize() int { return s.prod.CipherSize() }
@@ -57,7 +58,7 @@ func (s *FloatSumV2) Encrypt(st *keys.RankState, plain, cipher []byte, n int) er
 }
 
 func (s *FloatSumV2) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	// Encode x -> e^x into a scratch plaintext buffer, then run the
@@ -80,7 +81,7 @@ func (s *FloatSumV2) Decrypt(st *keys.RankState, cipher, plain []byte, n int) er
 }
 
 func (s *FloatSumV2) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.PlainSize(), s.CipherSize()); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.PlainSize(), s.CipherSize()); err != nil {
 		return err
 	}
 	if err := s.prod.DecryptAt(st, cipher, plain, n, off); err != nil {

@@ -20,6 +20,12 @@ import (
 // never inspect more than the frame bytes.
 type Func func(dst, src []byte)
 
+// blockBytes is the cache-blocking granularity of the hot fold kernels:
+// one 64-byte cache line, matching the streaming block size of the fused
+// cipher kernels (prf.BlockBytes). Converting each block to a fixed-size
+// array pointer hoists the bounds checks out of the unrolled inner loop.
+const blockBytes = 64
+
 // SumUint64 folds little-endian 64-bit lanes with wrapping addition — the
 // integer SUM scheme's operator on Z_{2^64} (§5.1.1).
 func SumUint64(dst, src []byte) {
@@ -27,7 +33,16 @@ func SumUint64(dst, src []byte) {
 	if len(src) < n {
 		n = len(src)
 	}
-	for o := 0; o+8 <= n; o += 8 {
+	o := 0
+	for ; o+blockBytes <= n; o += blockBytes {
+		d := (*[blockBytes]byte)(dst[o:])
+		s := (*[blockBytes]byte)(src[o:])
+		for i := 0; i < blockBytes; i += 8 {
+			binary.LittleEndian.PutUint64(d[i:],
+				binary.LittleEndian.Uint64(d[i:])+binary.LittleEndian.Uint64(s[i:]))
+		}
+	}
+	for ; o+8 <= n; o += 8 {
 		binary.LittleEndian.PutUint64(dst[o:],
 			binary.LittleEndian.Uint64(dst[o:])+binary.LittleEndian.Uint64(src[o:]))
 	}
@@ -39,20 +54,44 @@ func SumUint32(dst, src []byte) {
 	if len(src) < n {
 		n = len(src)
 	}
-	for o := 0; o+4 <= n; o += 4 {
+	o := 0
+	for ; o+blockBytes <= n; o += blockBytes {
+		d := (*[blockBytes]byte)(dst[o:])
+		s := (*[blockBytes]byte)(src[o:])
+		for i := 0; i < blockBytes; i += 4 {
+			binary.LittleEndian.PutUint32(d[i:],
+				binary.LittleEndian.Uint32(d[i:])+binary.LittleEndian.Uint32(s[i:]))
+		}
+	}
+	for ; o+4 <= n; o += 4 {
 		binary.LittleEndian.PutUint32(dst[o:],
 			binary.LittleEndian.Uint32(dst[o:])+binary.LittleEndian.Uint32(src[o:]))
 	}
 }
 
 // Xor folds byte lanes with XOR — the §5.1.3 operator, width-agnostic.
+// Whole cache-line blocks fold as 8-byte words; the tail byte-by-byte, so
+// the fold stays exact for any frame length.
 func Xor(dst, src []byte) {
 	n := len(dst)
 	if len(src) < n {
 		n = len(src)
 	}
-	for i := 0; i < n; i++ {
-		dst[i] ^= src[i]
+	o := 0
+	for ; o+blockBytes <= n; o += blockBytes {
+		d := (*[blockBytes]byte)(dst[o:])
+		s := (*[blockBytes]byte)(src[o:])
+		for i := 0; i < blockBytes; i += 8 {
+			binary.LittleEndian.PutUint64(d[i:],
+				binary.LittleEndian.Uint64(d[i:])^binary.LittleEndian.Uint64(s[i:]))
+		}
+	}
+	for ; o+8 <= n; o += 8 {
+		binary.LittleEndian.PutUint64(dst[o:],
+			binary.LittleEndian.Uint64(dst[o:])^binary.LittleEndian.Uint64(src[o:]))
+	}
+	for ; o < n; o++ {
+		dst[o] ^= src[o]
 	}
 }
 
@@ -65,10 +104,22 @@ func SumMod61(dst, src []byte) {
 	if len(src) < n {
 		n = len(src)
 	}
-	for o := 0; o+8 <= n; o += 8 {
+	o := 0
+	for ; o+blockBytes <= n; o += blockBytes {
+		d := (*[blockBytes]byte)(dst[o:])
+		sb := (*[blockBytes]byte)(src[o:])
+		for i := 0; i < blockBytes; i += 8 {
+			s := binary.LittleEndian.Uint64(d[i:]) + binary.LittleEndian.Uint64(sb[i:])
+			if s >= p { // p < 2^61, so reduced inputs cannot overflow uint64
+				s -= p
+			}
+			binary.LittleEndian.PutUint64(d[i:], s)
+		}
+	}
+	for ; o+8 <= n; o += 8 {
 		a := binary.LittleEndian.Uint64(dst[o:])
 		b := binary.LittleEndian.Uint64(src[o:])
-		s := a + b // p < 2^61, so reduced inputs cannot overflow uint64
+		s := a + b
 		if s >= p {
 			s -= p
 		}

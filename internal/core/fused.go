@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hear/internal/prf"
+)
+
+// This file carries the shared machinery of the fused kernels: scheme
+// encrypt/decrypt loops that consume PRF keystream 64 bytes at a time
+// (prf.BlockSource) and combine each block with the data in place, instead
+// of materializing a full keystream plane into pooled scratch and making a
+// second combining pass. The fused loop touches each plaintext and
+// ciphertext byte exactly once and keeps the keystream in an L1-resident
+// staging buffer, so for working sets larger than cache the memory traffic
+// drops from ~4 streams (plain, cipher, keystream write, keystream read)
+// to 2 — the fusion argument of HEAAN Demystified applied to HEAR's
+// CTR-keystream cipher. The two-pass kernels remain as the reference
+// implementation (…TwoPassAt methods) and the bit-identity tests assert
+// the fused path produces exactly the same bytes.
+//
+// Buffer aliasing: like the two-pass kernels, the fused loops read
+// plain[done+o] and write cipher[done+o] strictly in order and never
+// revisit a byte, so in-place operation (cipher aliasing plain) is safe —
+// each element is loaded before its ciphertext is stored.
+
+// fusionOff gates the fused kernels; the zero value means fusion is ON.
+// It exists so benchmarks (hearbench roofline) and bisection can A/B the
+// fused path against the two-pass reference at runtime.
+var fusionOff atomic.Bool
+
+// SetFusion enables (true) or disables (false) the fused single-pass
+// kernels process-wide and reports the previous setting. Fusion is enabled
+// by default; disabling routes every scheme through the two-pass reference
+// path. Both paths are bit-identical, so toggling is safe at any point.
+func SetFusion(on bool) bool { return !fusionOff.Swap(!on) }
+
+// FusionEnabled reports whether the fused kernels are active.
+func FusionEnabled() bool { return !fusionOff.Load() }
+
+// noiseStream adapts one PRF noise stream for a fused kernel, splitting
+// the requested span into (a) a prefix already materialized in the noise
+// prefetcher's cache — detected through prf.SpanCache and copied once into
+// pooled scratch via the wrapper's hit-accounted Keystream path — and (b)
+// a tail generated block-by-block on the live backend, bypassing the
+// wrapper. Prefetch hit uses the plane; miss uses fusion.
+//
+// Streams are pooled (openNoise/close) rather than stack-allocated: the
+// BlockSource hands interior pointers of its staging buffer to interface
+// method calls, so escape analysis heap-allocates it — pooling makes the
+// hot path allocation-free anyway, the same trade getScratch makes for
+// keystream planes.
+type noiseStream struct {
+	pfx  []byte  // cached prefix (whole blocks), served before the tail
+	tok  *[]byte // scratch token owning pfx
+	at   int     // read position in pfx
+	tail bool    // bs holds the generated tail
+	bs   prf.BlockSource
+}
+
+var noiseStreamPool = sync.Pool{New: func() any { return new(noiseStream) }}
+
+// openNoise takes a pooled stream positioned at byte offset off of stream
+// nonce, sized to serve nb bytes in BlockBytes steps. Call close when done
+// to return it (and any prefix scratch) to the pool.
+func openNoise(enc prf.PRF, nonce, off uint64, nb int) *noiseStream {
+	ns := noiseStreamPool.Get().(*noiseStream)
+	ns.open(enc, nonce, off, nb)
+	return ns
+}
+
+func (ns *noiseStream) open(enc prf.PRF, nonce, off uint64, nb int) {
+	if ns.tok != nil { // re-open: release the previous prefix scratch
+		putScratch(ns.tok)
+	}
+	ns.pfx = nil
+	ns.tok = nil
+	ns.at = 0
+	ns.tail = false
+	if sc, ok := enc.(prf.SpanCache); ok {
+		k := sc.CachedSpan(nonce, off, nb)
+		k &^= prf.BlockBytes - 1 // serve whole blocks from the prefix
+		if k > 0 {
+			ns.tok, ns.pfx = getScratch(k)
+			sc.Keystream(ns.pfx, nonce, off) // cache-hit copy path
+			off += uint64(k)
+			nb -= k
+		}
+		enc = sc.Generator()
+	}
+	if nb > 0 || ns.pfx == nil {
+		ns.bs.Init(enc, nonce, off, nb)
+		ns.tail = true
+	}
+}
+
+// next returns the next BlockBytes noise bytes, valid until the following
+// next call.
+func (ns *noiseStream) next() *[prf.BlockBytes]byte {
+	if ns.at < len(ns.pfx) {
+		p := (*[prf.BlockBytes]byte)(ns.pfx[ns.at:])
+		ns.at += prf.BlockBytes
+		return p
+	}
+	return ns.bs.Next()
+}
+
+// close returns the cached-prefix scratch, if any, and the stream itself
+// to their pools. The stream must not be used after close.
+func (ns *noiseStream) close() {
+	if ns.tok != nil {
+		putScratch(ns.tok)
+		ns.tok = nil
+		ns.pfx = nil
+	}
+	noiseStreamPool.Put(ns)
+}
+
+// blockLen clips one streaming block to the remaining span: the fused
+// loops advance done in BlockBytes steps and process min(BlockBytes,
+// nb−done) bytes of the final partial block. Every per-element stride (1,
+// 2, 4, 8, 16 bytes) divides BlockBytes, so elements never straddle a
+// block boundary.
+func blockLen(nb, done int) int {
+	if m := nb - done; m < prf.BlockBytes {
+		return m
+	}
+	return prf.BlockBytes
+}

@@ -5,6 +5,7 @@ import (
 
 	"hear/internal/core/fold"
 	"hear/internal/keys"
+	"hear/internal/prf"
 	"hear/internal/ring"
 )
 
@@ -28,6 +29,7 @@ import (
 // per element (§5.1.4), implemented with the 2^4-ary method.
 type IntProd struct {
 	width int
+	name  string
 	r     ring.Z2
 	fold  fold.Func
 }
@@ -37,12 +39,15 @@ func NewIntProd(widthBits int) (*IntProd, error) {
 	if err := checkWidth("core: int-prod", widthBits); err != nil {
 		return nil, err
 	}
-	return &IntProd{width: widthBits / 8, r: ring.NewZ2(uint(widthBits)), fold: fold.Prod(widthBits)}, nil
+	return &IntProd{
+		width: widthBits / 8,
+		name:  fmt.Sprintf("int%d-prod", widthBits),
+		r:     ring.NewZ2(uint(widthBits)),
+		fold:  fold.Prod(widthBits),
+	}, nil
 }
 
-func (s *IntProd) Name() string {
-	return fmt.Sprintf("int%d-prod", s.width*8)
-}
+func (s *IntProd) Name() string { return s.name }
 
 func (s *IntProd) PlainSize() int  { return s.width }
 func (s *IntProd) CipherSize() int { return s.width }
@@ -66,9 +71,43 @@ func (s *IntProd) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error
 }
 
 func (s *IntProd) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	nb := n * s.width
+	byteOff := uint64(off) * uint64(s.width)
+	cancel := !st.IsLast()
+	ns1 := openNoise(st.Enc, st.SelfNonce(), byteOff, nb)
+	defer ns1.close()
+	var ns2 *noiseStream
+	if cancel {
+		ns2 = openNoise(st.Enc, st.NextNonce(), byteOff, nb)
+		defer ns2.close()
+	}
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns1.next()
+		var b2 *[prf.BlockBytes]byte
+		if cancel {
+			b2 = ns2.next()
+		}
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += s.width {
+			j := (done + o) / s.width
+			noise := s.r.PowG(s.noiseExp(b1[:], o/s.width))
+			if cancel {
+				noise = s.r.Mul(noise, s.r.InvPowG(s.noiseExp(b2[:], o/s.width)))
+			}
+			s.store(cipher, j, s.r.Mul(s.load(plain, j), noise))
+		}
+	}
+	return nil
+}
+
+// encryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *IntProd) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
 	p1, ks1 := getScratch(nb)
@@ -97,9 +136,28 @@ func (s *IntProd) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error
 }
 
 func (s *IntProd) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	nb := n * s.width
+	ns := openNoise(st.Enc, st.RootNonce(), uint64(off)*uint64(s.width), nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns.next()
+		m := blockLen(nb, done)
+		for o := 0; o < m; o += s.width {
+			j := (done + o) / s.width
+			s.store(plain, j, s.r.Mul(s.load(cipher, j), s.r.InvPowG(s.noiseExp(b1[:], o/s.width))))
+		}
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *IntProd) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	nb := n * s.width
 	p1, ks1 := getScratch(nb)
 	defer putScratch(p1)

@@ -6,6 +6,7 @@ import (
 
 	"hear/internal/core/fold"
 	"hear/internal/keys"
+	"hear/internal/prf"
 )
 
 // IntSum implements the integer addition scheme of §5.1.1 (eq. 1) on the
@@ -21,6 +22,7 @@ import (
 // paper cites). Subtraction rides the same scheme via two's complement.
 type IntSum struct {
 	width int // element width in bytes: 4 or 8
+	name  string
 	fold  fold.Func
 }
 
@@ -31,7 +33,11 @@ func NewIntSum(widthBits int) (*IntSum, error) {
 	if err := checkWidth("core: int-sum", widthBits); err != nil {
 		return nil, err
 	}
-	return &IntSum{width: widthBits / 8, fold: fold.Sum(widthBits / 8)}, nil
+	return &IntSum{
+		width: widthBits / 8,
+		name:  fmt.Sprintf("int%d-sum", widthBits),
+		fold:  fold.Sum(widthBits / 8),
+	}, nil
 }
 
 func checkWidth(prefix string, got int) error {
@@ -42,9 +48,9 @@ func checkWidth(prefix string, got int) error {
 	return fmt.Errorf("%s: width must be 8, 16, 32, or 64 bits, got %d", prefix, got)
 }
 
-func (s *IntSum) Name() string {
-	return fmt.Sprintf("int%d-sum", s.width*8)
-}
+// Name is precomputed at construction so the hot-path span checks do not
+// format it per call.
+func (s *IntSum) Name() string { return s.name }
 
 func (s *IntSum) PlainSize() int  { return s.width }
 func (s *IntSum) CipherSize() int { return s.width }
@@ -54,9 +60,63 @@ func (s *IntSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error 
 }
 
 func (s *IntSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	nb := n * s.width
+	byteOff := uint64(off) * uint64(s.width)
+	cancel := !st.IsLast()
+	ns1 := openNoise(st.Enc, st.SelfNonce(), byteOff, nb)
+	defer ns1.close()
+	var ns2 *noiseStream
+	if cancel {
+		ns2 = openNoise(st.Enc, st.NextNonce(), byteOff, nb)
+		defer ns2.close()
+	}
+	w := intWire{size: s.width}
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns1.next()
+		var b2 *[prf.BlockBytes]byte
+		if cancel {
+			b2 = ns2.next()
+		}
+		m := blockLen(nb, done)
+		switch s.width {
+		case 4:
+			for o := 0; o < m; o += 4 {
+				c := binary.LittleEndian.Uint32(plain[done+o:]) + binary.LittleEndian.Uint32(b1[o:])
+				if cancel {
+					c -= binary.LittleEndian.Uint32(b2[o:])
+				}
+				binary.LittleEndian.PutUint32(cipher[done+o:], c)
+			}
+		case 8:
+			for o := 0; o < m; o += 8 {
+				c := binary.LittleEndian.Uint64(plain[done+o:]) + binary.LittleEndian.Uint64(b1[o:])
+				if cancel {
+					c -= binary.LittleEndian.Uint64(b2[o:])
+				}
+				binary.LittleEndian.PutUint64(cipher[done+o:], c)
+			}
+		default: // 1- and 2-byte datatypes via the generic word codec
+			for o := 0; o < m; o += s.width {
+				c := w.load(plain, (done+o)/s.width) + w.load(b1[:], o/s.width)
+				if cancel {
+					c -= w.load(b2[:], o/s.width)
+				}
+				w.store(cipher, (done+o)/s.width, c)
+			}
+		}
+	}
+	return nil
+}
+
+// encryptTwoPassAt is the reference kernel: materialize the full keystream
+// plane(s) into pooled scratch, then combine in a second pass.
+func (s *IntSum) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
 	p1, ks1 := getScratch(nb)
@@ -107,9 +167,42 @@ func (s *IntSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error 
 }
 
 func (s *IntSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	nb := n * s.width
+	ns := openNoise(st.Enc, st.RootNonce(), uint64(off)*uint64(s.width), nb)
+	defer ns.close()
+	w := intWire{size: s.width}
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns.next()
+		m := blockLen(nb, done)
+		switch s.width {
+		case 4:
+			for o := 0; o < m; o += 4 {
+				binary.LittleEndian.PutUint32(plain[done+o:],
+					binary.LittleEndian.Uint32(cipher[done+o:])-binary.LittleEndian.Uint32(b1[o:]))
+			}
+		case 8:
+			for o := 0; o < m; o += 8 {
+				binary.LittleEndian.PutUint64(plain[done+o:],
+					binary.LittleEndian.Uint64(cipher[done+o:])-binary.LittleEndian.Uint64(b1[o:]))
+			}
+		default:
+			for o := 0; o < m; o += s.width {
+				j := (done + o) / s.width
+				w.store(plain, j, w.load(cipher, j)-w.load(b1[:], o/s.width))
+			}
+		}
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *IntSum) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	nb := n * s.width
 	p1, ks1 := getScratch(nb)
 	defer putScratch(p1)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"hear/internal/core/fold"
 	"hear/internal/keys"
+	"hear/internal/prf"
 )
 
 // IntXor implements the logical/binary XOR scheme of §5.1.3 (eq. 3):
@@ -20,6 +22,7 @@ import (
 // fixes the wire element size.
 type IntXor struct {
 	width int
+	name  string
 }
 
 // NewIntXor returns the XOR scheme for 8-, 16-, 32-, or 64-bit words
@@ -28,12 +31,10 @@ func NewIntXor(widthBits int) (*IntXor, error) {
 	if err := checkWidth("core: int-xor", widthBits); err != nil {
 		return nil, err
 	}
-	return &IntXor{width: widthBits / 8}, nil
+	return &IntXor{width: widthBits / 8, name: fmt.Sprintf("int%d-xor", widthBits)}, nil
 }
 
-func (s *IntXor) Name() string {
-	return fmt.Sprintf("int%d-xor", s.width*8)
-}
+func (s *IntXor) Name() string { return s.name }
 
 func (s *IntXor) PlainSize() int  { return s.width }
 func (s *IntXor) CipherSize() int { return s.width }
@@ -43,9 +44,55 @@ func (s *IntXor) Encrypt(st *keys.RankState, plain, cipher []byte, n int) error 
 }
 
 func (s *IntXor) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	nb := n * s.width
+	byteOff := uint64(off) * uint64(s.width)
+	cancel := !st.IsLast()
+	ns1 := openNoise(st.Enc, st.SelfNonce(), byteOff, nb)
+	defer ns1.close()
+	var ns2 *noiseStream
+	if cancel {
+		ns2 = openNoise(st.Enc, st.NextNonce(), byteOff, nb)
+		defer ns2.close()
+	}
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns1.next()
+		if cancel {
+			// Fold the canceling stream into the staged block first; the
+			// combining loop below then runs one XOR chain either way.
+			b2 := ns2.next()
+			for o := 0; o < prf.BlockBytes; o += 8 {
+				binary.LittleEndian.PutUint64(b1[o:],
+					binary.LittleEndian.Uint64(b1[o:])^binary.LittleEndian.Uint64(b2[o:]))
+			}
+		}
+		m := blockLen(nb, done)
+		xorBlock(cipher[done:done+m], plain[done:done+m], b1)
+	}
+	return nil
+}
+
+// xorBlock writes dst = src ^ ks for one (possibly partial) streaming
+// block: whole 8-byte words first, then the byte tail.
+func xorBlock(dst, src []byte, ks *[prf.BlockBytes]byte) {
+	m := len(dst)
+	o := 0
+	for ; o+8 <= m; o += 8 {
+		binary.LittleEndian.PutUint64(dst[o:],
+			binary.LittleEndian.Uint64(src[o:])^binary.LittleEndian.Uint64(ks[o:]))
+	}
+	for ; o < m; o++ {
+		dst[o] = src[o] ^ ks[o]
+	}
+}
+
+// encryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *IntXor) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	nb := n * s.width
 	byteOff := uint64(off) * uint64(s.width)
 	p1, ks1 := getScratch(nb)
@@ -71,9 +118,25 @@ func (s *IntXor) Decrypt(st *keys.RankState, cipher, plain []byte, n int) error 
 }
 
 func (s *IntXor) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	nb := n * s.width
+	ns := openNoise(st.Enc, st.RootNonce(), uint64(off)*uint64(s.width), nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b1 := ns.next()
+		m := blockLen(nb, done)
+		xorBlock(plain[done:done+m], cipher[done:done+m], b1)
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *IntXor) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	nb := n * s.width
 	p1, ks1 := getScratch(nb)
 	defer putScratch(p1)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hear/internal/keys"
+	"hear/internal/prf"
 )
 
 // NaiveIntSum is the non-canceling variant of the integer SUM scheme shown
@@ -52,9 +53,35 @@ func (s *NaiveIntSum) Encrypt(st *keys.RankState, plain, cipher []byte, n int) e
 }
 
 func (s *NaiveIntSum) EncryptAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
+	if !FusionEnabled() {
+		return s.encryptTwoPassAt(st, plain, cipher, n, off)
+	}
+	nb := n * s.width
+	ns := openNoise(st.Enc, st.SelfNonce(), uint64(off)*uint64(s.width), nb)
+	defer ns.close()
+	for done := 0; done < nb; done += prf.BlockBytes {
+		b := ns.next()
+		m := blockLen(nb, done)
+		if s.width == 4 {
+			for o := 0; o < m; o += 4 {
+				binary.LittleEndian.PutUint32(cipher[done+o:],
+					binary.LittleEndian.Uint32(plain[done+o:])+binary.LittleEndian.Uint32(b[o:]))
+			}
+		} else {
+			for o := 0; o < m; o += 8 {
+				binary.LittleEndian.PutUint64(cipher[done+o:],
+					binary.LittleEndian.Uint64(plain[done+o:])+binary.LittleEndian.Uint64(b[o:]))
+			}
+		}
+	}
+	return nil
+}
+
+// encryptTwoPassAt is the reference kernel (full plane, second pass).
+func (s *NaiveIntSum) encryptTwoPassAt(st *keys.RankState, plain, cipher []byte, n, off int) error {
 	nb := n * s.width
 	p1, ks := getScratch(nb)
 	defer putScratch(p1)
@@ -80,12 +107,47 @@ func (s *NaiveIntSum) Decrypt(st *keys.RankState, cipher, plain []byte, n int) e
 }
 
 func (s *NaiveIntSum) DecryptAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
-	if err := checkLen(s.Name(), plain, cipher, n, s.width, s.width); err != nil {
+	if err := checkSpan(s.Name(), plain, cipher, n, off, s.width, s.width); err != nil {
 		return err
 	}
 	if len(s.allStarting) != st.Size {
 		return fmt.Errorf("%s: scheme built for %d ranks, communicator has %d", s.Name(), len(s.allStarting), st.Size)
 	}
+	if !FusionEnabled() {
+		return s.decryptTwoPassAt(st, cipher, plain, n, off)
+	}
+	nb := n * s.width
+	copy(plain[:nb], cipher[:nb])
+	// Θ(P): subtract every rank's noise stream, each fused block-by-block
+	// (one pooled stream, re-opened per rank).
+	ns := openNoise(st.Enc, s.allStarting[0]+st.Collective(), uint64(off)*uint64(s.width), nb)
+	defer ns.close()
+	for i, k := range s.allStarting {
+		if i > 0 {
+			ns.open(st.Enc, k+st.Collective(), uint64(off)*uint64(s.width), nb)
+		}
+		for done := 0; done < nb; done += prf.BlockBytes {
+			b := ns.next()
+			m := blockLen(nb, done)
+			if s.width == 4 {
+				for o := 0; o < m; o += 4 {
+					binary.LittleEndian.PutUint32(plain[done+o:],
+						binary.LittleEndian.Uint32(plain[done+o:])-binary.LittleEndian.Uint32(b[o:]))
+				}
+			} else {
+				for o := 0; o < m; o += 8 {
+					binary.LittleEndian.PutUint64(plain[done+o:],
+						binary.LittleEndian.Uint64(plain[done+o:])-binary.LittleEndian.Uint64(b[o:]))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decryptTwoPassAt is the reference kernel (full plane per rank, second
+// pass per rank).
+func (s *NaiveIntSum) decryptTwoPassAt(st *keys.RankState, cipher, plain []byte, n, off int) error {
 	nb := n * s.width
 	p1, ks := getScratch(nb)
 	defer putScratch(p1)

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hear/internal/keys"
 )
@@ -101,11 +102,42 @@ type NoiseProfiler interface {
 	NoiseProfile() NoiseProfile
 }
 
-// checkLen validates buffer lengths against element counts; every scheme
-// calls it so misuse fails loudly instead of silently truncating data.
-func checkLen(name string, plain, cipher []byte, n, plainSize, cipherSize int) error {
+// SpanError is the typed error every scheme entry point returns for an
+// invalid (n, off) element span: negative counts or offsets, and spans
+// whose byte addressing would overflow. It exists because the keystream
+// byte offset is computed as uint64(off)·width — a negative off would
+// silently wrap into a huge stream offset and produce garbage ciphertext
+// instead of failing, which is exactly the class of misuse that must fail
+// loudly in a cipher.
+type SpanError struct {
+	Scheme string // scheme name, e.g. "int64-sum"
+	N, Off int    // the rejected element count and offset
+	Reason string
+}
+
+func (e *SpanError) Error() string {
+	return fmt.Sprintf("%s: invalid element span n=%d off=%d: %s", e.Scheme, e.N, e.Off, e.Reason)
+}
+
+// maxSpanElems bounds off+n so that (off+n)·stride stays representable for
+// the widest per-element keystream stride in the system (hfp.NoiseBytes =
+// 16 bytes). 2^59 elements is far beyond any addressable buffer; the bound
+// exists to keep the uint64 keystream byte addressing exact.
+const maxSpanElems = math.MaxInt64 / 16
+
+// checkSpan validates buffer lengths and the (n, off) element span; every
+// scheme entry point calls it so misuse fails loudly (with a typed
+// *SpanError) instead of silently truncating data or wrapping the
+// keystream offset.
+func checkSpan(name string, plain, cipher []byte, n, off, plainSize, cipherSize int) error {
 	if n < 0 {
-		return fmt.Errorf("%s: negative element count %d", name, n)
+		return &SpanError{Scheme: name, N: n, Off: off, Reason: "negative element count"}
+	}
+	if off < 0 {
+		return &SpanError{Scheme: name, N: n, Off: off, Reason: "negative element offset"}
+	}
+	if off > maxSpanElems-n {
+		return &SpanError{Scheme: name, N: n, Off: off, Reason: "span exceeds the keystream address space"}
 	}
 	if len(plain) < n*plainSize {
 		return fmt.Errorf("%s: plaintext buffer %d B < %d elements × %d B", name, len(plain), n, plainSize)
@@ -114,4 +146,10 @@ func checkLen(name string, plain, cipher []byte, n, plainSize, cipherSize int) e
 		return fmt.Errorf("%s: ciphertext buffer %d B < %d elements × %d B", name, len(cipher), n, cipherSize)
 	}
 	return nil
+}
+
+// checkLen is checkSpan at offset 0, for entry points without an offset
+// parameter (the keyless subset folds).
+func checkLen(name string, plain, cipher []byte, n, plainSize, cipherSize int) error {
+	return checkSpan(name, plain, cipher, n, 0, plainSize, cipherSize)
 }

@@ -405,9 +405,48 @@ func (p *Prefetcher) keystream(dst []byte, nonce, off uint64) {
 	}
 }
 
+// cachedSpan reports the longest ready cached prefix of span [off, off+n)
+// of stream nonce in the current epoch, rounded down to whole streaming
+// blocks (prf.BlockBytes), and accounts the remainder as misses — the
+// fused caller generates that tail directly on the backend, bypassing this
+// wrapper's accounting. The prefix itself is NOT accounted here: the
+// caller reads it through Keystream, whose hit path counts it. (If the
+// plane is reaped between the two calls, those bytes are re-generated and
+// counted as misses instead — a rare epoch-turn race that only skews
+// stats, never bytes.)
+func (p *Prefetcher) cachedSpan(nonce, off uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	epoch := p.st.Epoch()
+	k := 0
+	p.mu.RLock()
+	for _, q := range p.planes {
+		if q.nonce == nonce && q.epoch == epoch && q.ready.Load() {
+			if off < uint64(len(q.buf)) {
+				k = len(q.buf) - int(off)
+				if k > n {
+					k = n
+				}
+			}
+			break
+		}
+	}
+	p.mu.RUnlock()
+	k &^= prf.BlockBytes - 1
+	if miss := n - k; miss > 0 {
+		p.missBytes.Add(uint64(miss))
+		p.phases.AddBytes(PhaseMissBytes, int64(miss))
+	}
+	return k
+}
+
 // cachedPRF is the prf.PRF the prefetcher installs as RankState.Enc. Bulk
 // reads go through the plane cache; point queries (Uint64, HoMAC's form)
-// bypass it — they are O(1) block encryptions not worth a table scan.
+// bypass it — they are O(1) block encryptions not worth a table scan. It
+// also implements prf.SpanCache, which is how the fused scheme kernels
+// (internal/core) split a noise span into a plane-served prefix and a
+// block-streamed tail: prefetch hit uses the plane, miss uses fusion.
 type cachedPRF struct{ p *Prefetcher }
 
 func (c cachedPRF) Name() string { return "prefetch+" + c.p.backend.Name() }
@@ -415,3 +454,15 @@ func (c cachedPRF) Name() string { return "prefetch+" + c.p.backend.Name() }
 func (c cachedPRF) Keystream(dst []byte, nonce, off uint64) { c.p.keystream(dst, nonce, off) }
 
 func (c cachedPRF) Uint64(nonce, idx uint64) uint64 { return c.p.backend.Uint64(nonce, idx) }
+
+// CachedSpan implements prf.SpanCache.
+func (c cachedPRF) CachedSpan(nonce, off uint64, n int) int {
+	return c.p.cachedSpan(nonce, off, n)
+}
+
+// Generator implements prf.SpanCache: the live backend the fused kernels
+// stream uncached tails from.
+func (c cachedPRF) Generator() prf.PRF { return c.p.backend }
+
+// cachedPRF must satisfy the probing interface the fused kernels use.
+var _ prf.SpanCache = cachedPRF{}

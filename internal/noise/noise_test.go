@@ -346,6 +346,176 @@ func TestPrefetchRepeatedKicksAreIdempotent(t *testing.T) {
 	}
 }
 
+// TestCachedSpanReportsPlanePrefix pins the prf.SpanCache probing contract
+// the fused kernels rely on: the reported prefix is block-aligned, never
+// longer than the resident plane suffix, zero for unknown nonces, and the
+// remainder of every probe is accounted as a miss.
+func TestCachedSpanReportsPlanePrefix(t *testing.T) {
+	const elems = 1 << 10
+	st, p := attachOne(t, 3, 1<<20, nil)
+	p.Kick(intProfile, elems)
+	p.Drain()
+
+	sc, ok := st.Enc.(prf.SpanCache)
+	if !ok {
+		t.Fatal("attached PRF does not implement prf.SpanCache")
+	}
+	if sc.Generator() != p.Backend() {
+		t.Fatal("Generator must expose the live backend")
+	}
+
+	planeBytes := elems * intProfile.BytesPerElem
+	root := st.RootNonce()
+	demanded := uint64(0)
+	for _, tc := range []struct {
+		off  uint64
+		n    int
+		want int
+	}{
+		{0, planeBytes, planeBytes},       // full plane
+		{0, planeBytes + 512, planeBytes}, // past the plane: clipped
+		{64, 256, 256},                    // aligned interior span
+		{24, 256, 256},                    // unaligned offset: length is what must be block-granular
+		{uint64(planeBytes), 128, 0},      // starts past the plane
+		{uint64(planeBytes) - 32, 128, 0}, // sub-block suffix rounds to 0
+		{0, 0, 0},                         // empty span
+	} {
+		if got := sc.CachedSpan(root, tc.off, tc.n); got != tc.want {
+			t.Errorf("CachedSpan(root, %d, %d) = %d, want %d", tc.off, tc.n, got, tc.want)
+		}
+		demanded += uint64(tc.n - tc.want) // CachedSpan accounts the remainder as miss
+	}
+	if got := sc.CachedSpan(0xdeadbeef, 0, 512); got != 0 {
+		t.Errorf("CachedSpan(unknown nonce) = %d, want 0", got)
+	}
+	demanded += 512
+	if s := p.Stats(); s.MissBytes != demanded {
+		t.Errorf("miss bytes = %d, want %d (probe remainders)", s.MissBytes, demanded)
+	}
+}
+
+// fusedStates builds two identical key groups from the same deterministic
+// seed: one to attach a prefetcher to, one as the pure-backend reference.
+func fusedStates(t *testing.T, size int, seed byte) (*keys.RankState, *keys.RankState) {
+	t.Helper()
+	a, err := keys.Generate(size, keys.Config{Rand: &seqReader{next: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := keys.Generate(size, keys.Config{Rand: &seqReader{next: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a[0], b[0]
+}
+
+// TestFusedThroughPrefetcherBitIdentity drives a fused scheme through an
+// attached prefetcher and checks every byte against the two-pass reference
+// on a pure backend, across full-hit planes (post-advance), truncated
+// planes (prefix hit + generated tail), and unaligned element offsets.
+func TestFusedThroughPrefetcherBitIdentity(t *testing.T) {
+	scheme, err := core.NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		budget  int
+		advance bool
+	}{
+		// All planes resident; advancing makes the speculated next-epoch
+		// planes cover the current epoch's three streams.
+		{"full-plane", 1 << 20, true},
+		// The budget covers only a truncated current-epoch decrypt plane:
+		// decrypt serves a prefix from it and fuses the generated tail,
+		// encrypt is a full fusion miss.
+		{"truncated-plane", 4 << 10, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const elems = 1 << 10
+			st, ref := fusedStates(t, 3, 21)
+			p := Attach(st, nil, nil, tc.budget)
+			p.Kick(intProfile, elems)
+			p.Drain()
+			if tc.advance {
+				st.Advance()
+				ref.Advance()
+			}
+
+			defer core.SetFusion(core.SetFusion(true))
+			for _, off := range []int{0, 3, 129} {
+				n := elems - off
+				plain := make([]byte, n*8)
+				for i := range plain {
+					plain[i] = byte(i * 31)
+				}
+				cipher := make([]byte, n*8)
+				wantCipher := make([]byte, n*8)
+				if err := scheme.EncryptAt(st, plain, cipher, n, off); err != nil {
+					t.Fatal(err)
+				}
+				core.SetFusion(false)
+				err := scheme.EncryptAt(ref, plain, wantCipher, n, off)
+				core.SetFusion(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(cipher, wantCipher) {
+					t.Fatalf("off %d: fused-through-prefetcher ciphertext differs from two-pass reference", off)
+				}
+
+				got := make([]byte, n*8)
+				want := make([]byte, n*8)
+				if err := scheme.DecryptAt(st, cipher, got, n, off); err != nil {
+					t.Fatal(err)
+				}
+				core.SetFusion(false)
+				err = scheme.DecryptAt(ref, wantCipher, want, n, off)
+				core.SetFusion(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("off %d: fused-through-prefetcher plaintext differs from two-pass reference", off)
+				}
+			}
+			if s := p.Stats(); s.HitBytes == 0 {
+				t.Error("no hit bytes: fused kernels never touched the plane cache")
+			}
+		})
+	}
+}
+
+// TestFusedPrefetcherAccountingExact: one fused encrypt+decrypt over fully
+// resident planes demands 3 noise streams (self, next, root) and every byte
+// must be accounted — all hits, no misses, hit+miss == bytes demanded.
+func TestFusedPrefetcherAccountingExact(t *testing.T) {
+	scheme, err := core.NewIntSum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 1 << 10
+	st, _ := fusedStates(t, 3, 33)
+	p := Attach(st, nil, nil, 1<<20)
+	p.Kick(intProfile, elems)
+	p.Drain()
+	st.Advance()
+
+	defer core.SetFusion(core.SetFusion(true))
+	nb := elems * 8
+	buf := make([]byte, nb)
+	if err := scheme.EncryptAt(st, buf, buf, elems, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := scheme.DecryptAt(st, buf, buf, elems, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if want := uint64(3 * nb); s.HitBytes != want || s.MissBytes != 0 {
+		t.Errorf("hit=%d miss=%d, want hit=%d miss=0 (3 fully resident streams)", s.HitBytes, s.MissBytes, want)
+	}
+}
+
 // TestPrefetchSteadyStateManyEpochs cycles kick/advance/consume across many
 // epochs, checking bit-identity and a warm hit rate once the cache is primed.
 func TestPrefetchSteadyStateManyEpochs(t *testing.T) {
